@@ -1,0 +1,63 @@
+// Ablation: feature-subset study for the feature-guided classifier —
+// extends paper Table IV by scoring additional subsets (single groups,
+// everything, and the paper's two picks) under LOO cross validation, and
+// reporting the per-feature Gini importances of the full model.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace sparta;
+  bench::print_header("ablation_features", "Table IV extension (feature ablation)");
+
+  const Autotuner tuner{knc()};
+  const auto corpus = bench::labeled_corpus(tuner, bench::corpus_size());
+
+  std::vector<Feature> all_features;
+  for (int f = 0; f < kNumFeatures; ++f) all_features.push_back(static_cast<Feature>(f));
+
+  struct SubsetCase {
+    const char* name;
+    std::vector<Feature> subset;
+  };
+  const std::vector<SubsetCase> cases{
+      {"nnz stats only", {Feature::kNnzMin, Feature::kNnzMax, Feature::kNnzAvg,
+                          Feature::kNnzSd}},
+      {"bw stats only", {Feature::kBwMin, Feature::kBwMax, Feature::kBwAvg, Feature::kBwSd}},
+      {"scatter only", {Feature::kScatterAvg, Feature::kScatterSd}},
+      {"size+density only", {Feature::kSize, Feature::kDensity}},
+      {"paper O(N) subset", feature_subset_linear()},
+      {"paper O(NNZ) subset", feature_subset_full()},
+      {"all 14 features", all_features},
+  };
+
+  Table table{{"feature subset", "#features", "exact (%)", "partial (%)"}};
+  for (const auto& c : cases) {
+    FeatureClassifier::Config cfg;
+    cfg.subset = c.subset;
+    const auto scores = FeatureClassifier::cross_validate(corpus, cfg);
+    table.add_row({c.name, std::to_string(c.subset.size()),
+                   Table::num(scores.exact_match * 100.0, 1),
+                   Table::num(scores.partial_match * 100.0, 1)});
+  }
+  table.print(std::cout);
+
+  // Per-feature importances from the full model, per label tree.
+  FeatureClassifier::Config full_cfg;
+  full_cfg.subset = all_features;
+  const auto fc = FeatureClassifier::train(corpus, full_cfg);
+  std::cout << "\nGini importances of the full model (rows: labels):\n";
+  std::vector<std::string> header{"label"};
+  for (Feature f : all_features) header.emplace_back(feature_name(f));
+  Table imp{header};
+  const std::vector<std::string> label_names{"MB", "ML", "IMB", "CMP", "dummy"};
+  for (int l = 0; l < kNumTreeLabels; ++l) {
+    const auto importances = fc.model().tree(l).feature_importances();
+    std::vector<std::string> row{label_names[static_cast<std::size_t>(l)]};
+    for (double v : importances) row.push_back(Table::num(v, 2));
+    imp.add_row(std::move(row));
+  }
+  imp.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Ablation: the IMB sub-selection policy (paper §III-E) — for IMB-classified
+// matrices, decomposition targets "highly uneven row lengths" and auto
+// scheduling targets "computational unevenness". This bench compares the
+// two alternatives head-to-head on every IMB suite matrix and sweeps the
+// nnz_max/nnz_avg ratio that drives the choice.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "tuner/profile_classifier.hpp"
+
+int main() {
+  using namespace sparta;
+  bench::print_header("ablation_imb_policy", "SIII-E IMB sub-selection (design-choice ablation)");
+
+  const Autotuner tuner{knc()};
+  const auto evals = bench::evaluate_suite(tuner);
+
+  Table table{{"matrix", "nnz_max/nnz_avg", "decompose GF/s", "auto-sched GF/s",
+               "policy picks", "picked the winner?"}};
+  int correct = 0, total = 0;
+  for (const auto& e : evals) {
+    const auto classes = classify_profile(e.bounds, tuner.thresholds());
+    if (!classes.contains(Bottleneck::kIMB)) continue;
+    const double ratio =
+        e.features[Feature::kNnzMax] / std::max(e.features[Feature::kNnzAvg], 1.0);
+    const double g_dec = e.gflops_for(config_for({Optimization::kDecompose}));
+    const double g_auto = e.gflops_for(config_for({Optimization::kAutoSched}));
+    const auto picked = select_optimizations({Bottleneck::kIMB}, e.features,
+                                             tuner.imb_policy())[0];
+    const bool picked_decompose = picked == Optimization::kDecompose;
+    const bool winner_is_decompose = g_dec >= g_auto;
+    const bool right = picked_decompose == winner_is_decompose;
+    correct += right ? 1 : 0;
+    ++total;
+    table.add_row({e.name, Table::num(ratio, 1), Table::num(g_dec), Table::num(g_auto),
+                   to_string(picked), right ? "yes" : "no"});
+  }
+  table.print(std::cout);
+  if (total > 0) {
+    std::cout << "\npolicy picked the faster IMB alternative for " << correct << "/" << total
+              << " IMB matrices (ratio threshold " << tuner.imb_policy().uneven_row_ratio
+              << ")\n";
+  } else {
+    std::cout << "\nno IMB matrices detected in the suite on this platform\n";
+  }
+  return 0;
+}

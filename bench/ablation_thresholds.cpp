@@ -1,0 +1,50 @@
+// Ablation: hyperparameter grid search for the profile-guided classifier
+// (paper §III-C: "T_ML and T_IMB ... have been tuned using grid search ...
+// maximizing the average performance gain"; Fig. 4 reports T_ML = 1.25,
+// T_IMB = 1.24 on the authors' KNC).
+//
+// Sweeps the (T_ML, T_IMB) grid on the modeled KNC over the training corpus
+// and prints the gain surface plus the best cell, which the default
+// ProfileThresholds should sit near.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "tuner/grid_search.hpp"
+
+int main() {
+  using namespace sparta;
+  bench::print_header("ablation_thresholds", "Figure 4 hyperparameters (grid search)");
+
+  const Autotuner tuner{knc()};
+  const int n = bench::corpus_size();
+  std::cout << "evaluating " << n << "-matrix corpus on modeled KNC...\n";
+  std::vector<Autotuner::Evaluation> evals;
+  for (auto& m : gen::training_population(n)) {
+    evals.push_back(tuner.evaluate(m.name, m.matrix));
+  }
+
+  const auto grid = default_threshold_grid();
+  const auto result = tune_thresholds(evals, tuner, grid, grid);
+
+  // Print a coarse view of the surface (every 4th cell in each dimension).
+  Table table{{"T_ML \\ T_IMB", Table::num(grid[0]), Table::num(grid[4]),
+               Table::num(grid[8]), Table::num(grid[12]), Table::num(grid[16])}};
+  for (std::size_t i = 0; i < grid.size(); i += 4) {
+    std::vector<std::string> row{Table::num(grid[i])};
+    for (std::size_t j = 0; j < grid.size(); j += 4) {
+      row.push_back(Table::num(result.cells[i * grid.size() + j].avg_gain, 3));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+
+  std::cout << "\nbest thresholds: T_ML=" << result.best.t_ml
+            << " T_IMB=" << result.best.t_imb << " (avg gain "
+            << Table::num(result.best_gain, 3) << "x over baseline)\n";
+  const ProfileThresholds defaults;
+  std::cout << "paper/default:   T_ML=" << defaults.t_ml << " T_IMB=" << defaults.t_imb
+            << " (avg gain " << Table::num(average_gain(evals, tuner, defaults), 3)
+            << "x)\n";
+  return 0;
+}

@@ -1,0 +1,52 @@
+#include "bench_common.hpp"
+
+#include <cstdlib>
+
+namespace sparta::bench {
+
+int corpus_size() {
+  if (const char* env = std::getenv("SPARTA_CORPUS")) {
+    const int n = std::atoi(env);
+    if (n >= 4) return n;
+  }
+  return 210;
+}
+
+std::vector<Autotuner::Evaluation> evaluate_suite(const Autotuner& tuner) {
+  std::vector<Autotuner::Evaluation> evals;
+  const auto suite = gen::make_suite();
+  evals.reserve(suite.size());
+  for (const auto& m : suite) {
+    evals.push_back(tuner.evaluate(m.name, m.matrix));
+  }
+  return evals;
+}
+
+std::vector<TrainingSample> labeled_corpus(const Autotuner& tuner, int count) {
+  std::vector<TrainingSample> corpus;
+  corpus.reserve(static_cast<std::size_t>(count));
+  for (auto& m : gen::training_population(count)) {
+    corpus.push_back(tuner.label(m.matrix));
+  }
+  return corpus;
+}
+
+FeatureClassifier train_default_classifier(const std::vector<TrainingSample>& corpus) {
+  return FeatureClassifier::train(corpus);
+}
+
+double mean_speedup(const std::vector<double>& numer, const std::vector<double>& denom) {
+  if (numer.empty() || numer.size() != denom.size()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < numer.size(); ++i) acc += numer[i] / denom[i];
+  return acc / static_cast<double>(numer.size());
+}
+
+void print_header(const std::string& title, const std::string& paper_item) {
+  std::cout << "==========================================================================\n"
+            << title << "\n"
+            << "reproduces: " << paper_item << "\n"
+            << "==========================================================================\n";
+}
+
+}  // namespace sparta::bench

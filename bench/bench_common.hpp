@@ -1,0 +1,35 @@
+// Shared plumbing for the figure/table benches: suite evaluation, training
+// corpus labeling and the speedup summaries the paper reports.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "gen/suite.hpp"
+#include "tuner/feature_classifier.hpp"
+#include "tuner/optimizer.hpp"
+
+namespace sparta::bench {
+
+/// Size of the training corpus (paper: 210 matrices). Override with the
+/// SPARTA_CORPUS environment variable for quick runs.
+int corpus_size();
+
+/// Evaluate every suite analogue on one platform (the expensive step; a few
+/// seconds per platform).
+std::vector<Autotuner::Evaluation> evaluate_suite(const Autotuner& tuner);
+
+/// Build and label the training corpus on one platform.
+std::vector<TrainingSample> labeled_corpus(const Autotuner& tuner, int count);
+
+/// Train the default (full-feature-subset) classifier from a corpus.
+FeatureClassifier train_default_classifier(const std::vector<TrainingSample>& corpus);
+
+/// Arithmetic mean of per-matrix speedups a/b.
+double mean_speedup(const std::vector<double>& numer, const std::vector<double>& denom);
+
+/// Print a standard bench header.
+void print_header(const std::string& title, const std::string& paper_item);
+
+}  // namespace sparta::bench

@@ -1,0 +1,48 @@
+// Reproduces paper Fig. 1: "Speedup (slowdown) of different software
+// optimizations applied to the CSR SpMV kernel on Intel Xeon Phi (KNC)".
+//
+// For every suite matrix, each of the five pool optimizations is applied in
+// isolation to the baseline CSR kernel on the modeled KNC; the table prints
+// the resulting speedup (values < 1 are the slowdowns the paper's
+// introduction warns about — the reason a blind optimizer is dangerous).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "tuner/optimizations.hpp"
+
+int main() {
+  using namespace sparta;
+  bench::print_header("fig1_single_optimizations", "Figure 1");
+
+  const Autotuner tuner{knc()};
+  const auto evals = bench::evaluate_suite(tuner);
+  const auto& singles = single_optimization_sets();
+
+  std::vector<std::string> header{"matrix", "baseline GF/s"};
+  for (const auto& s : singles) header.push_back(to_string(s));
+  Table table{header};
+
+  std::vector<double> best(singles.size(), 0.0), worst(singles.size(), 1e30);
+  for (const auto& e : evals) {
+    std::vector<std::string> row{e.name, Table::num(e.bounds.p_csr)};
+    for (std::size_t i = 0; i < singles.size(); ++i) {
+      const double speedup = e.combo_gflops[i] / e.bounds.p_csr;
+      best[i] = std::max(best[i], speedup);
+      worst[i] = std::min(worst[i], speedup);
+      row.push_back(Table::num(speedup) + "x");
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+
+  std::cout << "\nPer-optimization range across the suite (the Fig. 1 message —\n"
+               "every optimization both helps some matrices and hurts others):\n";
+  Table summary{{"optimization", "best speedup", "worst (slowdown)"}};
+  for (std::size_t i = 0; i < singles.size(); ++i) {
+    summary.add_row({to_string(singles[i]), Table::num(best[i]) + "x",
+                     Table::num(worst[i]) + "x"});
+  }
+  summary.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Reproduces paper Fig. 3: "SpMV performance using the CSR format and
+// per-class upper bounds on Intel Xeon Phi (KNC)".
+//
+// Prints P_CSR alongside P_MB, P_ML, P_IMB, P_CMP and P_peak for every suite
+// matrix, plus the classes the profile-guided classifier derives from those
+// bounds — the bound-and-bottleneck analysis of paper §III-B/III-C.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "tuner/profile_classifier.hpp"
+
+int main() {
+  using namespace sparta;
+  bench::print_header("fig3_bounds", "Figure 3 (+ classifier of Figure 4)");
+
+  const Autotuner tuner{knc()};
+  const auto evals = bench::evaluate_suite(tuner);
+
+  Table table{{"matrix", "P_CSR", "P_MB", "P_ML", "P_IMB", "P_CMP", "P_peak", "classes"}};
+  for (const auto& e : evals) {
+    const auto classes = classify_profile(e.bounds, tuner.thresholds());
+    table.add_row({e.name, Table::num(e.bounds.p_csr), Table::num(e.bounds.p_mb),
+                   Table::num(e.bounds.p_ml), Table::num(e.bounds.p_imb),
+                   Table::num(e.bounds.p_cmp), Table::num(e.bounds.p_peak),
+                   to_string(classes)});
+  }
+  table.print(std::cout);
+  std::cout << "\n(all rates in GFLOP/s on the modeled KNC; classes from the\n"
+               " profile-guided classifier with T_ML="
+            << tuner.thresholds().t_ml << ", T_IMB=" << tuner.thresholds().t_imb << ")\n";
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Reproduces paper Fig. 5 (a/b/c): the SpMV performance landscape on KNC,
+// KNL and Broadwell — vendor CSR (the MKL stand-in), vendor
+// Inspector-Executor, our baseline CSR, the feature-guided optimizer, the
+// profile-guided optimizer, and the oracle, per suite matrix, plus the
+// average speedups over vendor CSR that the paper headlines:
+//   KNC:       prof 2.72x, feat 2.63x             (no I-E on KNC)
+//   KNL:       prof 6.73x, feat 6.48x, I-E 4.89x
+//   Broadwell: prof 2.02x, feat 1.86x, I-E 1.49x
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "gen/suite.hpp"
+#include "tuner/profile_classifier.hpp"
+#include "vendor/inspector_executor.hpp"
+#include "vendor/vendor_csr.hpp"
+
+int main() {
+  using namespace sparta;
+  bench::print_header("fig5_performance_landscape", "Figure 5 (a) KNC, (b) KNL, (c) Broadwell");
+
+  const auto suite = gen::make_suite();
+  const int corpus_n = bench::corpus_size();
+
+  for (const auto& machine : paper_platforms()) {
+    const bool has_ie = machine.name != "KNC";  // "not available on KNC"
+    const Autotuner tuner{machine};
+
+    std::cout << "\n--- " << machine.name << " (" << machine.threads() << " threads, "
+              << machine.stream_main_gbs << " GB/s) ---\n";
+    std::cout << "training feature-guided classifier on a " << corpus_n
+              << "-matrix corpus...\n";
+    const auto corpus = bench::labeled_corpus(tuner, corpus_n);
+    const auto classifier = bench::train_default_classifier(corpus);
+
+    Table table{{"matrix", "classes", "vendor", "vendor-IE", "baseline", "feat", "prof",
+                 "oracle"}};
+    std::vector<double> vendor_rates, ie_rates, feat_rates, prof_rates, oracle_rates,
+        base_rates;
+    for (const auto& m : suite) {
+      const auto e = tuner.evaluate(m.name, m.matrix);
+      const auto prof = tuner.plan_profile_guided(e);
+      const auto feat = tuner.plan_feature_guided(e, classifier);
+      const auto oracle = tuner.plan_oracle(e);
+      const double vendor_rate = vendor::vendor_csr_gflops(m.matrix, machine);
+      const double ie_rate =
+          has_ie ? vendor::inspector_executor(m.matrix, machine, tuner.cost_model()).gflops
+                 : 0.0;
+
+      vendor_rates.push_back(vendor_rate);
+      if (has_ie) ie_rates.push_back(ie_rate);
+      base_rates.push_back(e.bounds.p_csr);
+      feat_rates.push_back(feat.gflops);
+      prof_rates.push_back(prof.gflops);
+      oracle_rates.push_back(oracle.gflops);
+
+      table.add_row({m.name, to_string(prof.classes), Table::num(vendor_rate),
+                     has_ie ? Table::num(ie_rate) : std::string{"-"},
+                     Table::num(e.bounds.p_csr), Table::num(feat.gflops),
+                     Table::num(prof.gflops), Table::num(oracle.gflops)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\naverage speedup over vendor CSR on " << machine.name << ":\n";
+    Table avg{{"optimizer", "this repo", "paper"}};
+    const char* paper_prof = machine.name == "KNC"   ? "2.72x"
+                             : machine.name == "KNL" ? "6.73x"
+                                                     : "2.02x";
+    const char* paper_feat = machine.name == "KNC"   ? "2.63x"
+                             : machine.name == "KNL" ? "6.48x"
+                                                     : "1.86x";
+    const char* paper_ie = machine.name == "KNC"   ? "-"
+                           : machine.name == "KNL" ? "4.89x"
+                                                   : "1.49x";
+    avg.add_row({"profile-guided",
+                 Table::num(bench::mean_speedup(prof_rates, vendor_rates)) + "x", paper_prof});
+    avg.add_row({"feature-guided",
+                 Table::num(bench::mean_speedup(feat_rates, vendor_rates)) + "x", paper_feat});
+    avg.add_row({"vendor inspector-executor",
+                 has_ie ? Table::num(bench::mean_speedup(ie_rates, vendor_rates)) + "x"
+                        : std::string{"-"},
+                 paper_ie});
+    avg.add_row({"oracle",
+                 Table::num(bench::mean_speedup(oracle_rates, vendor_rates)) + "x", "n/a"});
+    avg.add_row({"baseline CSR",
+                 Table::num(bench::mean_speedup(base_rates, vendor_rates)) + "x", "n/a"});
+    avg.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Format study: SELL-C-sigma (Kreutzer et al. 2014, cited in the paper's
+// related work) vs the CSR-based optimization pool across the suite and the
+// modeled platforms. Shows where a SIMD-friendly format wins (uniform short
+// rows), where padding kills it (circuit dense rows), and how the
+// bottleneck-driven optimizer compares without any format conversion.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "sim/sell_sim.hpp"
+#include "sparse/sell.hpp"
+
+int main() {
+  using namespace sparta;
+  bench::print_header("format_sell_study", "related-work format comparison (extension)");
+
+  const auto suite = gen::make_suite();
+  for (const auto& machine : {knc(), knl()}) {
+    const Autotuner tuner{machine};
+    std::cout << "\n--- " << machine.name << " ---\n";
+    Table table{{"matrix", "padding", "CSR baseline", "SELL-8", "prof optimizer"}};
+    for (const auto& m : suite) {
+      const auto sell = SellMatrix::from_csr(m.matrix, machine.simd_doubles(), 256);
+      const auto sell_run = sim::simulate_spmv_sell(sell, machine);
+      const auto e = tuner.evaluate(m.name, m.matrix);
+      const auto prof = tuner.plan_profile_guided(e);
+      table.add_row({m.name, Table::num(sell.padding_ratio()) + "x",
+                     Table::num(e.bounds.p_csr), Table::num(sell_run.gflops),
+                     Table::num(prof.gflops)});
+    }
+    table.print(std::cout);
+  }
+  std::cout << "\n(GFLOP/s; SELL uses C = SIMD width, sigma = 256. The adaptive pool\n"
+               " needs no format conversion yet wins wherever the bottleneck is not\n"
+               " plain bandwidth — the paper's core argument.)\n";
+  return 0;
+}

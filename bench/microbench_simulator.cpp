@@ -1,0 +1,55 @@
+// google-benchmark micro-benchmarks of the simulator itself: how long one
+// simulated SpMV costs per platform and kernel variant. Keeps the
+// figure-generating path honest about its own overhead (the paper's
+// experiments run thousands of these).
+#include <benchmark/benchmark.h>
+
+#include "gen/generators.hpp"
+#include "sim/simulator.hpp"
+#include "tuner/bounds.hpp"
+
+namespace {
+
+using namespace sparta;
+
+const CsrMatrix& matrix() {
+  static const CsrMatrix m = gen::banded(40000, 2000, 10, 905);
+  return m;
+}
+
+void BM_SimulateBaseline(benchmark::State& state) {
+  const auto& machines = paper_platforms();
+  const auto& machine = machines[static_cast<std::size_t>(state.range(0))];
+  for (auto _ : state) {
+    auto r = sim::simulate_spmv(matrix(), machine, sim::KernelConfig{});
+    benchmark::DoNotOptimize(r.run.gflops);
+  }
+  state.SetLabel(machine.name);
+  state.counters["sim_nnz/s"] = benchmark::Counter(
+      static_cast<double>(matrix().nnz()) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulateBaseline)->Arg(0)->Arg(1)->Arg(2)->Iterations(3);
+
+void BM_SimulateVectorizedPrefetch(benchmark::State& state) {
+  sim::KernelConfig cfg;
+  cfg.vectorized = true;
+  cfg.prefetch = true;
+  for (auto _ : state) {
+    auto r = sim::simulate_spmv(matrix(), knc(), cfg);
+    benchmark::DoNotOptimize(r.run.gflops);
+  }
+}
+BENCHMARK(BM_SimulateVectorizedPrefetch)->Iterations(3);
+
+void BM_MeasureBounds(benchmark::State& state) {
+  for (auto _ : state) {
+    auto b = measure_bounds(matrix(), knc());
+    benchmark::DoNotOptimize(b.p_csr);
+  }
+}
+BENCHMARK(BM_MeasureBounds)->Iterations(2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,22 @@
+// Host STREAM-triad probe — the host-side analogue of the paper Table III
+// "STREAM triad main/llc" row, which anchors every modeled bandwidth number.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "machine/machine_spec.hpp"
+#include "machine/stream_probe.hpp"
+
+int main() {
+  using namespace sparta;
+  std::cout << "host STREAM triad probe (cf. paper Table III bandwidth row)\n";
+  const auto r = stream_triad_probe();
+  Table table{{"platform", "STREAM main (GB/s)", "STREAM llc (GB/s)", "kind"}};
+  table.add_row({"host (measured)", Table::num(r.main_gbs, 1), Table::num(r.llc_gbs, 1),
+                 "measured"});
+  for (const auto& m : paper_platforms()) {
+    table.add_row({m.name, Table::num(m.stream_main_gbs, 1), Table::num(m.stream_llc_gbs, 1),
+                   "modeled (Table III)"});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Reproduces paper Table IV: "Feature-guided Decision Tree classifiers on
+// KNC" — Leave-One-Out accuracy (Exact and Partial Match Ratios) of the
+// O(N) and O(NNZ) feature subsets, with labels produced by the
+// profile-guided classifier (the paper's labeling methodology, §III-D3).
+//
+// Paper reference values: O(N) subset 80% exact / 95% partial,
+//                         O(NNZ) subset 84% exact / 100% partial.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace sparta;
+  bench::print_header("table4_classifier_accuracy", "Table IV");
+
+  const Autotuner tuner{knc()};
+  const int n = bench::corpus_size();
+  std::cout << "labeling " << n << "-matrix training corpus on modeled KNC...\n";
+  const auto corpus = bench::labeled_corpus(tuner, n);
+
+  struct SubsetCase {
+    const char* name;
+    const char* complexity;
+    std::vector<Feature> subset;
+    const char* paper;
+  };
+  const std::vector<SubsetCase> cases{
+      {"nnz{min,max,sd} bw_avg scatter{avg,sd}", "O(N)", feature_subset_linear(),
+       "80 / 95"},
+      {"size bw{avg,sd} nnz{min,max,avg,sd} misses_avg scatter_sd", "O(NNZ)",
+       feature_subset_full(), "84 / 100"},
+  };
+
+  Table table{{"features", "complexity", "exact (%)", "partial (%)", "paper (ex/part %)"}};
+  for (const auto& c : cases) {
+    FeatureClassifier::Config cfg;
+    cfg.subset = c.subset;
+    const auto scores = FeatureClassifier::cross_validate(corpus, cfg);
+    table.add_row({c.name, c.complexity, Table::num(scores.exact_match * 100.0, 1),
+                   Table::num(scores.partial_match * 100.0, 1), c.paper});
+  }
+  table.print(std::cout);
+  std::cout << "\n(Leave-One-Out cross validation over " << corpus.size()
+            << " labeled matrices; labels from the profile-guided classifier)\n";
+  return 0;
+}

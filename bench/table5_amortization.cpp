@@ -1,0 +1,97 @@
+// Reproduces paper Table V: "Minimum number of solver iterations required to
+// amortize the autotuning runtime overhead of different optimizers on KNL".
+//
+//   N_iters,min = t_pre / (t_vendor - t_optimizer)
+//
+// computed per suite matrix for the two trivial optimizers, the
+// profile-guided and feature-guided optimizers, and the vendor
+// inspector-executor; we report best/average/worst as the paper does.
+// Paper reference (best / avg / worst):
+//   trivial-single     455 /  910 /  8016
+//   trivial-combined  1992 / 3782 / 37111
+//   profile-guided     145 /  267 /  3145
+//   feature-guided      27 /   60 /   567
+//   MKL I-E             28 /  336 /  1229
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <limits>
+
+#include "bench_common.hpp"
+#include "common/statistics.hpp"
+#include "common/table.hpp"
+#include "gen/suite.hpp"
+#include "vendor/inspector_executor.hpp"
+#include "vendor/vendor_csr.hpp"
+
+int main() {
+  using namespace sparta;
+  bench::print_header("table5_amortization", "Table V");
+
+  const auto machine = knl();
+  const Autotuner tuner{machine};
+  const auto suite = gen::make_suite();
+
+  std::cout << "training feature-guided classifier...\n";
+  const auto corpus = bench::labeled_corpus(tuner, bench::corpus_size());
+  const auto classifier = bench::train_default_classifier(corpus);
+
+  // Amortization iterations; infinity when the optimizer does not beat the
+  // vendor kernel for this matrix (excluded from the aggregate, as in the
+  // paper the count is only meaningful when a speedup exists).
+  auto n_iters = [](double t_pre, double t_vendor, double t_opt) {
+    const double gain = t_vendor - t_opt;
+    return gain > 0.0 ? t_pre / gain : std::numeric_limits<double>::infinity();
+  };
+
+  struct Row {
+    std::string name;
+    std::vector<double> iters;
+  };
+  std::vector<Row> rows{{"trivial-single", {}},
+                        {"trivial-combined", {}},
+                        {"profile-guided", {}},
+                        {"feature-guided", {}},
+                        {"vendor inspector-executor", {}}};
+
+  for (const auto& m : suite) {
+    const auto e = tuner.evaluate(m.name, m.matrix);
+    const double vendor_rate = vendor::vendor_csr_gflops(m.matrix, machine);
+    const double t_vendor = e.seconds_at(vendor_rate);
+
+    const auto single = tuner.plan_trivial(e, false);
+    const auto combined = tuner.plan_trivial(e, true);
+    const auto prof = tuner.plan_profile_guided(e);
+    const auto feat = tuner.plan_feature_guided(e, classifier);
+    const auto ie = vendor::inspector_executor(m.matrix, machine, tuner.cost_model());
+
+    rows[0].iters.push_back(n_iters(single.t_pre_seconds, t_vendor, single.t_spmv_seconds));
+    rows[1].iters.push_back(n_iters(combined.t_pre_seconds, t_vendor, combined.t_spmv_seconds));
+    rows[2].iters.push_back(n_iters(prof.t_pre_seconds, t_vendor, prof.t_spmv_seconds));
+    rows[3].iters.push_back(n_iters(feat.t_pre_seconds, t_vendor, feat.t_spmv_seconds));
+    rows[4].iters.push_back(n_iters(ie.t_pre_seconds, t_vendor, ie.t_spmv_seconds));
+  }
+
+  Table table{{"optimizer", "N_best", "N_avg", "N_worst", "paper (best/avg/worst)"}};
+  const std::vector<std::string> paper{"455 / 910 / 8016", "1992 / 3782 / 37111",
+                                       "145 / 267 / 3145", "27 / 60 / 567",
+                                       "28 / 336 / 1229"};
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    std::vector<double> finite;
+    for (double v : rows[r].iters) {
+      if (std::isfinite(v)) finite.push_back(v);
+    }
+    if (finite.empty()) {
+      table.add_row({rows[r].name, "-", "-", "-", paper[r]});
+      continue;
+    }
+    table.add_row({rows[r].name, Table::num(stats::min(finite), 0),
+                   Table::num(stats::mean(finite), 0), Table::num(stats::max(finite), 0),
+                   paper[r]});
+  }
+  table.print(std::cout);
+  std::cout << "\n(KNL model; " << suite.size()
+            << " suite matrices; entries where an optimizer does not beat the\n"
+               " vendor kernel are excluded from the aggregates)\n";
+  return 0;
+}

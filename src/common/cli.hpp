@@ -1,0 +1,67 @@
+// Minimal command-line option parser for the tools/ binaries.
+// Supports `--flag`, `--key value` and positional arguments; unknown
+// options raise an error with the usage string.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace sparta {
+
+class CliParser {
+ public:
+  /// `flags`: options without a value; `options`: options taking one value.
+  CliParser(std::set<std::string> flags, std::set<std::string> options)
+      : flags_(std::move(flags)), options_(std::move(options)) {}
+
+  /// Parse argv; throws std::invalid_argument on unknown/malformed input.
+  void parse(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--", 0) == 0) {
+        const std::string name = arg.substr(2);
+        if (flags_.count(name) != 0) {
+          present_.insert(name);
+        } else if (options_.count(name) != 0) {
+          if (i + 1 >= argc) throw std::invalid_argument{"missing value for --" + name};
+          values_[name] = argv[++i];
+        } else {
+          throw std::invalid_argument{"unknown option --" + name};
+        }
+      } else {
+        positional_.push_back(arg);
+      }
+    }
+  }
+
+  [[nodiscard]] bool has(const std::string& flag) const { return present_.count(flag) != 0; }
+
+  [[nodiscard]] std::optional<std::string> value(const std::string& opt) const {
+    const auto it = values_.find(opt);
+    return it == values_.end() ? std::nullopt : std::optional<std::string>{it->second};
+  }
+
+  [[nodiscard]] std::string value_or(const std::string& opt, const std::string& def) const {
+    return value(opt).value_or(def);
+  }
+
+  [[nodiscard]] int int_or(const std::string& opt, int def) const {
+    const auto v = value(opt);
+    return v ? std::stoi(*v) : def;
+  }
+
+  [[nodiscard]] const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::set<std::string> flags_;
+  std::set<std::string> options_;
+  std::set<std::string> present_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace sparta

@@ -1,0 +1,82 @@
+#include "common/prng.hpp"
+
+#include <cmath>
+
+namespace sparta {
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) noexcept {
+  SplitMix64 sm{seed};
+  for (auto& s : s_) s = sm.next();
+}
+
+std::uint64_t Xoshiro256::next() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Xoshiro256::uniform() noexcept {
+  // 53 high bits → uniform in [0,1) with full double precision.
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Xoshiro256::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Xoshiro256::bounded(std::uint64_t n) noexcept {
+  if (n == 0) return 0;
+  // Debiased multiply-shift (Lemire 2019).
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < n) {
+    const std::uint64_t threshold = -n % n;
+    while (lo < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * n;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Xoshiro256::gaussian() noexcept {
+  double u1 = uniform();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double u2 = uniform();
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(kTwoPi * u2);
+}
+
+std::uint64_t Xoshiro256::zipf(std::uint64_t n, double alpha) noexcept {
+  // Rejection-inversion sampling (Hörmann & Derflinger) is overkill for
+  // workload generation; inverse-CDF over an approximated harmonic tail is
+  // accurate enough and O(1). We use the standard approximation
+  //   H(k) ≈ (k^{1-a} - 1)/(1-a) + gamma-ish constant,
+  // sampled via the smooth inverse.
+  if (n <= 1) return 1;
+  if (alpha == 1.0) alpha = 1.0000001;  // avoid the log singularity
+  const double a1 = 1.0 - alpha;
+  const double hn = (std::pow(static_cast<double>(n), a1) - 1.0) / a1;
+  const double u = uniform();
+  const double k = std::pow(u * hn * a1 + 1.0, 1.0 / a1);
+  auto r = static_cast<std::uint64_t>(k);
+  if (r < 1) r = 1;
+  if (r > n) r = n;
+  return r;
+}
+
+}  // namespace sparta

@@ -1,0 +1,33 @@
+// Fixed-width ASCII table printer for the benchmark harnesses. Every bench
+// binary reproduces a paper table/figure as rows on stdout; this keeps the
+// output format consistent and diff-able.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sparta {
+
+/// Accumulates rows of strings and renders them with aligned columns.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Render with a header rule and 2-space column gaps.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Format a double with the given number of decimals.
+  static std::string num(double v, int decimals = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sparta

@@ -1,0 +1,27 @@
+// Wall-clock timing for the host-execution path (real kernels, STREAM probe,
+// preprocessing-cost ledger). The simulator path produces its own virtual
+// times and never touches this.
+#pragma once
+
+#include <chrono>
+
+namespace sparta {
+
+/// Monotonic stopwatch.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace sparta

@@ -1,0 +1,68 @@
+// Fundamental scalar types and aligned containers shared by every module.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <new>
+#include <vector>
+
+namespace sparta {
+
+/// Row/column index type. 32-bit indices cover every matrix in the paper's
+/// suite while halving index traffic vs 64-bit, which matters for a kernel
+/// whose bottleneck is often the index stream itself.
+using index_t = std::int32_t;
+
+/// Offset into the nonzero arrays. 64-bit so that NNZ may exceed 2^31.
+using offset_t = std::int64_t;
+
+/// Nonzero value type. The paper evaluates double precision throughout.
+using value_t = double;
+
+/// Hardware cache-line size assumed for alignment purposes on the host.
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// Minimal C++17-style allocator returning cache-line-aligned storage.
+/// SpMV streams large arrays; aligning them to cache-line boundaries keeps
+/// vector loads split-free and makes traffic accounting exact.
+template <class T, std::size_t Alignment = kCacheLineBytes>
+class AlignedAllocator {
+ public:
+  using value_type = T;
+
+  static_assert(Alignment >= alignof(T));
+  static_assert((Alignment & (Alignment - 1)) == 0, "alignment must be 2^k");
+
+  AlignedAllocator() noexcept = default;
+  template <class U>
+  explicit AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <class U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    if (n > std::numeric_limits<std::size_t>::max() / sizeof(T)) {
+      throw std::bad_alloc{};
+    }
+    // Round the byte count up to a multiple of the alignment as required by
+    // std::aligned_alloc.
+    const std::size_t bytes = (n * sizeof(T) + Alignment - 1) / Alignment * Alignment;
+    void* p = std::aligned_alloc(Alignment, bytes);
+    if (p == nullptr) throw std::bad_alloc{};
+    return static_cast<T*>(p);
+  }
+
+  void deallocate(T* p, std::size_t) noexcept { std::free(p); }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) { return true; }
+  friend bool operator!=(const AlignedAllocator&, const AlignedAllocator&) { return false; }
+};
+
+/// Cache-line-aligned vector used for all bulk numeric storage.
+template <class T>
+using aligned_vector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace sparta

@@ -1,0 +1,72 @@
+#include "features/features.hpp"
+
+#include "common/statistics.hpp"
+#include "sparse/properties.hpp"
+
+namespace sparta {
+
+std::string_view feature_name(Feature f) {
+  switch (f) {
+    case Feature::kSize: return "size";
+    case Feature::kDensity: return "density";
+    case Feature::kNnzMin: return "nnz_min";
+    case Feature::kNnzMax: return "nnz_max";
+    case Feature::kNnzAvg: return "nnz_avg";
+    case Feature::kNnzSd: return "nnz_sd";
+    case Feature::kBwMin: return "bw_min";
+    case Feature::kBwMax: return "bw_max";
+    case Feature::kBwAvg: return "bw_avg";
+    case Feature::kBwSd: return "bw_sd";
+    case Feature::kScatterAvg: return "scatter_avg";
+    case Feature::kScatterSd: return "scatter_sd";
+    case Feature::kClusteringAvg: return "clustering_avg";
+    case Feature::kMissesAvg: return "misses_avg";
+    case Feature::kCount: break;
+  }
+  return "?";
+}
+
+FeatureVector extract_features(const CsrMatrix& m, const FeatureExtractionConfig& cfg) {
+  FeatureVector fv;
+  const RowScan scan = scan_rows(m, cfg.values_per_line);
+
+  fv[Feature::kSize] = m.spmv_working_set_bytes() <= cfg.llc_bytes ? 1.0 : 0.0;
+  const double n = static_cast<double>(m.nrows());
+  fv[Feature::kDensity] = n > 0.0 ? static_cast<double>(m.nnz()) / (n * n) : 0.0;
+
+  fv[Feature::kNnzMin] = stats::min(scan.nnz);
+  fv[Feature::kNnzMax] = stats::max(scan.nnz);
+  fv[Feature::kNnzAvg] = stats::mean(scan.nnz);
+  fv[Feature::kNnzSd] = stats::stddev(scan.nnz);
+
+  fv[Feature::kBwMin] = stats::min(scan.bandwidth);
+  fv[Feature::kBwMax] = stats::max(scan.bandwidth);
+  fv[Feature::kBwAvg] = stats::mean(scan.bandwidth);
+  fv[Feature::kBwSd] = stats::stddev(scan.bandwidth);
+
+  fv[Feature::kScatterAvg] = stats::mean(scan.scatter);
+  fv[Feature::kScatterSd] = stats::stddev(scan.scatter);
+  fv[Feature::kClusteringAvg] = stats::mean(scan.clustering);
+  fv[Feature::kMissesAvg] = stats::mean(scan.misses);
+  return fv;
+}
+
+std::vector<Feature> feature_subset_linear() {
+  return {Feature::kNnzMin, Feature::kNnzMax,     Feature::kNnzSd,
+          Feature::kBwAvg,  Feature::kScatterAvg, Feature::kScatterSd};
+}
+
+std::vector<Feature> feature_subset_full() {
+  return {Feature::kSize,   Feature::kBwAvg,  Feature::kBwSd,      Feature::kNnzMin,
+          Feature::kNnzMax, Feature::kNnzAvg, Feature::kNnzSd,     Feature::kMissesAvg,
+          Feature::kScatterSd};
+}
+
+std::vector<double> project(const FeatureVector& fv, const std::vector<Feature>& subset) {
+  std::vector<double> out;
+  out.reserve(subset.size());
+  for (Feature f : subset) out.push_back(fv[f]);
+  return out;
+}
+
+}  // namespace sparta

@@ -1,0 +1,72 @@
+// Structural feature extraction — paper Table I.
+//
+// These are the inputs of the feature-guided classifier. Two natural subsets
+// exist by extraction cost: the O(N) features (row statistics) and the full
+// O(NNZ) set (adds clustering/miss estimates that need a pass over every
+// nonzero). Paper Table IV evaluates one classifier per subset.
+#pragma once
+
+#include <array>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sparse/csr.hpp"
+
+namespace sparta {
+
+/// Identifiers for every Table I feature, in a fixed order used by the flat
+/// vector representation consumed by the decision tree.
+enum class Feature : int {
+  kSize = 0,       // 1 if the SpMV working set fits in the LLC, else 0 — Θ(1)
+  kDensity,        // NNZ / N^2 — Θ(1)
+  kNnzMin,         // min row nnz — Θ(N)
+  kNnzMax,         // max row nnz — Θ(N)
+  kNnzAvg,         // mean row nnz — Θ(N)
+  kNnzSd,          // stddev of row nnz — Θ(2N)
+  kBwMin,          // min row bandwidth — Θ(N)
+  kBwMax,          // max row bandwidth — Θ(N)
+  kBwAvg,          // mean row bandwidth — Θ(N)
+  kBwSd,           // stddev of row bandwidth — Θ(2N)
+  kScatterAvg,     // mean of nnz_i / bw_i — Θ(N)
+  kScatterSd,      // stddev of nnz_i / bw_i — Θ(2N)
+  kClusteringAvg,  // mean of ngroups_i / nnz_i — Θ(NNZ)
+  kMissesAvg,      // mean naive cache-miss count per row — Θ(NNZ)
+  kCount
+};
+
+inline constexpr int kNumFeatures = static_cast<int>(Feature::kCount);
+
+/// Human-readable name (matches the paper's notation).
+std::string_view feature_name(Feature f);
+
+/// Extracted feature vector for one matrix.
+struct FeatureVector {
+  std::array<double, kNumFeatures> v{};
+
+  [[nodiscard]] double operator[](Feature f) const { return v[static_cast<std::size_t>(f)]; }
+  double& operator[](Feature f) { return v[static_cast<std::size_t>(f)]; }
+};
+
+/// Parameters of the extraction that depend on the target platform.
+struct FeatureExtractionConfig {
+  /// Last-level cache capacity used for the `size` feature (bytes).
+  std::size_t llc_bytes = 32ull << 20;
+  /// Matrix values per cache line for the naive miss estimate.
+  int values_per_line = 8;
+};
+
+/// Extract all Table I features in one pass over the matrix.
+FeatureVector extract_features(const CsrMatrix& m, const FeatureExtractionConfig& cfg = {});
+
+/// The paper's two feature subsets (Table IV):
+/// O(N):   nnz_{min,max,sd}, bw_avg, scatter_{avg,sd}
+/// O(NNZ): size, bw_{avg,sd}, nnz_{min,max,avg,sd}, misses_avg, scatter_sd
+std::vector<Feature> feature_subset_linear();
+std::vector<Feature> feature_subset_full();
+
+/// Project a FeatureVector onto a subset, producing a flat vector in subset
+/// order (the representation the decision tree trains on).
+std::vector<double> project(const FeatureVector& fv, const std::vector<Feature>& subset);
+
+}  // namespace sparta

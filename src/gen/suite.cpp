@@ -1,0 +1,144 @@
+#include "gen/suite.hpp"
+
+#include <stdexcept>
+
+#include "common/prng.hpp"
+#include "gen/generators.hpp"
+
+namespace sparta::gen {
+
+// Analogue parameters are chosen to land each matrix in the structural
+// regime the paper reports for its namesake: FEM matrices are clustered and
+// bandwidth-bound, unstructured FEM/thermal matrices scatter their x
+// accesses, web/graph matrices are power-law with short rows, and circuit
+// matrices concentrate most nonzeros in a few ultra-dense rows. Row counts
+// and nnz are ~16x below the SuiteSparse originals (see machine cache
+// scaling).
+const std::vector<SuiteSpec>& suite_specs() {
+  static const std::vector<SuiteSpec> kSpecs = {
+      // Regular FEM / structural mechanics — MB archetypes. Bandwidths are
+      // scaled down with the caches (see kCacheScale) so the per-thread x
+      // window keeps the same relation to the hierarchy as the originals.
+      {"consph", "fem", [] { return fem_like(12000, 9, 8, 400, 101); }},
+      {"boneS10", "fem", [] { return fem_like(18000, 6, 8, 400, 102); }},
+      {"nd24k", "fem", [] { return fem_like(3600, 50, 8, 500, 103); }},
+      // Unstructured PDE meshes — scattered access, short-to-medium rows.
+      {"poisson3Db", "random", [] { return random_uniform(15000, 28, 104); }},
+      {"parabolic_fem", "banded", [] { return banded(80000, 4000, 7, 105); }},
+      {"offshore", "banded", [] { return banded(30000, 15000, 16, 106); }},
+      {"thermal2", "banded", [] { return banded(90000, 5000, 7, 107); }},
+      // Graph / web matrices — power-law degree, hubs + very short rows.
+      {"citationCiteseer", "powerlaw", [] { return powerlaw(40000, 1.6, 300, 108); }},
+      {"web-Google", "powerlaw", [] { return powerlaw(70000, 1.7, 500, 109); }},
+      {"flickr", "powerlaw", [] { return powerlaw(60000, 1.8, 2000, 110); }},
+      {"webbase-1M", "powerlaw", [] { return powerlaw(120000, 1.9, 4000, 111); }},
+      // Circuit / LP matrices — a *few* ultra-dense rows hold a large share
+      // of the nonzeros (each dense row is worth many per-thread quotas, as
+      // in rajat30's 454k-nonzero rows vs a 27k per-thread share).
+      {"ASIC_680k", "circuit", [] { return circuit_like(60000, 4, 6, 40000, 112); }},
+      {"rajat30", "circuit", [] { return circuit_like(50000, 5, 5, 30000, 113); }},
+      {"FullChip", "circuit", [] { return circuit_like(80000, 3, 7, 50000, 114); }},
+      {"circuit5M", "circuit", [] { return circuit_like(120000, 4, 8, 60000, 115); }},
+      {"degme", "circuit", [] { return circuit_like(40000, 3, 4, 35000, 116); }},
+      // Genomics — uniformly heavy, wide rows.
+      {"human_gene1", "dense_rows", [] { return dense_rows_wide(5000, 500, 117); }},
+  };
+  return kSpecs;
+}
+
+std::vector<std::string> suite_names() {
+  std::vector<std::string> names;
+  names.reserve(suite_specs().size());
+  for (const auto& s : suite_specs()) names.push_back(s.name);
+  return names;
+}
+
+CsrMatrix make_suite_matrix(const std::string& name) {
+  for (const auto& s : suite_specs()) {
+    if (s.name == name) return s.make();
+  }
+  throw std::out_of_range{"unknown suite matrix '" + name + "'"};
+}
+
+std::vector<NamedMatrix> make_suite() {
+  std::vector<NamedMatrix> out;
+  out.reserve(suite_specs().size());
+  for (const auto& s : suite_specs()) {
+    out.push_back({s.name, s.family, s.make()});
+  }
+  return out;
+}
+
+std::vector<NamedMatrix> training_population(int count, std::uint64_t seed) {
+  std::vector<NamedMatrix> out;
+  out.reserve(static_cast<std::size_t>(count));
+  Xoshiro256 rng{seed};
+  for (int k = 0; k < count; ++k) {
+    const std::uint64_t s = rng.next();
+    NamedMatrix m;
+    // Cycle through eight families; jitter every parameter so the corpus
+    // spans a continuum of structures rather than 8 discrete points.
+    switch (k % 8) {
+      case 0: {
+        const auto n = static_cast<index_t>(4000 + rng.bounded(10000));
+        m = {"fem_" + std::to_string(k), "fem",
+             fem_like(n, static_cast<index_t>(3 + rng.bounded(10)),
+                      static_cast<index_t>(4 + rng.bounded(8)),
+                      static_cast<index_t>(n / 8 + rng.bounded(static_cast<std::uint64_t>(n / 4))),
+                      s)};
+        break;
+      }
+      case 1: {
+        const auto n = static_cast<index_t>(6000 + rng.bounded(20000));
+        m = {"banded_" + std::to_string(k), "banded",
+             banded(n,
+                    static_cast<index_t>(50 + rng.bounded(static_cast<std::uint64_t>(n / 2))),
+                    static_cast<index_t>(4 + rng.bounded(20)), s)};
+        break;
+      }
+      case 2: {
+        const auto n = static_cast<index_t>(4000 + rng.bounded(10000));
+        m = {"random_" + std::to_string(k), "random",
+             random_uniform(n, static_cast<index_t>(5 + rng.bounded(30)), s)};
+        break;
+      }
+      case 3: {
+        const auto n = static_cast<index_t>(10000 + rng.bounded(40000));
+        m = {"powerlaw_" + std::to_string(k), "powerlaw",
+             powerlaw(n, 1.4 + rng.uniform() * 0.8,
+                      static_cast<index_t>(100 + rng.bounded(2000)), s)};
+        break;
+      }
+      case 4: {
+        const auto n = static_cast<index_t>(10000 + rng.bounded(40000));
+        m = {"circuit_" + std::to_string(k), "circuit",
+             circuit_like(n, static_cast<index_t>(2 + rng.bounded(5)),
+                          static_cast<index_t>(2 + rng.bounded(8)),
+                          static_cast<index_t>(n / 4 + rng.bounded(static_cast<std::uint64_t>(n / 2))),
+                          s)};
+        break;
+      }
+      case 5: {
+        const auto side = static_cast<index_t>(20 + rng.bounded(30));
+        m = {"stencil_" + std::to_string(k), "stencil", stencil27(side, side, side)};
+        break;
+      }
+      case 6: {
+        const auto n = static_cast<index_t>(1500 + rng.bounded(4000));
+        m = {"denserows_" + std::to_string(k), "dense_rows",
+             dense_rows_wide(n, static_cast<index_t>(50 + rng.bounded(400)), s)};
+        break;
+      }
+      default: {
+        const auto n = static_cast<index_t>(4000 + rng.bounded(16000));
+        m = {"blockdiag_" + std::to_string(k), "block_diag",
+             block_diagonal(n, static_cast<index_t>(4 + rng.bounded(28)), s)};
+        break;
+      }
+    }
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+}  // namespace sparta::gen

@@ -1,0 +1,50 @@
+// The experiment matrix suites.
+//
+// `make_suite()` builds the named analogues of the 17 SuiteSparse matrices
+// the paper's figures show, scaled ~16x down (matching the machine model's
+// cache scaling, see machine_spec.hpp). `training_population()` builds the
+// 210-matrix corpus the feature-guided classifier trains on, drawn from the
+// same generator families with jittered parameters so no two samples are
+// structurally identical.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace sparta::gen {
+
+/// A named matrix with provenance.
+struct NamedMatrix {
+  std::string name;     // analogue name (same as the paper matrix it mimics)
+  std::string family;   // generator family
+  CsrMatrix matrix;
+};
+
+/// Static description of one suite entry.
+struct SuiteSpec {
+  std::string name;
+  std::string family;
+  std::function<CsrMatrix()> make;
+};
+
+/// Specs for the 17 paper-analogue matrices, in the paper's figure order.
+const std::vector<SuiteSpec>& suite_specs();
+
+/// Names only (cheap).
+std::vector<std::string> suite_names();
+
+/// Build one suite matrix by name; throws std::out_of_range for unknown names.
+CsrMatrix make_suite_matrix(const std::string& name);
+
+/// Build the full analogue suite.
+std::vector<NamedMatrix> make_suite();
+
+/// Build the training corpus: `count` matrices cycling through the generator
+/// families with seeded parameter jitter. Intended count is 210 (paper).
+std::vector<NamedMatrix> training_population(int count = 210, std::uint64_t seed = 42);
+
+}  // namespace sparta::gen

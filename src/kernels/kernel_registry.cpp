@@ -1,0 +1,152 @@
+#include "kernels/kernel_registry.hpp"
+
+#include <optional>
+#include <stdexcept>
+
+#include "common/timer.hpp"
+#include "kernels/spmv_kernels.hpp"
+
+namespace sparta::kernels {
+
+namespace {
+
+/// Shared ownership of everything a prepared kernel closure needs.
+struct Prepared {
+  const CsrMatrix* source = nullptr;
+  std::optional<DeltaCsrMatrix> delta;
+  std::optional<DecomposedCsrMatrix> decomposed;
+  std::vector<RowRange> parts;
+};
+
+template <bool V, bool U, bool P>
+void run_csr(const Prepared& p, std::span<const value_t> x, std::span<value_t> y) {
+  spmv_csr_partitioned<V, U, P>(*p.source, x, y, p.parts);
+}
+
+template <bool V, bool U, bool P>
+void run_decomposed(const Prepared& p, std::span<const value_t> x, std::span<value_t> y) {
+  spmv_csr_partitioned<V, U, P>(p.decomposed->short_part(), x, y, p.parts);
+  const auto rowptr = p.decomposed->long_rowptr();
+  const auto colind = p.decomposed->long_colind();
+  const auto values = p.decomposed->long_values();
+  for (std::size_t k = 0; k < p.decomposed->long_rows().size(); ++k) {
+    value_t total = 0.0;
+    const auto b = rowptr[k];
+    const auto e = rowptr[k + 1];
+#pragma omp parallel for reduction(+ : total) schedule(static)
+    for (offset_t j = b; j < e; ++j) {
+      const auto idx = static_cast<std::size_t>(j);
+      total += values[idx] * x[static_cast<std::size_t>(colind[idx])];
+    }
+    y[static_cast<std::size_t>(p.decomposed->long_rows()[k])] = total;
+  }
+}
+
+/// Select the <V, U, P> instantiation at runtime.
+template <template <bool, bool, bool> class Fn>
+auto pick(bool vec, bool unroll, bool prefetch) {
+  // Fn is a class template wrapper; expand the 8 combinations.
+  using Runner = void (*)(const Prepared&, std::span<const value_t>, std::span<value_t>);
+  static constexpr Runner table[2][2][2] = {
+      {{Fn<false, false, false>::run, Fn<false, false, true>::run},
+       {Fn<false, true, false>::run, Fn<false, true, true>::run}},
+      {{Fn<true, false, false>::run, Fn<true, false, true>::run},
+       {Fn<true, true, false>::run, Fn<true, true, true>::run}},
+  };
+  return table[vec][unroll][prefetch];
+}
+
+template <bool V, bool U, bool P>
+struct CsrRunner {
+  static void run(const Prepared& p, std::span<const value_t> x, std::span<value_t> y) {
+    run_csr<V, U, P>(p, x, y);
+  }
+};
+
+template <bool V, bool U, bool P>
+struct DecompRunner {
+  static void run(const Prepared& p, std::span<const value_t> x, std::span<value_t> y) {
+    run_decomposed<V, U, P>(p, x, y);
+  }
+};
+
+template <bool V, bool U, bool P>
+struct DynRunner {
+  static void run(const Prepared& p, std::span<const value_t> x, std::span<value_t> y) {
+    spmv_csr_dynamic<V, U, P>(*p.source, x, y);
+  }
+};
+
+}  // namespace
+
+PreparedSpmv::PreparedSpmv(const CsrMatrix& a, const sim::KernelConfig& cfg, int threads)
+    : config_(cfg) {
+  if (threads <= 0) throw std::invalid_argument{"PreparedSpmv: threads <= 0"};
+  Timer timer;
+  auto prepared = std::make_shared<Prepared>();
+  prepared->source = &a;
+
+  bool use_delta = cfg.delta;
+  if (use_delta) {
+    auto d = DeltaCsrMatrix::compress(a);
+    if (d) {
+      prepared->delta = std::move(*d);
+      delta_applied_ = true;
+    } else {
+      use_delta = false;
+    }
+  }
+
+  const CsrMatrix* part_source = &a;
+  if (cfg.decomposed) {
+    prepared->decomposed = DecomposedCsrMatrix::decompose(a);
+    part_source = &prepared->decomposed->short_part();
+  }
+
+  using sim::Schedule;
+  // Delta and decomposed kernels always run over explicit partitions on the
+  // host (there is no dynamic-schedule variant of them); plain CSR with the
+  // dynamic schedule is the only partition-less path.
+  const bool needs_parts =
+      use_delta || cfg.decomposed || cfg.schedule != Schedule::kDynamicChunks;
+  if (needs_parts) {
+    prepared->parts = cfg.schedule == Schedule::kStaticRows
+                          ? partition_equal_rows(part_source->nrows(), threads)
+                          : partition_balanced_nnz(*part_source, threads);
+  }
+
+  // Dispatch. Delta excludes decomposition/dynamic in the host registry (the
+  // tuner never combines MB with IMB formats; see tuner/optimizations.cpp).
+  if (use_delta) {
+    const bool vec = cfg.vectorized;
+    impl_ = [prepared, vec](std::span<const value_t> x, std::span<value_t> y) {
+      if (vec) {
+        spmv_delta_partitioned<true>(*prepared->delta, x, y, prepared->parts);
+      } else {
+        spmv_delta_partitioned<false>(*prepared->delta, x, y, prepared->parts);
+      }
+    };
+  } else if (cfg.decomposed) {
+    auto runner = pick<DecompRunner>(cfg.vectorized, cfg.unrolled, cfg.prefetch);
+    impl_ = [prepared, runner](std::span<const value_t> x, std::span<value_t> y) {
+      runner(*prepared, x, y);
+    };
+  } else if (cfg.schedule == Schedule::kDynamicChunks) {
+    auto runner = pick<DynRunner>(cfg.vectorized, cfg.unrolled, cfg.prefetch);
+    impl_ = [prepared, runner](std::span<const value_t> x, std::span<value_t> y) {
+      runner(*prepared, x, y);
+    };
+  } else {
+    auto runner = pick<CsrRunner>(cfg.vectorized, cfg.unrolled, cfg.prefetch);
+    impl_ = [prepared, runner](std::span<const value_t> x, std::span<value_t> y) {
+      runner(*prepared, x, y);
+    };
+  }
+  prep_seconds_ = timer.seconds();
+}
+
+void PreparedSpmv::run(std::span<const value_t> x, std::span<value_t> y) const {
+  impl_(x, y);
+}
+
+}  // namespace sparta::kernels

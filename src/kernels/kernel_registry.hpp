@@ -1,0 +1,41 @@
+// Host kernel registry: turns a KernelConfig (any joint application of
+// optimizations the tuner can select) into a ready-to-run SpMV callable,
+// performing whatever preprocessing the configuration needs (delta
+// compression, long-row decomposition, partitioning) and recording its cost
+// — the t_pre that the amortization analysis (paper Table V) charges.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+
+#include "sim/kernel_model.hpp"
+#include "sparse/csr.hpp"
+
+namespace sparta::kernels {
+
+/// A prepared host SpMV instance. Holds converted formats and partitions;
+/// the source matrix must outlive it.
+class PreparedSpmv {
+ public:
+  /// Preprocess `a` for `cfg` using `threads` partitions.
+  /// If cfg.delta is set but the matrix is incompressible, falls back to
+  /// plain colind (delta_applied() reports false).
+  PreparedSpmv(const CsrMatrix& a, const sim::KernelConfig& cfg, int threads);
+
+  /// Run y = A * x.
+  void run(std::span<const value_t> x, std::span<value_t> y) const;
+
+  /// Wall-clock seconds the preprocessing took.
+  [[nodiscard]] double prep_seconds() const { return prep_seconds_; }
+  [[nodiscard]] const sim::KernelConfig& config() const { return config_; }
+  [[nodiscard]] bool delta_applied() const { return delta_applied_; }
+
+ private:
+  sim::KernelConfig config_;
+  double prep_seconds_ = 0.0;
+  bool delta_applied_ = false;
+  std::function<void(std::span<const value_t>, std::span<value_t>)> impl_;
+};
+
+}  // namespace sparta::kernels

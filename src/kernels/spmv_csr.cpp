@@ -1,0 +1,21 @@
+#include "kernels/spmv_csr.hpp"
+
+#include "kernels/spmv_kernels.hpp"
+
+namespace sparta::kernels {
+
+void spmv_csr(const CsrMatrix& a, std::span<const value_t> x, std::span<value_t> y,
+              std::span<const RowRange> parts) {
+  spmv_csr_partitioned<false, false, false>(a, x, y, parts);
+}
+
+void spmv_csr_vectorized(const CsrMatrix& a, std::span<const value_t> x, std::span<value_t> y,
+                         std::span<const RowRange> parts) {
+  spmv_csr_partitioned<true, false, false>(a, x, y, parts);
+}
+
+void spmv_csr_auto(const CsrMatrix& a, std::span<const value_t> x, std::span<value_t> y) {
+  spmv_csr_dynamic<false, false, false>(a, x, y);
+}
+
+}  // namespace sparta::kernels

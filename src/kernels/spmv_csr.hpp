@@ -1,0 +1,24 @@
+// Non-template entry points for the plain CSR host kernels (baseline and
+// single-transformation variants). Thin wrappers over spmv_kernels.hpp kept
+// in a .cpp so tests and benches link concrete symbols.
+#pragma once
+
+#include <span>
+
+#include "sparse/csr.hpp"
+#include "sparse/partition.hpp"
+
+namespace sparta::kernels {
+
+/// Baseline: scalar CSR over nnz-balanced partitions (paper's baseline).
+void spmv_csr(const CsrMatrix& a, std::span<const value_t> x, std::span<value_t> y,
+              std::span<const RowRange> parts);
+
+/// Vectorized inner loop (omp simd).
+void spmv_csr_vectorized(const CsrMatrix& a, std::span<const value_t> x, std::span<value_t> y,
+                         std::span<const RowRange> parts);
+
+/// OpenMP dynamic self-scheduling (the IMB "auto" optimization).
+void spmv_csr_auto(const CsrMatrix& a, std::span<const value_t> x, std::span<value_t> y);
+
+}  // namespace sparta::kernels

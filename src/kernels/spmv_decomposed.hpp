@@ -1,0 +1,22 @@
+// Decomposed-CSR host kernel — the IMB-class optimization for matrices with
+// highly uneven row lengths (paper Fig. 6/7). Short rows run through the
+// usual partitioned kernel; each long row is computed cooperatively by all
+// threads with an OpenMP reduction of the partial sums.
+#pragma once
+
+#include <span>
+
+#include "sparse/decomposed_csr.hpp"
+#include "sparse/partition.hpp"
+
+namespace sparta::kernels {
+
+/// Scalar decomposed kernel. `parts` partitions the short rows.
+void spmv_decomposed(const DecomposedCsrMatrix& a, std::span<const value_t> x,
+                     std::span<value_t> y, std::span<const RowRange> parts);
+
+/// Vectorized inner loops in both phases.
+void spmv_decomposed_vectorized(const DecomposedCsrMatrix& a, std::span<const value_t> x,
+                                std::span<value_t> y, std::span<const RowRange> parts);
+
+}  // namespace sparta::kernels

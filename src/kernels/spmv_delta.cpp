@@ -1,0 +1,12 @@
+#include "kernels/spmv_delta.hpp"
+
+#include "kernels/spmv_kernels.hpp"
+
+namespace sparta::kernels {
+
+void spmv_delta(const DeltaCsrMatrix& a, std::span<const value_t> x, std::span<value_t> y,
+                std::span<const RowRange> parts) {
+  spmv_delta_partitioned<false>(a, x, y, parts);
+}
+
+}  // namespace sparta::kernels

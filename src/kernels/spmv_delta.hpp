@@ -1,0 +1,15 @@
+// Delta-compressed CSR host kernels — the MB-class optimization.
+#pragma once
+
+#include <span>
+
+#include "sparse/delta_csr.hpp"
+#include "sparse/partition.hpp"
+
+namespace sparta::kernels {
+
+/// Scalar delta-decoding kernel.
+void spmv_delta(const DeltaCsrMatrix& a, std::span<const value_t> x, std::span<value_t> y,
+                std::span<const RowRange> parts);
+
+}  // namespace sparta::kernels

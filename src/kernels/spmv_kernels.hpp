@@ -1,0 +1,165 @@
+// Host SpMV kernel templates.
+//
+// One templated inner loop per storage format, parameterized on the three
+// orthogonal code transformations of the optimization pool:
+//   Vectorize — #pragma omp simd on the inner loop (MB/CMP classes)
+//   Unroll    — 4-way manual unrolling (CMP class)
+//   Prefetch  — software prefetch of x[colind[j + dist]] into L1 (ML class)
+// The registry (kernel_registry.hpp) instantiates the eight combinations per
+// format and dispatches a KernelConfig to the right one. These kernels are
+// the *real* implementations: they run multithreaded on the host and every
+// one of them is validated against spmv_reference in the test suite. The
+// modeled platforms use their cost descriptors instead (sim/kernel_model).
+#pragma once
+
+#include <omp.h>
+
+#include <span>
+
+#include "sparse/csr.hpp"
+#include "sparse/decomposed_csr.hpp"
+#include "sparse/delta_csr.hpp"
+#include "sparse/partition.hpp"
+
+namespace sparta::kernels {
+
+/// Software prefetch distance in elements — one cache line of doubles, the
+/// fixed distance the paper uses.
+inline constexpr offset_t kPrefetchDistance = 8;
+
+namespace detail {
+
+/// Row loop body for plain CSR.
+template <bool Vectorize, bool Unroll, bool Prefetch>
+inline value_t csr_row(std::span<const index_t> colind, std::span<const value_t> values,
+                       std::span<const value_t> x, offset_t begin, offset_t end) {
+  value_t acc = 0.0;
+  offset_t j = begin;
+  if constexpr (Prefetch) {
+    // One prefetch per element, fixed distance (paper SIII-E).
+    for (offset_t p = begin; p < std::min(begin + kPrefetchDistance, end); ++p) {
+      __builtin_prefetch(&x[static_cast<std::size_t>(colind[static_cast<std::size_t>(p)])], 0, 3);
+    }
+  }
+  if constexpr (Unroll) {
+    value_t a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+    for (; j + 4 <= end; j += 4) {
+      if constexpr (Prefetch) {
+        if (j + kPrefetchDistance + 4 <= end) {
+          for (int u = 0; u < 4; ++u) {
+            __builtin_prefetch(
+                &x[static_cast<std::size_t>(
+                    colind[static_cast<std::size_t>(j + kPrefetchDistance + u)])],
+                0, 1);
+          }
+        }
+      }
+      const auto k = static_cast<std::size_t>(j);
+      a0 += values[k] * x[static_cast<std::size_t>(colind[k])];
+      a1 += values[k + 1] * x[static_cast<std::size_t>(colind[k + 1])];
+      a2 += values[k + 2] * x[static_cast<std::size_t>(colind[k + 2])];
+      a3 += values[k + 3] * x[static_cast<std::size_t>(colind[k + 3])];
+    }
+    acc = (a0 + a1) + (a2 + a3);
+    for (; j < end; ++j) {
+      const auto k = static_cast<std::size_t>(j);
+      acc += values[k] * x[static_cast<std::size_t>(colind[k])];
+    }
+  } else if constexpr (Vectorize) {
+#pragma omp simd reduction(+ : acc)
+    for (offset_t jj = begin; jj < end; ++jj) {
+      const auto k = static_cast<std::size_t>(jj);
+      acc += values[k] * x[static_cast<std::size_t>(colind[k])];
+    }
+  } else {
+    for (; j < end; ++j) {
+      const auto k = static_cast<std::size_t>(j);
+      if constexpr (Prefetch) {
+        if (j + kPrefetchDistance < end) {
+          __builtin_prefetch(
+              &x[static_cast<std::size_t>(colind[static_cast<std::size_t>(j + kPrefetchDistance)])],
+              0, 1);
+        }
+      }
+      acc += values[k] * x[static_cast<std::size_t>(colind[k])];
+    }
+  }
+  return acc;
+}
+
+/// Row loop body for delta-compressed CSR; Width is std::uint8_t or
+/// std::uint16_t. Prefetching is not combined with delta (the next column is
+/// only known after decode), mirroring the paper's pool where MB and ML
+/// optimizations target different matrices.
+template <class Width, bool Vectorize>
+inline value_t delta_row(index_t first_col, std::span<const Width> deltas,
+                         std::span<const value_t> values, std::span<const value_t> x,
+                         offset_t begin, offset_t end) {
+  value_t acc = 0.0;
+  index_t col = first_col;
+  for (offset_t j = begin; j < end; ++j) {
+    const auto k = static_cast<std::size_t>(j);
+    if (j > begin) col += static_cast<index_t>(deltas[k]);
+    acc += values[k] * x[static_cast<std::size_t>(col)];
+  }
+  return acc;
+}
+
+}  // namespace detail
+
+/// Plain CSR over precomputed row partitions (one partition per thread).
+template <bool Vectorize, bool Unroll, bool Prefetch>
+void spmv_csr_partitioned(const CsrMatrix& a, std::span<const value_t> x, std::span<value_t> y,
+                          std::span<const RowRange> parts) {
+  const auto rowptr = a.rowptr();
+  const auto colind = a.colind();
+  const auto values = a.values();
+#pragma omp parallel for schedule(static, 1)
+  for (std::ptrdiff_t p = 0; p < static_cast<std::ptrdiff_t>(parts.size()); ++p) {
+    const RowRange r = parts[static_cast<std::size_t>(p)];
+    for (index_t i = r.begin; i < r.end; ++i) {
+      y[static_cast<std::size_t>(i)] = detail::csr_row<Vectorize, Unroll, Prefetch>(
+          colind, values, x, rowptr[static_cast<std::size_t>(i)],
+          rowptr[static_cast<std::size_t>(i) + 1]);
+    }
+  }
+}
+
+/// Plain CSR with OpenMP dynamic (auto-like) self-scheduling over rows.
+template <bool Vectorize, bool Unroll, bool Prefetch>
+void spmv_csr_dynamic(const CsrMatrix& a, std::span<const value_t> x, std::span<value_t> y) {
+  const auto rowptr = a.rowptr();
+  const auto colind = a.colind();
+  const auto values = a.values();
+  const index_t n = a.nrows();
+#pragma omp parallel for schedule(dynamic, 64)
+  for (index_t i = 0; i < n; ++i) {
+    y[static_cast<std::size_t>(i)] = detail::csr_row<Vectorize, Unroll, Prefetch>(
+        colind, values, x, rowptr[static_cast<std::size_t>(i)],
+        rowptr[static_cast<std::size_t>(i) + 1]);
+  }
+}
+
+/// Delta-compressed CSR over row partitions.
+template <bool Vectorize>
+void spmv_delta_partitioned(const DeltaCsrMatrix& a, std::span<const value_t> x,
+                            std::span<value_t> y, std::span<const RowRange> parts) {
+  const auto rowptr = a.rowptr();
+  const auto first = a.first_col();
+  const auto values = a.values();
+#pragma omp parallel for schedule(static, 1)
+  for (std::ptrdiff_t p = 0; p < static_cast<std::ptrdiff_t>(parts.size()); ++p) {
+    const RowRange r = parts[static_cast<std::size_t>(p)];
+    for (index_t i = r.begin; i < r.end; ++i) {
+      const auto b = rowptr[static_cast<std::size_t>(i)];
+      const auto e = rowptr[static_cast<std::size_t>(i) + 1];
+      const index_t fc = first[static_cast<std::size_t>(i)];
+      y[static_cast<std::size_t>(i)] =
+          a.width() == DeltaWidth::k8
+              ? detail::delta_row<std::uint8_t, Vectorize>(fc, a.deltas8(), values, x, b, e)
+              : detail::delta_row<std::uint16_t, Vectorize>(fc, a.deltas16(), values, x, b, e);
+    }
+  }
+}
+
+}  // namespace sparta::kernels

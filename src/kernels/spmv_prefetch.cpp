@@ -1,0 +1,12 @@
+#include "kernels/spmv_prefetch.hpp"
+
+#include "kernels/spmv_kernels.hpp"
+
+namespace sparta::kernels {
+
+void spmv_csr_prefetch(const CsrMatrix& a, std::span<const value_t> x, std::span<value_t> y,
+                       std::span<const RowRange> parts) {
+  spmv_csr_partitioned<false, false, true>(a, x, y, parts);
+}
+
+}  // namespace sparta::kernels

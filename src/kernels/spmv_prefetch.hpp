@@ -1,0 +1,16 @@
+// Software-prefetching CSR host kernel — the ML-class optimization.
+#pragma once
+
+#include <span>
+
+#include "sparse/csr.hpp"
+#include "sparse/partition.hpp"
+
+namespace sparta::kernels {
+
+/// Scalar CSR with a software prefetch of x[colind[j + 8]] (one cache line
+/// of doubles ahead, the paper's fixed distance) into L1.
+void spmv_csr_prefetch(const CsrMatrix& a, std::span<const value_t> x, std::span<value_t> y,
+                       std::span<const RowRange> parts);
+
+}  // namespace sparta::kernels

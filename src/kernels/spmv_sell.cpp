@@ -1,0 +1,43 @@
+#include "kernels/spmv_sell.hpp"
+
+#include <vector>
+
+namespace sparta::kernels {
+
+void spmv_sell(const SellMatrix& a, std::span<const value_t> x, std::span<value_t> y) {
+  const auto colind = a.colind();
+  const auto values = a.values();
+  const index_t chunk = a.chunk_rows();
+  const index_t nchunks = a.nchunks();
+
+#pragma omp parallel
+  {
+    // Per-thread lane accumulators, reused across chunks.
+    std::vector<value_t> acc(static_cast<std::size_t>(chunk));
+#pragma omp for schedule(static)
+    for (index_t k = 0; k < nchunks; ++k) {
+      std::fill(acc.begin(), acc.end(), 0.0);
+      const auto base = static_cast<std::size_t>(a.chunk_offset(k));
+      const index_t width = a.chunk_len(k);
+      for (index_t j = 0; j < width; ++j) {
+        const std::size_t step = base + static_cast<std::size_t>(j) *
+                                            static_cast<std::size_t>(chunk);
+#pragma omp simd
+        for (index_t lane = 0; lane < chunk; ++lane) {
+          const auto idx = step + static_cast<std::size_t>(lane);
+          // Padding slots carry value 0, so they contribute nothing.
+          acc[static_cast<std::size_t>(lane)] +=
+              values[idx] * x[static_cast<std::size_t>(colind[idx])];
+        }
+      }
+      for (index_t lane = 0; lane < chunk; ++lane) {
+        const index_t p = k * chunk + lane;
+        if (p < a.nrows()) {
+          y[static_cast<std::size_t>(a.row_of(p))] = acc[static_cast<std::size_t>(lane)];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace sparta::kernels

@@ -1,0 +1,15 @@
+// Host SELL-C-sigma SpMV kernel: chunk-parallel, lane-vectorized.
+#pragma once
+
+#include <span>
+
+#include "sparse/sell.hpp"
+
+namespace sparta::kernels {
+
+/// y = A * x with A in SELL-C-sigma form. Parallel over chunks; the inner
+/// loop runs unit-stride over the C lanes of each chunk step and is
+/// annotated for vectorization.
+void spmv_sell(const SellMatrix& a, std::span<const value_t> x, std::span<value_t> y);
+
+}  // namespace sparta::kernels

@@ -1,0 +1,17 @@
+#include "kernels/spmv_unrolled.hpp"
+
+#include "kernels/spmv_kernels.hpp"
+
+namespace sparta::kernels {
+
+void spmv_csr_unrolled(const CsrMatrix& a, std::span<const value_t> x, std::span<value_t> y,
+                       std::span<const RowRange> parts) {
+  spmv_csr_partitioned<true, true, false>(a, x, y, parts);
+}
+
+void spmv_csr_unrolled_prefetch(const CsrMatrix& a, std::span<const value_t> x,
+                                std::span<value_t> y, std::span<const RowRange> parts) {
+  spmv_csr_partitioned<true, true, true>(a, x, y, parts);
+}
+
+}  // namespace sparta::kernels

@@ -1,0 +1,20 @@
+// Unrolled (+ optionally vectorized) CSR host kernels — the CMP-class
+// optimization of the pool.
+#pragma once
+
+#include <span>
+
+#include "sparse/csr.hpp"
+#include "sparse/partition.hpp"
+
+namespace sparta::kernels {
+
+/// 4-way manually unrolled inner loop.
+void spmv_csr_unrolled(const CsrMatrix& a, std::span<const value_t> x, std::span<value_t> y,
+                       std::span<const RowRange> parts);
+
+/// Unrolled + prefetching combination (joint ML+CMP application).
+void spmv_csr_unrolled_prefetch(const CsrMatrix& a, std::span<const value_t> x,
+                                std::span<value_t> y, std::span<const RowRange> parts);
+
+}  // namespace sparta::kernels

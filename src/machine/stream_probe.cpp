@@ -1,0 +1,47 @@
+#include "machine/stream_probe.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "common/timer.hpp"
+#include "common/types.hpp"
+
+namespace sparta {
+
+namespace {
+
+/// One triad sweep; returns GB/s for the best repetition.
+double triad_gbs(std::size_t n, int repeats) {
+  aligned_vector<double> a(n, 0.0), b(n, 1.0), c(n, 2.0);
+  const double scalar = 3.0;
+  double best = 0.0;
+  for (int r = 0; r < repeats; ++r) {
+    Timer t;
+#pragma omp parallel for schedule(static)
+    for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(n); ++i) {
+      a[static_cast<std::size_t>(i)] =
+          b[static_cast<std::size_t>(i)] + scalar * c[static_cast<std::size_t>(i)];
+    }
+    const double sec = t.seconds();
+    // 3 arrays x 8 bytes per element move per iteration.
+    const double gbs = 3.0 * 8.0 * static_cast<double>(n) / sec * 1e-9;
+    best = std::max(best, gbs);
+  }
+  // Keep the result observable so the loop cannot be elided.
+  volatile double sink = a[n / 2];
+  (void)sink;
+  return best;
+}
+
+}  // namespace
+
+StreamResult stream_triad_probe(int repeats) {
+  StreamResult r;
+  // 64 MiB working set: comfortably DRAM-resident on any current host.
+  r.main_gbs = triad_gbs((64ull << 20) / (3 * sizeof(double)), repeats);
+  // 1.5 MiB working set: L2/L3-resident.
+  r.llc_gbs = triad_gbs((3ull << 19) / (3 * sizeof(double)), repeats * 4);
+  return r;
+}
+
+}  // namespace sparta

@@ -1,0 +1,20 @@
+// Host STREAM-triad bandwidth probe (McCalpin-style), used to fill the
+// `host` MachineSpec. The paper's Table III reports STREAM triad for each
+// platform with DRAM-resident and LLC-resident working sets; we measure both
+// on the host the same way.
+#pragma once
+
+namespace sparta {
+
+struct StreamResult {
+  /// Triad bandwidth with a DRAM-sized working set (GB/s).
+  double main_gbs = 0.0;
+  /// Triad bandwidth with an LLC-sized working set (GB/s).
+  double llc_gbs = 0.0;
+};
+
+/// Run a(i) = b(i) + s*c(i) over large and small arrays and report the best
+/// of `repeats` timings. Cheap (tens of ms) and allocation-bounded.
+StreamResult stream_triad_probe(int repeats = 5);
+
+}  // namespace sparta

@@ -1,0 +1,48 @@
+#include "ml/cross_validation.hpp"
+
+#include <stdexcept>
+
+namespace sparta::ml {
+
+namespace {
+
+CvScores run_folds(std::span<const std::vector<double>> x, std::span<const LabelMask> y,
+                   int nlabels, int folds, const TreeParams& params) {
+  const auto n = x.size();
+  if (n < 2) throw std::invalid_argument{"cv: need at least 2 samples"};
+  folds = std::min<int>(folds, static_cast<int>(n));
+
+  std::vector<LabelMask> predictions(n, 0);
+  std::vector<std::vector<double>> train_x;
+  std::vector<LabelMask> train_y;
+  for (int f = 0; f < folds; ++f) {
+    const std::size_t lo = n * static_cast<std::size_t>(f) / static_cast<std::size_t>(folds);
+    const std::size_t hi = n * (static_cast<std::size_t>(f) + 1) / static_cast<std::size_t>(folds);
+    train_x.clear();
+    train_y.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i >= lo && i < hi) continue;
+      train_x.push_back(x[i]);
+      train_y.push_back(y[i]);
+    }
+    MultilabelTree model;
+    model.fit(train_x, train_y, nlabels, params);
+    for (std::size_t i = lo; i < hi; ++i) predictions[i] = model.predict(x[i]);
+  }
+  return {exact_match_ratio(predictions, y), partial_match_ratio(predictions, y)};
+}
+
+}  // namespace
+
+CvScores leave_one_out(std::span<const std::vector<double>> x, std::span<const LabelMask> y,
+                       int nlabels, const TreeParams& params) {
+  return run_folds(x, y, nlabels, static_cast<int>(x.size()), params);
+}
+
+CvScores k_fold(std::span<const std::vector<double>> x, std::span<const LabelMask> y, int nlabels,
+                int folds, const TreeParams& params) {
+  if (folds < 2) throw std::invalid_argument{"cv: folds < 2"};
+  return run_folds(x, y, nlabels, folds, params);
+}
+
+}  // namespace sparta::ml

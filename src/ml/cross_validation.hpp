@@ -1,0 +1,26 @@
+// Leave-One-Out cross validation for the multilabel classifier — the
+// accuracy methodology of paper §IV-B: k experiments for k samples, each
+// training on k-1 and testing on the held-out one; scores are averaged.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ml/multilabel.hpp"
+
+namespace sparta::ml {
+
+/// LOO-CV accuracy of a MultilabelTree configuration.
+struct CvScores {
+  double exact_match = 0.0;    // Exact Match Ratio
+  double partial_match = 0.0;  // Partial Match Ratio
+};
+
+CvScores leave_one_out(std::span<const std::vector<double>> x, std::span<const LabelMask> y,
+                       int nlabels, const TreeParams& params = {});
+
+/// K-fold variant (contiguous folds, deterministic) for quicker sweeps.
+CvScores k_fold(std::span<const std::vector<double>> x, std::span<const LabelMask> y, int nlabels,
+                int folds, const TreeParams& params = {});
+
+}  // namespace sparta::ml

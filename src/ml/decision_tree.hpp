@@ -1,0 +1,74 @@
+// CART decision tree (binary classification), implemented from scratch.
+//
+// Stands in for the scikit-learn tree the paper trains: same algorithm
+// family (optimized CART, Gini impurity, binary splits), same asymptotics —
+// O(N_features * N_samples * log N_samples) construction and
+// O(log N_samples) query (paper §III-D).
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sparta::ml {
+
+/// Tree growth hyperparameters.
+struct TreeParams {
+  int max_depth = 10;
+  int min_samples_leaf = 1;
+  int min_samples_split = 2;
+
+  friend bool operator==(const TreeParams&, const TreeParams&) = default;
+};
+
+/// Binary CART classifier over real-valued feature vectors.
+class DecisionTree {
+ public:
+  /// Fit on `x` (samples x features, rectangular) with labels in {0, 1}.
+  /// Throws std::invalid_argument on shape errors.
+  void fit(std::span<const std::vector<double>> x, std::span<const int> y,
+           const TreeParams& params = {});
+
+  /// Predicted class for one sample (majority of the reached leaf).
+  [[nodiscard]] int predict(std::span<const double> sample) const;
+
+  /// P(class == 1) at the reached leaf.
+  [[nodiscard]] double predict_proba(std::span<const double> sample) const;
+
+  [[nodiscard]] bool trained() const { return !nodes_.empty(); }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] int depth() const;
+
+  /// Gini importance per feature (summed impurity decrease, normalized to
+  /// sum to 1 when any split exists).
+  [[nodiscard]] std::vector<double> feature_importances() const;
+
+  /// Render as an indented if/else listing (debugging & the JIT report).
+  [[nodiscard]] std::string to_text(std::span<const std::string> feature_names = {}) const;
+
+  /// Persist / restore the fitted tree (lossless text format). The paper's
+  /// feature-guided classifier is trained offline; save/load is the
+  /// ship-the-model half of that workflow.
+  void save(std::ostream& os) const;
+  static DecisionTree load(std::istream& is);
+
+ private:
+  struct Node {
+    int feature = -1;        // -1 for leaves
+    double threshold = 0.0;  // go left when sample[feature] <= threshold
+    int left = -1;
+    int right = -1;
+    double prob1 = 0.0;      // P(label == 1) among samples in this node
+    int samples = 0;
+    double impurity_decrease = 0.0;  // weighted, for importances
+  };
+
+  int build(std::span<const std::vector<double>> x, std::span<const int> y,
+            std::vector<int>& idx, int begin, int end, int depth, const TreeParams& params);
+
+  std::vector<Node> nodes_;
+  std::size_t nfeatures_ = 0;
+};
+
+}  // namespace sparta::ml

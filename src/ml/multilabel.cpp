@@ -1,0 +1,74 @@
+#include "ml/multilabel.hpp"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace sparta::ml {
+
+void MultilabelTree::fit(std::span<const std::vector<double>> x, std::span<const LabelMask> y,
+                         int nlabels, const TreeParams& params) {
+  if (x.size() != y.size()) throw std::invalid_argument{"multilabel: |x| != |y|"};
+  if (nlabels <= 0 || nlabels > 32) throw std::invalid_argument{"multilabel: bad nlabels"};
+  trees_.assign(static_cast<std::size_t>(nlabels), DecisionTree{});
+  std::vector<int> labels(y.size());
+  for (int l = 0; l < nlabels; ++l) {
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      labels[i] = (y[i] >> l) & 1u ? 1 : 0;
+    }
+    trees_[static_cast<std::size_t>(l)].fit(x, labels, params);
+  }
+}
+
+LabelMask MultilabelTree::predict(std::span<const double> sample) const {
+  if (trees_.empty()) throw std::logic_error{"multilabel: not trained"};
+  LabelMask mask = 0;
+  for (std::size_t l = 0; l < trees_.size(); ++l) {
+    if (trees_[l].predict(sample) == 1) mask |= LabelMask{1} << l;
+  }
+  return mask;
+}
+
+const DecisionTree& MultilabelTree::tree(int label) const {
+  return trees_.at(static_cast<std::size_t>(label));
+}
+
+void MultilabelTree::save(std::ostream& os) const {
+  os << "multilabel " << trees_.size() << '\n';
+  for (const auto& t : trees_) t.save(os);
+}
+
+MultilabelTree MultilabelTree::load(std::istream& is) {
+  std::string tag;
+  std::size_t count = 0;
+  if (!(is >> tag >> count) || tag != "multilabel" || count == 0 || count > 32) {
+    throw std::runtime_error{"multilabel: malformed header"};
+  }
+  MultilabelTree m;
+  m.trees_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) m.trees_.push_back(DecisionTree::load(is));
+  return m;
+}
+
+double exact_match_ratio(std::span<const LabelMask> predicted, std::span<const LabelMask> truth) {
+  if (predicted.size() != truth.size()) throw std::invalid_argument{"metric: size mismatch"};
+  if (predicted.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (predicted[i] == truth[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(truth.size());
+}
+
+double partial_match_ratio(std::span<const LabelMask> predicted, std::span<const LabelMask> truth) {
+  if (predicted.size() != truth.size()) throw std::invalid_argument{"metric: size mismatch"};
+  if (predicted.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const bool both_empty = predicted[i] == 0 && truth[i] == 0;
+    if (both_empty || (predicted[i] & truth[i]) != 0) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(truth.size());
+}
+
+}  // namespace sparta::ml

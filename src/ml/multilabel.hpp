@@ -1,0 +1,53 @@
+// Multilabel classification on top of the binary CART tree.
+//
+// The paper adjusts its Decision Tree "to perform multilabel classification
+// in order to detect all bottlenecks" and adds a dummy class for matrices
+// not worth optimizing. We use binary relevance — one tree per label — which
+// preserves the CART asymptotics and makes per-label feature importances
+// inspectable. Labels are bitmasks (bit i = label i present).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "ml/decision_tree.hpp"
+
+namespace sparta::ml {
+
+/// Label bitmask; bit i set means label i applies to the sample.
+using LabelMask = std::uint32_t;
+
+/// One CART tree per label.
+class MultilabelTree {
+ public:
+  /// Fit `nlabels` trees on the shared features.
+  void fit(std::span<const std::vector<double>> x, std::span<const LabelMask> y, int nlabels,
+           const TreeParams& params = {});
+
+  /// Predicted label set for one sample.
+  [[nodiscard]] LabelMask predict(std::span<const double> sample) const;
+
+  [[nodiscard]] bool trained() const { return !trees_.empty(); }
+  [[nodiscard]] int nlabels() const { return static_cast<int>(trees_.size()); }
+  [[nodiscard]] const DecisionTree& tree(int label) const;
+
+  /// Persist / restore all per-label trees.
+  void save(std::ostream& os) const;
+  static MultilabelTree load(std::istream& is);
+
+ private:
+  std::vector<DecisionTree> trees_;
+};
+
+/// Exact Match Ratio: fraction of samples whose predicted set equals the
+/// true set exactly (paper §IV-B).
+double exact_match_ratio(std::span<const LabelMask> predicted, std::span<const LabelMask> truth);
+
+/// Partial Match Ratio: a prediction counts as correct when it shares at
+/// least one label with the truth; two empty sets also match (the dummy
+/// "not worth optimizing" class agreeing).
+double partial_match_ratio(std::span<const LabelMask> predicted, std::span<const LabelMask> truth);
+
+}  // namespace sparta::ml

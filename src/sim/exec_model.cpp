@@ -1,0 +1,71 @@
+#include "sim/exec_model.hpp"
+
+#include <algorithm>
+
+namespace sparta::sim {
+
+RunReport combine_threads(const std::vector<ThreadTally>& tallies, const KernelConfig& cfg,
+                          const MachineSpec& m, std::size_t working_set_bytes,
+                          offset_t total_nnz) {
+  RunReport r;
+  r.fits_llc = working_set_bytes <= m.llc_bytes;
+  const double bw_total = (r.fits_llc ? m.stream_llc_gbs : m.stream_main_gbs) * 1e9;
+  const double latency_s =
+      (r.fits_llc ? m.llc_latency_ns : m.dram_latency_ns) * 1e-9;
+
+  const int active = static_cast<int>(
+      std::count_if(tallies.begin(), tallies.end(),
+                    [](const ThreadTally& t) { return t.nnz > 0 || t.rows > 0; }));
+  const int t_active = std::max(active, 1);
+  const double thread_clock = m.clock_ghz * 1e9 / m.smt;
+
+  double exposure = (1.0 - m.latency_overlap);
+  if (cfg.prefetch) exposure *= kPrefetchResidualLatency;
+
+  // Two-pass: per-thread bytes first, so each thread's bandwidth share can
+  // be demand-proportional — a straggler grinding through a dense row keeps
+  // streaming after its peers finish, so it is limited by its core's
+  // bandwidth, not by a rigid 1/T share of the chip.
+  std::vector<double> thread_bytes(tallies.size(), 0.0);
+  double total_bytes = 0.0;
+  for (std::size_t i = 0; i < tallies.size(); ++i) {
+    thread_bytes[i] = tallies[i].stream_bytes +
+                      static_cast<double>(tallies[i].x_misses) *
+                          static_cast<double>(m.cache_line_bytes);
+    total_bytes += thread_bytes[i];
+  }
+
+  r.thread_seconds.reserve(tallies.size());
+  for (std::size_t i = 0; i < tallies.size(); ++i) {
+    const auto& t = tallies[i];
+    const double bytes = thread_bytes[i];
+    const double fair_share = bw_total / t_active;
+    const double demand_share =
+        total_bytes > 0.0 ? bw_total * bytes / total_bytes : fair_share;
+    const double core_cap =
+        m.core_bw_gbs * 1e9 / m.smt * (cfg.vectorized ? m.vector_bw_boost : 1.0);
+    const double per_thread_bw = std::min(core_cap, std::max(fair_share, demand_share));
+    const double t_comp = t.cycles * m.issue_penalty / thread_clock;
+    const double t_bw = bytes / per_thread_bw;
+    // Only irregular misses stall the pipeline; sequential misses are
+    // covered by hardware stream prefetchers (their traffic still counts).
+    const double t_lat = static_cast<double>(t.x_irregular_misses) * latency_s * exposure;
+    const double sec = std::max(t_comp, t_bw) + t_lat;
+    r.thread_seconds.push_back(sec);
+    if (sec > r.seconds) {
+      r.seconds = sec;
+      r.critical_compute = t_comp;
+      r.critical_bandwidth = t_bw;
+      r.critical_latency = t_lat;
+    }
+  }
+  r.total_dram_bytes = total_bytes;
+  // The chip cannot move data faster than its aggregate bandwidth.
+  r.seconds = std::max(r.seconds, total_bytes / bw_total);
+  if (r.seconds <= 0.0) r.seconds = 1e-12;
+  r.gflops = 2.0 * static_cast<double>(total_nnz) / r.seconds * 1e-9;
+  r.bandwidth_gbs = total_bytes / r.seconds * 1e-9;
+  return r;
+}
+
+}  // namespace sparta::sim

@@ -1,0 +1,49 @@
+// Timing model: turns per-thread tallies into per-thread times and a
+// kernel makespan.
+//
+// Per thread:  t = max(t_compute, t_bandwidth) + t_latency
+//   t_compute   — cycles x issue_penalty x smt / clock  (SMT threads share
+//                 their core's pipeline)
+//   t_bandwidth — bytes / min(core_bw/smt, B_eff/T)     (per-thread share of
+//                 the weaker of the core's and the chip's bandwidth)
+//   t_latency   — exposed fraction of x-miss stalls; software prefetch
+//                 hides most of it at the cost of extra instructions
+// Makespan = max over threads, floored by total_bytes / B_eff.
+// B_eff and the miss latency are chosen by whether the SpMV working set
+// fits in the (shared) LLC — the paper's warm-cache methodology and its
+// bandwidth adjustment for cache-resident matrices.
+#pragma once
+
+#include <vector>
+
+#include "machine/machine_spec.hpp"
+#include "sim/traffic_model.hpp"
+
+namespace sparta::sim {
+
+/// Result of one simulated kernel invocation.
+struct RunReport {
+  double seconds = 0.0;  // makespan
+  double gflops = 0.0;   // 2 * nnz / seconds / 1e9
+  std::vector<double> thread_seconds;
+  double total_dram_bytes = 0.0;  // streamed + x miss lines
+  double bandwidth_gbs = 0.0;     // achieved
+  // Critical-thread breakdown (seconds):
+  double critical_compute = 0.0;
+  double critical_bandwidth = 0.0;
+  double critical_latency = 0.0;
+  bool fits_llc = false;
+};
+
+/// Combine the per-thread tallies of one kernel invocation.
+/// `working_set_bytes` selects DRAM vs LLC bandwidth/latency regimes;
+/// `total_nnz` is used for the GFLOP/s rate (2 flops per nonzero).
+RunReport combine_threads(const std::vector<ThreadTally>& tallies, const KernelConfig& cfg,
+                          const MachineSpec& m, std::size_t working_set_bytes,
+                          offset_t total_nnz);
+
+/// Residual exposed latency with software prefetching (distance tuned to one
+/// cache line ahead, as in the paper): most but not all stalls are hidden.
+inline constexpr double kPrefetchResidualLatency = 0.15;
+
+}  // namespace sparta::sim

@@ -1,0 +1,94 @@
+#include "sim/kernel_model.hpp"
+
+#include <cmath>
+
+namespace sparta::sim {
+
+std::string KernelConfig::describe() const {
+  std::string s = "csr";
+  if (delta) s += "+delta";
+  if (vectorized) s += "+vec";
+  if (unrolled) s += "+unroll";
+  if (prefetch) s += "+pf";
+  if (decomposed) s += "+decomp";
+  switch (schedule) {
+    case Schedule::kStaticNnzBalanced: break;
+    case Schedule::kStaticRows: s += "+rows"; break;
+    case Schedule::kDynamicChunks: s += "+dyn"; break;
+  }
+  switch (x_access) {
+    case XAccess::kIndirect: break;
+    case XAccess::kRegularized: s += "(reg-x)"; break;
+    case XAccess::kUnitStride: s += "(unit-x)"; break;
+  }
+  return s;
+}
+
+namespace {
+
+// Base (pre-issue-penalty) cost constants, calibrated so that the modeled
+// platforms land in the paper's observed GFLOP/s ranges. See
+// EXPERIMENTS.md, "model calibration".
+
+constexpr double kScalarRowOverhead = 8.0;    // loop setup + y store
+constexpr double kScalarPerNnz = 2.0;         // val+colind loads, fma, control
+constexpr double kUnrollRowOverhead = 10.0;   // extra prologue/remainder
+constexpr double kUnrollPerNnz = 1.4;         // amortized control flow
+constexpr double kVectorRowOverhead = 14.0;   // mask setup + horizontal add
+constexpr double kVectorPerChunk = 3.0;       // vload val + fma + bookkeeping
+constexpr double kPrefetchPerNnz = 0.5;       // prefetch instruction issue
+constexpr double kDeltaScalarPerNnz = 0.5;    // widen + add decode
+constexpr double kDeltaVectorPerChunk = 3.0;  // unpack + prefix-sum decode
+
+}  // namespace
+
+double row_cycles(index_t len, index_t distinct_lines, const KernelConfig& cfg,
+                  const MachineSpec& m) {
+  if (len <= 0) return 2.0;  // rowptr compare + branch only
+  double cycles = 0.0;
+  if (cfg.vectorized && cfg.x_access != XAccess::kUnitStride) {
+    const int w = m.simd_doubles();
+    const double chunks = std::ceil(static_cast<double>(len) / w);
+    double per_chunk = kVectorPerChunk;
+    if (cfg.x_access == XAccess::kIndirect) {
+      // Gather cost scales with the distinct cache lines touched.
+      per_chunk += m.gather_cpe * static_cast<double>(distinct_lines) / chunks;
+    } else {
+      per_chunk += 1.0;  // unit-stride vector load of x
+    }
+    if (cfg.delta) per_chunk += kDeltaVectorPerChunk;
+    cycles = kVectorRowOverhead + chunks * per_chunk;
+    if (cfg.unrolled) cycles = kUnrollRowOverhead + chunks * per_chunk * 0.9;
+  } else if (cfg.vectorized) {
+    // Unit-stride micro-benchmark vectorizes trivially.
+    const int w = m.simd_doubles();
+    const double chunks = std::ceil(static_cast<double>(len) / w);
+    cycles = kVectorRowOverhead + chunks * (kVectorPerChunk + 1.0);
+  } else {
+    double per_nnz = cfg.unrolled ? kUnrollPerNnz : kScalarPerNnz;
+    if (cfg.delta) per_nnz += kDeltaScalarPerNnz;
+    if (cfg.x_access == XAccess::kUnitStride) per_nnz -= 0.5;  // no colind load
+    cycles = (cfg.unrolled ? kUnrollRowOverhead : kScalarRowOverhead) +
+             static_cast<double>(len) * per_nnz;
+  }
+  if (cfg.prefetch) cycles += static_cast<double>(len) * kPrefetchPerNnz;
+  return cycles;
+}
+
+double row_stream_bytes(index_t len, const KernelConfig& cfg, DeltaWidth delta_width) {
+  // rowptr entry + y store (write-allocate read is absorbed in the store
+  // figure; the paper's M_xy,min counts x and y once each).
+  double bytes = sizeof(offset_t) + sizeof(value_t);
+  bytes += static_cast<double>(len) * sizeof(value_t);  // values
+  if (cfg.x_access != XAccess::kUnitStride) {
+    if (cfg.delta) {
+      bytes += sizeof(index_t);  // absolute first column of the row
+      bytes += static_cast<double>(len) * static_cast<double>(delta_width);
+    } else {
+      bytes += static_cast<double>(len) * sizeof(index_t);
+    }
+  }
+  return bytes;
+}
+
+}  // namespace sparta::sim

@@ -1,0 +1,66 @@
+// Kernel variant descriptors and their cycle-cost model.
+//
+// Every optimization in the paper's pool (Table II) maps to a flag here; a
+// KernelConfig describes one concrete SpMV variant (possibly combining
+// several optimizations, as the optimizer applies them jointly). The same
+// structure also encodes the two bound micro-benchmarks of §III-B via
+// `x_access`:  Regularized  -> the P_ML kernel (colind[j] := row index),
+//              UnitStride   -> the P_CMP kernel (no colind, x[i] only).
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+#include "machine/machine_spec.hpp"
+#include "sparse/delta_csr.hpp"
+
+namespace sparta::sim {
+
+/// Loop scheduling policy for the parallel outer loop.
+enum class Schedule {
+  kStaticNnzBalanced,  // paper baseline: equal-nnz contiguous row blocks
+  kStaticRows,         // conventional vendor split: equal row counts
+  kDynamicChunks,      // OpenMP auto/dynamic-style self-scheduling
+};
+
+/// How the kernel addresses the x vector.
+enum class XAccess {
+  kIndirect,     // normal SpMV: x[colind[j]]
+  kRegularized,  // P_ML micro-benchmark: colind regularized to the row index
+  kUnitStride,   // P_CMP micro-benchmark: x[i]; colind not even loaded
+};
+
+/// One concrete kernel variant.
+struct KernelConfig {
+  bool vectorized = false;   // SIMD across the inner loop (gathers for x)
+  bool unrolled = false;     // inner-loop unrolling (CMP optimization)
+  bool prefetch = false;     // software prefetch of x (ML optimization)
+  bool delta = false;        // delta-compressed colind (MB optimization)
+  bool decomposed = false;   // long-row decomposition (IMB optimization)
+  Schedule schedule = Schedule::kStaticNnzBalanced;
+  XAccess x_access = XAccess::kIndirect;
+
+  /// Short tag such as "csr+vec+pf" for tables and logs.
+  [[nodiscard]] std::string describe() const;
+
+  friend bool operator==(const KernelConfig&, const KernelConfig&) = default;
+};
+
+/// Baseline CSR with the paper's default partitioning.
+inline KernelConfig baseline_config() { return KernelConfig{}; }
+
+/// Cycle cost of processing one row, excluding memory stalls (those are
+/// added by the execution model from the simulated miss counts).
+///
+/// `len` is the row's nonzero count and `distinct_lines` the number of
+/// distinct x cache lines the row touches — gathers on the modeled
+/// platforms cost one micro-op per distinct line, so clustered rows
+/// vectorize well and scattered short rows do not.
+double row_cycles(index_t len, index_t distinct_lines, const KernelConfig& cfg,
+                  const MachineSpec& m);
+
+/// Bytes of index+value data streamed per row by this variant (excludes the
+/// x vector, which goes through the cache model).
+double row_stream_bytes(index_t len, const KernelConfig& cfg, DeltaWidth delta_width);
+
+}  // namespace sparta::sim

@@ -1,0 +1,90 @@
+#include "sim/sell_sim.hpp"
+
+#include <algorithm>
+
+#include "machine/cache_model.hpp"
+#include "sim/traffic_model.hpp"
+
+namespace sparta::sim {
+
+RunReport simulate_spmv_sell(const SellMatrix& a, const MachineSpec& machine) {
+  const int T = machine.threads();
+  const index_t chunk = a.chunk_rows();
+  const int vpl = machine.values_per_line();
+
+  // Contiguous chunk ranges with approximately equal padded elements.
+  const double total_padded = static_cast<double>(a.padded_nnz());
+  std::vector<ThreadTally> tallies(static_cast<std::size_t>(T));
+  std::vector<SetAssocCache> caches;
+  caches.reserve(static_cast<std::size_t>(T));
+  for (int t = 0; t < T; ++t) {
+    caches.emplace_back(machine.x_cache_bytes_per_thread(), machine.cache_line_bytes);
+  }
+
+  const auto colind = a.colind();
+  // Kernel-model constants mirroring sim/kernel_model.cpp's vector path.
+  constexpr double kChunkStepBase = 3.0;  // vload values + colind + fma
+  constexpr double kChunkOverhead = 20.0; // accumulator setup + scatter of y
+
+  int t = 0;
+  double consumed = 0.0;
+  // Warm + measured pass per thread, chunk-granular assignment.
+  for (int pass = 0; pass < 2; ++pass) {
+    t = 0;
+    consumed = 0.0;
+    if (pass == 1) {
+      for (auto& tally : tallies) tally = ThreadTally{};
+      for (auto& c : caches) c.reset_counters();
+    }
+    for (index_t k = 0; k < a.nchunks(); ++k) {
+      const auto width = static_cast<double>(a.chunk_len(k));
+      const double padded = width * chunk;
+      // Advance to the next thread once this one holds its share.
+      if (consumed > total_padded * (t + 1) / T && t + 1 < T) {
+        ++t;
+      }
+      consumed += padded;
+      auto& tally = tallies[static_cast<std::size_t>(t)];
+      auto& cache = caches[static_cast<std::size_t>(t)];
+
+      double cycles = kChunkOverhead;
+      std::int64_t prev_line = -2;
+      const auto base = static_cast<std::size_t>(a.chunk_offset(k));
+      for (index_t j = 0; j < a.chunk_len(k); ++j) {
+        const std::size_t step = base + static_cast<std::size_t>(j) *
+                                            static_cast<std::size_t>(chunk);
+        const auto lanes = colind.subspan(step, static_cast<std::size_t>(chunk));
+        cycles += kChunkStepBase +
+                  machine.gather_cpe * static_cast<double>(distinct_lines(lanes, vpl));
+        for (index_t lane = 0; lane < chunk; ++lane) {
+          const index_t c = lanes[static_cast<std::size_t>(lane)];
+          ++tally.x_accesses;
+          const auto line = static_cast<std::int64_t>(
+              static_cast<std::uint64_t>(c) * sizeof(value_t) / machine.cache_line_bytes);
+          if (!cache.access(static_cast<std::uint64_t>(c) * sizeof(value_t))) {
+            ++tally.x_misses;
+            if (line != prev_line && line != prev_line + 1) ++tally.x_irregular_misses;
+          }
+          prev_line = line;
+        }
+      }
+      tally.cycles += cycles;
+      // Streamed bytes: padded values + padded colind + y stores + chunk
+      // descriptors.
+      tally.stream_bytes += padded * (sizeof(value_t) + sizeof(index_t)) +
+                            chunk * sizeof(value_t) + sizeof(index_t) + sizeof(offset_t);
+      tally.nnz += static_cast<offset_t>(padded);
+      tally.rows += chunk;
+    }
+  }
+
+  KernelConfig cfg;
+  cfg.vectorized = true;  // SELL kernels are vector kernels by construction
+  const std::size_t working_set =
+      a.bytes() + (static_cast<std::size_t>(a.ncols()) + static_cast<std::size_t>(a.nrows())) *
+                      sizeof(value_t);
+  RunReport r = combine_threads(tallies, cfg, machine, working_set, a.nnz());
+  return r;
+}
+
+}  // namespace sparta::sim

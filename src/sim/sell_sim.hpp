@@ -1,0 +1,19 @@
+// Execution-model support for SELL-C-sigma — lets the vendor
+// inspector-executor (and format studies) evaluate the SIMD-friendly format
+// on the modeled platforms alongside the CSR-based pool.
+#pragma once
+
+#include "machine/machine_spec.hpp"
+#include "sim/exec_model.hpp"
+#include "sparse/sell.hpp"
+
+namespace sparta::sim {
+
+/// Simulate one warm-cache SpMV of `a` on `machine`. Chunks are distributed
+/// across threads balanced by padded elements; each chunk step issues a
+/// unit-stride vector load of C values + C column indices and a gather of C
+/// x elements (cost scales with distinct lines, as in the CSR model).
+/// GFLOP/s is rated against the *true* nonzeros — padding is pure overhead.
+RunReport simulate_spmv_sell(const SellMatrix& a, const MachineSpec& machine);
+
+}  // namespace sparta::sim

@@ -1,0 +1,36 @@
+// SpMV execution simulator — the platform substrate of this reproduction.
+//
+// simulate_spmv() "runs" one SpMV kernel variant for a matrix on a modeled
+// platform and reports per-thread and total times. Everything the paper
+// measures on real KNC/KNL/Broadwell hardware (baseline runs, bound
+// micro-benchmarks, optimized kernels) flows through this function, so the
+// tuner above it is written exactly as it would be against real hardware.
+#pragma once
+
+#include "machine/machine_spec.hpp"
+#include "sim/exec_model.hpp"
+#include "sim/kernel_model.hpp"
+#include "sparse/csr.hpp"
+
+namespace sparta::sim {
+
+/// Extended result with optimization applicability notes.
+struct SimResult {
+  RunReport run;
+  /// False when cfg.delta was requested but some intra-row column delta
+  /// exceeds 16 bits, so the matrix kept plain CSR (paper §III-E).
+  bool delta_applied = true;
+  /// Number of rows routed to the cooperative long-row path (0 unless
+  /// cfg.decomposed).
+  index_t long_rows = 0;
+};
+
+/// Simulate one SpMV invocation (warm cache: the paper reports warm-cache
+/// rates, so each thread's private cache is pre-warmed by a dry run).
+SimResult simulate_spmv(const CsrMatrix& m, const MachineSpec& machine,
+                        const KernelConfig& cfg);
+
+/// Rows per self-scheduled chunk used by Schedule::kDynamicChunks.
+index_t dynamic_chunk_rows(index_t nrows, int threads);
+
+}  // namespace sparta::sim

@@ -1,0 +1,74 @@
+#include "sim/traffic_model.hpp"
+
+namespace sparta::sim {
+
+ThreadTally& ThreadTally::operator+=(const ThreadTally& o) {
+  cycles += o.cycles;
+  stream_bytes += o.stream_bytes;
+  x_accesses += o.x_accesses;
+  x_misses += o.x_misses;
+  x_irregular_misses += o.x_irregular_misses;
+  nnz += o.nnz;
+  rows += o.rows;
+  return *this;
+}
+
+index_t distinct_lines(std::span<const index_t> cols, int values_per_line) {
+  index_t count = 0;
+  index_t last_line = -1;
+  for (index_t c : cols) {
+    const index_t line = c / values_per_line;
+    if (line != last_line) {
+      ++count;
+      last_line = line;
+    }
+  }
+  return count;
+}
+
+ThreadTally simulate_rows(const CsrMatrix& m, RowRange range, const KernelConfig& cfg,
+                          const MachineSpec& machine, DeltaWidth delta_width,
+                          SetAssocCache& x_cache) {
+  ThreadTally t;
+  const int vpl = machine.values_per_line();
+  // Sequential-miss detection: a miss on the line right after the previous
+  // x access is caught by hardware stream prefetchers and exposes no
+  // latency. Tracked across rows within this thread's range.
+  std::int64_t prev_line = -2;
+  auto touch = [&](index_t element) {
+    ++t.x_accesses;
+    const auto line =
+        static_cast<std::int64_t>(static_cast<std::uint64_t>(element) * sizeof(value_t) /
+                                  machine.cache_line_bytes);
+    if (!x_cache.access(static_cast<std::uint64_t>(element) * sizeof(value_t))) {
+      ++t.x_misses;
+      if (line != prev_line && line != prev_line + 1) ++t.x_irregular_misses;
+    }
+    prev_line = line;
+  };
+  for (index_t i = range.begin; i < range.end; ++i) {
+    const auto cols = m.row_cols(i);
+    const auto len = static_cast<index_t>(cols.size());
+    const index_t lines = cfg.vectorized ? distinct_lines(cols, vpl) : 0;
+
+    t.cycles += row_cycles(len, lines, cfg, machine);
+    t.stream_bytes += row_stream_bytes(len, cfg, delta_width);
+    t.nnz += len;
+    ++t.rows;
+
+    switch (cfg.x_access) {
+      case XAccess::kIndirect:
+        for (index_t c : cols) touch(c);
+        break;
+      case XAccess::kRegularized:
+      case XAccess::kUnitStride:
+        // Both micro-benchmarks read x[i] len times: perfectly regular, one
+        // compulsory (prefetchable) line fetch per vpl rows.
+        for (index_t k = 0; k < len; ++k) touch(i);
+        break;
+    }
+  }
+  return t;
+}
+
+}  // namespace sparta::sim

@@ -1,0 +1,22 @@
+// BiCGSTAB (van der Vorst 1992) — smooth-converging Krylov solver for
+// general nonsymmetric systems; with CG and GMRES it completes the solver
+// family the paper's amortization context ("variations of the Conjugate
+// Gradient and Generalized Minimal Residual methods") draws from. Two SpMVs
+// per iteration, so optimizer gains amortize twice as fast as in CG.
+#pragma once
+
+#include "solvers/solver_common.hpp"
+
+namespace sparta::solvers {
+
+struct BicgstabOptions {
+  int max_iterations = 1000;  // iterations (2 SpMVs each)
+  double tolerance = 1e-8;    // on ||r|| / ||b||
+};
+
+/// Solve A x = b. `x` holds the initial guess on entry and the solution on
+/// exit. `spmv` defaults to the serial reference kernel.
+SolveResult bicgstab(const CsrMatrix& a, std::span<const value_t> b, std::span<value_t> x,
+                     const BicgstabOptions& options = {}, const SpmvFn* spmv = nullptr);
+
+}  // namespace sparta::solvers

@@ -1,0 +1,24 @@
+// Conjugate Gradient solver (optionally Jacobi-preconditioned) — the
+// iterative-method context of the paper's amortization analysis (§IV-D):
+// "Such solvers repeatedly call SpMV and usually require hundreds to
+// thousands of iterations to converge."
+#pragma once
+
+#include "solvers/solver_common.hpp"
+
+namespace sparta::solvers {
+
+struct CgOptions {
+  int max_iterations = 1000;
+  double tolerance = 1e-8;  // on ||r|| / ||b||
+  /// Jacobi (diagonal) preconditioning — models the preconditioned solvers
+  /// the paper cites as the low-iteration-count regime.
+  bool jacobi = false;
+};
+
+/// Solve A x = b for SPD A. `x` holds the initial guess on entry and the
+/// solution on exit. `spmv` defaults to the serial reference kernel.
+SolveResult cg(const CsrMatrix& a, std::span<const value_t> b, std::span<value_t> x,
+               const CgOptions& options = {}, const SpmvFn* spmv = nullptr);
+
+}  // namespace sparta::solvers

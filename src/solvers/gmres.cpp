@@ -1,0 +1,135 @@
+#include "solvers/gmres.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "common/timer.hpp"
+
+namespace sparta::solvers {
+
+SolveResult gmres(const CsrMatrix& a, std::span<const value_t> b, std::span<value_t> x,
+                  const GmresOptions& options, const SpmvFn* spmv) {
+  if (a.nrows() != a.ncols()) throw std::invalid_argument{"gmres: matrix must be square"};
+  const auto n = static_cast<std::size_t>(a.nrows());
+  if (b.size() != n || x.size() != n) throw std::invalid_argument{"gmres: vector size mismatch"};
+  const int m = options.restart;
+  if (m <= 0) throw std::invalid_argument{"gmres: restart must be positive"};
+
+  const SpmvFn default_spmv = reference_spmv(a);
+  const SpmvFn& mv = spmv != nullptr ? *spmv : default_spmv;
+
+  SolveResult result;
+  Timer total;
+  Timer spmv_timer;
+
+  const double b_norm = norm2(b);
+  const double threshold = options.tolerance * (b_norm > 0.0 ? b_norm : 1.0);
+
+  // Krylov basis (m+1 vectors) and the Hessenberg system.
+  std::vector<aligned_vector<value_t>> v(static_cast<std::size_t>(m) + 1,
+                                         aligned_vector<value_t>(n));
+  std::vector<std::vector<double>> h(static_cast<std::size_t>(m) + 1,
+                                     std::vector<double>(static_cast<std::size_t>(m), 0.0));
+  std::vector<double> cs(static_cast<std::size_t>(m), 0.0);
+  std::vector<double> sn(static_cast<std::size_t>(m), 0.0);
+  std::vector<double> g(static_cast<std::size_t>(m) + 1, 0.0);
+  aligned_vector<value_t> tmp(n);
+
+  while (result.iterations < options.max_iterations) {
+    // r = b - A x
+    spmv_timer.reset();
+    mv(x, tmp);
+    result.spmv_seconds += spmv_timer.seconds();
+    for (std::size_t i = 0; i < n; ++i) v[0][i] = b[i] - tmp[i];
+    double beta = norm2(v[0]);
+    result.residual_norm = beta;
+    if (beta <= threshold) {
+      result.converged = true;
+      break;
+    }
+    for (std::size_t i = 0; i < n; ++i) v[0][i] /= beta;
+    std::fill(g.begin(), g.end(), 0.0);
+    g[0] = beta;
+
+    int k = 0;
+    for (; k < m && result.iterations < options.max_iterations; ++k) {
+      ++result.iterations;
+      // Arnoldi step: w = A v_k, orthogonalize against v_0..v_k (MGS).
+      spmv_timer.reset();
+      mv(v[static_cast<std::size_t>(k)], tmp);
+      result.spmv_seconds += spmv_timer.seconds();
+      for (int i = 0; i <= k; ++i) {
+        const double hik = dot(tmp, v[static_cast<std::size_t>(i)]);
+        h[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)] = hik;
+        axpy(-hik, v[static_cast<std::size_t>(i)], tmp);
+      }
+      const double hk1 = norm2(tmp);
+      h[static_cast<std::size_t>(k) + 1][static_cast<std::size_t>(k)] = hk1;
+      if (hk1 > 0.0) {
+        for (std::size_t i = 0; i < n; ++i) {
+          v[static_cast<std::size_t>(k) + 1][i] = tmp[i] / hk1;
+        }
+      }
+
+      // Apply previous Givens rotations to the new column.
+      for (int i = 0; i < k; ++i) {
+        const double t1 = cs[static_cast<std::size_t>(i)] *
+                              h[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)] +
+                          sn[static_cast<std::size_t>(i)] *
+                              h[static_cast<std::size_t>(i) + 1][static_cast<std::size_t>(k)];
+        const double t2 = -sn[static_cast<std::size_t>(i)] *
+                              h[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)] +
+                          cs[static_cast<std::size_t>(i)] *
+                              h[static_cast<std::size_t>(i) + 1][static_cast<std::size_t>(k)];
+        h[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)] = t1;
+        h[static_cast<std::size_t>(i) + 1][static_cast<std::size_t>(k)] = t2;
+      }
+      // New rotation to annihilate h[k+1][k].
+      const double hkk = h[static_cast<std::size_t>(k)][static_cast<std::size_t>(k)];
+      const double hk1k = h[static_cast<std::size_t>(k) + 1][static_cast<std::size_t>(k)];
+      const double denom = std::hypot(hkk, hk1k);
+      if (denom == 0.0) break;
+      cs[static_cast<std::size_t>(k)] = hkk / denom;
+      sn[static_cast<std::size_t>(k)] = hk1k / denom;
+      h[static_cast<std::size_t>(k)][static_cast<std::size_t>(k)] = denom;
+      h[static_cast<std::size_t>(k) + 1][static_cast<std::size_t>(k)] = 0.0;
+      const double g_k = cs[static_cast<std::size_t>(k)] * g[static_cast<std::size_t>(k)];
+      g[static_cast<std::size_t>(k) + 1] =
+          -sn[static_cast<std::size_t>(k)] * g[static_cast<std::size_t>(k)];
+      g[static_cast<std::size_t>(k)] = g_k;
+
+      result.residual_norm = std::abs(g[static_cast<std::size_t>(k) + 1]);
+      if (result.residual_norm <= threshold) {
+        ++k;
+        break;
+      }
+    }
+
+    // Back-substitute y from H y = g, then x += V y.
+    std::vector<double> y(static_cast<std::size_t>(k), 0.0);
+    for (int i = k - 1; i >= 0; --i) {
+      double acc = g[static_cast<std::size_t>(i)];
+      for (int j = i + 1; j < k; ++j) {
+        acc -= h[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] *
+               y[static_cast<std::size_t>(j)];
+      }
+      y[static_cast<std::size_t>(i)] =
+          h[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)] != 0.0
+              ? acc / h[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)]
+              : 0.0;
+    }
+    for (int i = 0; i < k; ++i) {
+      axpy(y[static_cast<std::size_t>(i)], v[static_cast<std::size_t>(i)], x);
+    }
+
+    if (result.residual_norm <= threshold) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.seconds = total.seconds();
+  return result;
+}
+
+}  // namespace sparta::solvers

@@ -1,0 +1,22 @@
+// Restarted GMRES(m) — the second solver family of the paper's
+// amortization context (variations of CG and GMRES, §IV-D). Works for
+// general nonsymmetric systems; uses Arnoldi with modified Gram-Schmidt and
+// Givens rotations for the least-squares update.
+#pragma once
+
+#include "solvers/solver_common.hpp"
+
+namespace sparta::solvers {
+
+struct GmresOptions {
+  int restart = 30;          // Krylov subspace dimension m
+  int max_iterations = 1000; // total SpMV budget across restarts
+  double tolerance = 1e-8;   // on ||r|| / ||b||
+};
+
+/// Solve A x = b. `x` holds the initial guess on entry and the solution on
+/// exit. `spmv` defaults to the serial reference kernel.
+SolveResult gmres(const CsrMatrix& a, std::span<const value_t> b, std::span<value_t> x,
+                  const GmresOptions& options = {}, const SpmvFn* spmv = nullptr);
+
+}  // namespace sparta::solvers

@@ -1,0 +1,114 @@
+#include "sparse/bcsr.hpp"
+
+#include <map>
+#include <stdexcept>
+
+namespace sparta {
+
+BcsrMatrix BcsrMatrix::from_csr(const CsrMatrix& m, index_t r, index_t c) {
+  if (r <= 0 || c <= 0) throw std::invalid_argument{"bcsr: block dims must be positive"};
+  BcsrMatrix b;
+  b.nrows_ = m.nrows();
+  b.ncols_ = m.ncols();
+  b.r_ = r;
+  b.c_ = c;
+  b.nnz_ = m.nnz();
+
+  const index_t nblock_rows = (m.nrows() + r - 1) / r;
+  b.block_rowptr_.assign(static_cast<std::size_t>(nblock_rows) + 1, 0);
+
+  // Per block-row: gather the dense blocks keyed by block column. The map
+  // keeps block columns sorted, matching CSR's column ordering invariant.
+  std::map<index_t, aligned_vector<value_t>> blocks;
+  for (index_t br = 0; br < nblock_rows; ++br) {
+    blocks.clear();
+    const index_t row_end = std::min<index_t>(m.nrows(), (br + 1) * r);
+    for (index_t i = br * r; i < row_end; ++i) {
+      const auto cols = m.row_cols(i);
+      const auto vals = m.row_vals(i);
+      for (std::size_t j = 0; j < cols.size(); ++j) {
+        const index_t bc = cols[j] / c;
+        auto [it, inserted] = blocks.try_emplace(
+            bc, aligned_vector<value_t>(static_cast<std::size_t>(r) * c, 0.0));
+        const auto local =
+            static_cast<std::size_t>(i - br * r) * static_cast<std::size_t>(c) +
+            static_cast<std::size_t>(cols[j] - bc * c);
+        it->second[local] = vals[j];
+      }
+    }
+    for (auto& [bc, payload] : blocks) {
+      b.block_colind_.push_back(bc);
+      b.values_.insert(b.values_.end(), payload.begin(), payload.end());
+    }
+    b.block_rowptr_[static_cast<std::size_t>(br) + 1] =
+        static_cast<offset_t>(b.block_colind_.size());
+  }
+  return b;
+}
+
+CsrMatrix BcsrMatrix::to_csr() const {
+  CooMatrix coo{nrows_, ncols_};
+  coo.reserve(static_cast<std::size_t>(nnz_));
+  const index_t nblock_rows = (nrows_ + r_ - 1) / r_;
+  for (index_t br = 0; br < nblock_rows; ++br) {
+    for (offset_t k = block_rowptr_[static_cast<std::size_t>(br)];
+         k < block_rowptr_[static_cast<std::size_t>(br) + 1]; ++k) {
+      const index_t bc = block_colind_[static_cast<std::size_t>(k)];
+      const auto base = static_cast<std::size_t>(k) * static_cast<std::size_t>(r_) *
+                        static_cast<std::size_t>(c_);
+      for (index_t i = 0; i < r_; ++i) {
+        const index_t row = br * r_ + i;
+        if (row >= nrows_) break;
+        for (index_t j = 0; j < c_; ++j) {
+          const index_t col = bc * c_ + j;
+          if (col >= ncols_) break;
+          const value_t v =
+              values_[base + static_cast<std::size_t>(i) * static_cast<std::size_t>(c_) +
+                      static_cast<std::size_t>(j)];
+          // Padding zeros are dropped; structural zeros of the source were
+          // already dropped by its own construction.
+          if (v != 0.0) coo.add(row, col, v);
+        }
+      }
+    }
+  }
+  return CsrMatrix::from_coo(coo);
+}
+
+void spmv_bcsr_reference(const BcsrMatrix& a, std::span<const value_t> x,
+                         std::span<value_t> y) {
+  if (x.size() != static_cast<std::size_t>(a.ncols()) ||
+      y.size() != static_cast<std::size_t>(a.nrows())) {
+    throw std::invalid_argument{"spmv_bcsr_reference: vector size mismatch"};
+  }
+  std::fill(y.begin(), y.end(), 0.0);
+  const index_t r = a.block_rows();
+  const index_t c = a.block_cols();
+  const auto rowptr = a.block_rowptr();
+  const auto colind = a.block_colind();
+  const auto values = a.values();
+  const index_t nblock_rows = (a.nrows() + r - 1) / r;
+  for (index_t br = 0; br < nblock_rows; ++br) {
+    for (offset_t k = rowptr[static_cast<std::size_t>(br)];
+         k < rowptr[static_cast<std::size_t>(br) + 1]; ++k) {
+      const index_t col_base = colind[static_cast<std::size_t>(k)] * c;
+      const auto base = static_cast<std::size_t>(k) * static_cast<std::size_t>(r) *
+                        static_cast<std::size_t>(c);
+      for (index_t i = 0; i < r; ++i) {
+        const index_t row = br * r + i;
+        if (row >= a.nrows()) break;
+        value_t acc = 0.0;
+        for (index_t j = 0; j < c; ++j) {
+          const index_t col = col_base + j;
+          if (col >= a.ncols()) break;
+          acc += values[base + static_cast<std::size_t>(i) * static_cast<std::size_t>(c) +
+                        static_cast<std::size_t>(j)] *
+                 x[static_cast<std::size_t>(col)];
+        }
+        y[static_cast<std::size_t>(row)] += acc;
+      }
+    }
+  }
+}
+
+}  // namespace sparta

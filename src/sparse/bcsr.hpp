@@ -1,0 +1,78 @@
+// BCSR (Block Compressed Sparse Row) with fixed r x c register blocking —
+// the storage format behind OSKI/SPARSITY-style autotuning (paper §V,
+// related work). Nonzeros are grouped into dense r x c blocks aligned to a
+// block grid; blocks are padded with explicit zeros, trading extra value
+// traffic (fill) for eliminated column indices (one per block) and
+// unrollable register-resident inner loops.
+//
+// Role in this repo: completes the related-work format family next to
+// SELL-C-sigma; the fill ratio it exposes is the classic register-blocking
+// profitability signal.
+#pragma once
+
+#include <span>
+
+#include "common/types.hpp"
+#include "sparse/csr.hpp"
+
+namespace sparta {
+
+class BcsrMatrix {
+ public:
+  /// Convert from CSR with r x c blocks (r, c >= 1). Throws
+  /// std::invalid_argument on non-positive block dimensions.
+  static BcsrMatrix from_csr(const CsrMatrix& m, index_t r, index_t c);
+
+  [[nodiscard]] index_t nrows() const { return nrows_; }
+  [[nodiscard]] index_t ncols() const { return ncols_; }
+  /// True nonzeros of the source matrix.
+  [[nodiscard]] offset_t nnz() const { return nnz_; }
+  [[nodiscard]] index_t block_rows() const { return r_; }
+  [[nodiscard]] index_t block_cols() const { return c_; }
+  /// Number of stored blocks.
+  [[nodiscard]] offset_t nblocks() const {
+    return static_cast<offset_t>(block_colind_.size());
+  }
+  /// Stored values (blocks x r x c) over true nonzeros — 1.0 means the
+  /// blocking is free; OSKI's heuristics reject block shapes whose fill
+  /// outweighs the index savings.
+  [[nodiscard]] double fill_ratio() const {
+    return nnz_ > 0 ? static_cast<double>(nblocks()) * r_ * c_ / static_cast<double>(nnz_)
+                    : 1.0;
+  }
+
+  /// Block-row pointer (nrows/r rounded up, +1 entries) into block arrays.
+  [[nodiscard]] std::span<const offset_t> block_rowptr() const { return block_rowptr_; }
+  /// Column (in block units) of each block.
+  [[nodiscard]] std::span<const index_t> block_colind() const { return block_colind_; }
+  /// Dense block payloads, row-major within each block.
+  [[nodiscard]] std::span<const value_t> values() const { return values_; }
+
+  [[nodiscard]] std::size_t index_bytes() const {
+    return block_rowptr_.size() * sizeof(offset_t) + block_colind_.size() * sizeof(index_t);
+  }
+  [[nodiscard]] std::size_t value_bytes() const { return values_.size() * sizeof(value_t); }
+  [[nodiscard]] std::size_t bytes() const { return index_bytes() + value_bytes(); }
+
+  /// Convert back to CSR, dropping the explicit padding zeros (round-trip
+  /// tested against the source matrix).
+  [[nodiscard]] CsrMatrix to_csr() const;
+
+ private:
+  BcsrMatrix() = default;
+
+  index_t nrows_ = 0;
+  index_t ncols_ = 0;
+  index_t r_ = 1;
+  index_t c_ = 1;
+  offset_t nnz_ = 0;
+  aligned_vector<offset_t> block_rowptr_{0};
+  aligned_vector<index_t> block_colind_;
+  aligned_vector<value_t> values_;
+};
+
+/// Serial reference SpMV on BCSR (golden implementation for tests).
+void spmv_bcsr_reference(const BcsrMatrix& a, std::span<const value_t> x,
+                         std::span<value_t> y);
+
+}  // namespace sparta

@@ -1,0 +1,49 @@
+#include "sparse/coo.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sparta {
+
+CooMatrix::CooMatrix(index_t nrows, index_t ncols) : nrows_(nrows), ncols_(ncols) {
+  if (nrows < 0 || ncols < 0) {
+    throw std::invalid_argument{"CooMatrix: negative dimension"};
+  }
+}
+
+void CooMatrix::add(index_t row, index_t col, value_t value) {
+  if (row < 0 || row >= nrows_ || col < 0 || col >= ncols_) {
+    throw std::out_of_range{"CooMatrix::add: coordinate out of range"};
+  }
+  entries_.push_back({row, col, value});
+}
+
+void CooMatrix::compress() {
+  auto key_less = [](const Triplet& a, const Triplet& b) {
+    return a.row != b.row ? a.row < b.row : a.col < b.col;
+  };
+  std::sort(entries_.begin(), entries_.end(), key_less);
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < entries_.size();) {
+    Triplet acc = entries_[i];
+    std::size_t j = i + 1;
+    while (j < entries_.size() && entries_[j].row == acc.row && entries_[j].col == acc.col) {
+      acc.value += entries_[j].value;
+      ++j;
+    }
+    entries_[out++] = acc;
+    i = j;
+  }
+  entries_.resize(out);
+}
+
+bool CooMatrix::is_compressed() const {
+  for (std::size_t i = 1; i < entries_.size(); ++i) {
+    const auto& a = entries_[i - 1];
+    const auto& b = entries_[i];
+    if (a.row > b.row || (a.row == b.row && a.col >= b.col)) return false;
+  }
+  return true;
+}
+
+}  // namespace sparta

@@ -1,0 +1,152 @@
+#include "sparse/csr.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace sparta {
+
+CsrMatrix::CsrMatrix(index_t nrows, index_t ncols, aligned_vector<offset_t> rowptr,
+                     aligned_vector<index_t> colind, aligned_vector<value_t> values)
+    : nrows_(nrows),
+      ncols_(ncols),
+      rowptr_(std::move(rowptr)),
+      colind_(std::move(colind)),
+      values_(std::move(values)) {
+  validate();
+}
+
+CsrMatrix CsrMatrix::from_coo(const CooMatrix& coo) {
+  const CooMatrix* src = &coo;
+  CooMatrix tmp{0, 0};
+  if (!coo.is_compressed()) {
+    tmp = coo;
+    tmp.compress();
+    src = &tmp;
+  }
+  const auto n = static_cast<std::size_t>(src->nrows());
+  aligned_vector<offset_t> rowptr(n + 1, 0);
+  aligned_vector<index_t> colind;
+  aligned_vector<value_t> values;
+  colind.reserve(static_cast<std::size_t>(src->nnz()));
+  values.reserve(static_cast<std::size_t>(src->nnz()));
+  for (const auto& e : src->entries()) {
+    ++rowptr[static_cast<std::size_t>(e.row) + 1];
+    colind.push_back(e.col);
+    values.push_back(e.value);
+  }
+  for (std::size_t i = 0; i < n; ++i) rowptr[i + 1] += rowptr[i];
+  return CsrMatrix{src->nrows(), src->ncols(), std::move(rowptr), std::move(colind),
+                   std::move(values)};
+}
+
+std::span<const index_t> CsrMatrix::row_cols(index_t i) const {
+  const auto b = static_cast<std::size_t>(rowptr_[static_cast<std::size_t>(i)]);
+  const auto e = static_cast<std::size_t>(rowptr_[static_cast<std::size_t>(i) + 1]);
+  return std::span<const index_t>{colind_}.subspan(b, e - b);
+}
+
+std::span<const value_t> CsrMatrix::row_vals(index_t i) const {
+  const auto b = static_cast<std::size_t>(rowptr_[static_cast<std::size_t>(i)]);
+  const auto e = static_cast<std::size_t>(rowptr_[static_cast<std::size_t>(i) + 1]);
+  return std::span<const value_t>{values_}.subspan(b, e - b);
+}
+
+std::size_t CsrMatrix::index_bytes() const {
+  return rowptr_.size() * sizeof(offset_t) + colind_.size() * sizeof(index_t);
+}
+
+std::size_t CsrMatrix::value_bytes() const { return values_.size() * sizeof(value_t); }
+
+std::size_t CsrMatrix::spmv_working_set_bytes() const {
+  return bytes() + (static_cast<std::size_t>(ncols_) + static_cast<std::size_t>(nrows_)) *
+                       sizeof(value_t);
+}
+
+void CsrMatrix::validate() const {
+  if (nrows_ < 0 || ncols_ < 0) throw std::invalid_argument{"csr: negative dimension"};
+  if (rowptr_.size() != static_cast<std::size_t>(nrows_) + 1) {
+    throw std::invalid_argument{"csr: rowptr size != nrows+1"};
+  }
+  if (rowptr_.front() != 0) throw std::invalid_argument{"csr: rowptr[0] != 0"};
+  for (std::size_t i = 1; i < rowptr_.size(); ++i) {
+    if (rowptr_[i] < rowptr_[i - 1]) {
+      throw std::invalid_argument{"csr: rowptr not non-decreasing at row " + std::to_string(i)};
+    }
+  }
+  if (static_cast<std::size_t>(rowptr_.back()) != colind_.size() ||
+      colind_.size() != values_.size()) {
+    throw std::invalid_argument{"csr: nnz arrays inconsistent with rowptr"};
+  }
+  for (index_t r = 0; r < nrows_; ++r) {
+    const auto cols = row_cols(r);
+    for (std::size_t j = 0; j < cols.size(); ++j) {
+      if (cols[j] < 0 || cols[j] >= ncols_) {
+        throw std::invalid_argument{"csr: column index out of range in row " + std::to_string(r)};
+      }
+      if (j > 0 && cols[j] <= cols[j - 1]) {
+        throw std::invalid_argument{"csr: columns not strictly increasing in row " +
+                                    std::to_string(r)};
+      }
+    }
+  }
+}
+
+CsrMatrix CsrMatrix::transpose() const {
+  const auto n = static_cast<std::size_t>(ncols_);
+  aligned_vector<offset_t> rowptr(n + 1, 0);
+  for (index_t c : colind_) ++rowptr[static_cast<std::size_t>(c) + 1];
+  for (std::size_t i = 0; i < n; ++i) rowptr[i + 1] += rowptr[i];
+  aligned_vector<index_t> colind(colind_.size());
+  aligned_vector<value_t> values(values_.size());
+  aligned_vector<offset_t> cursor(rowptr.begin(), rowptr.end() - 1);
+  for (index_t r = 0; r < nrows_; ++r) {
+    const auto cols = row_cols(r);
+    const auto vals = row_vals(r);
+    for (std::size_t j = 0; j < cols.size(); ++j) {
+      const auto dst = static_cast<std::size_t>(cursor[static_cast<std::size_t>(cols[j])]++);
+      colind[dst] = r;
+      values[dst] = vals[j];
+    }
+  }
+  return CsrMatrix{ncols_, nrows_, std::move(rowptr), std::move(colind), std::move(values)};
+}
+
+CsrMatrix CsrMatrix::slice_rows(index_t begin, index_t end) const {
+  if (begin < 0 || end < begin || end > nrows_) {
+    throw std::out_of_range{"csr: slice_rows range invalid"};
+  }
+  const auto b = static_cast<std::size_t>(rowptr_[static_cast<std::size_t>(begin)]);
+  const auto e = static_cast<std::size_t>(rowptr_[static_cast<std::size_t>(end)]);
+  aligned_vector<offset_t> rowptr(static_cast<std::size_t>(end - begin) + 1);
+  for (index_t i = begin; i <= end; ++i) {
+    rowptr[static_cast<std::size_t>(i - begin)] =
+        rowptr_[static_cast<std::size_t>(i)] - static_cast<offset_t>(b);
+  }
+  aligned_vector<index_t> colind(colind_.begin() + static_cast<std::ptrdiff_t>(b),
+                                 colind_.begin() + static_cast<std::ptrdiff_t>(e));
+  aligned_vector<value_t> values(values_.begin() + static_cast<std::ptrdiff_t>(b),
+                                 values_.begin() + static_cast<std::ptrdiff_t>(e));
+  return CsrMatrix{end - begin, ncols_, std::move(rowptr), std::move(colind),
+                   std::move(values)};
+}
+
+void spmv_reference(const CsrMatrix& a, std::span<const value_t> x, std::span<value_t> y) {
+  if (x.size() != static_cast<std::size_t>(a.ncols()) ||
+      y.size() != static_cast<std::size_t>(a.nrows())) {
+    throw std::invalid_argument{"spmv_reference: vector size mismatch"};
+  }
+  const auto rowptr = a.rowptr();
+  const auto colind = a.colind();
+  const auto values = a.values();
+  for (index_t i = 0; i < a.nrows(); ++i) {
+    value_t acc = 0.0;
+    for (offset_t j = rowptr[static_cast<std::size_t>(i)];
+         j < rowptr[static_cast<std::size_t>(i) + 1]; ++j) {
+      acc += values[static_cast<std::size_t>(j)] *
+             x[static_cast<std::size_t>(colind[static_cast<std::size_t>(j)])];
+    }
+    y[static_cast<std::size_t>(i)] = acc;
+  }
+}
+
+}  // namespace sparta

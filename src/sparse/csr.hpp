@@ -1,0 +1,85 @@
+// Compressed Sparse Row storage — the baseline format of the paper and the
+// substrate every optimization in the pool starts from.
+#pragma once
+
+#include <span>
+
+#include "common/types.hpp"
+#include "sparse/coo.hpp"
+
+namespace sparta {
+
+/// Immutable-after-construction CSR matrix.
+///
+/// Storage: `rowptr` (nrows+1 offsets), `colind` (nnz column indices, sorted
+/// within each row), `values` (nnz doubles). Memory footprint accessors are
+/// provided because the per-class performance bounds of the paper are
+/// computed directly from byte counts.
+class CsrMatrix {
+ public:
+  CsrMatrix() : nrows_(0), ncols_(0), rowptr_{0} {}
+
+  /// Take ownership of prebuilt arrays. Throws std::invalid_argument if the
+  /// structure is malformed (see validate()).
+  CsrMatrix(index_t nrows, index_t ncols, aligned_vector<offset_t> rowptr,
+            aligned_vector<index_t> colind, aligned_vector<value_t> values);
+
+  /// Build from a COO matrix (compresses a copy if needed).
+  static CsrMatrix from_coo(const CooMatrix& coo);
+
+  [[nodiscard]] index_t nrows() const { return nrows_; }
+  [[nodiscard]] index_t ncols() const { return ncols_; }
+  [[nodiscard]] offset_t nnz() const { return rowptr_.back(); }
+
+  [[nodiscard]] std::span<const offset_t> rowptr() const { return rowptr_; }
+  [[nodiscard]] std::span<const index_t> colind() const { return colind_; }
+  [[nodiscard]] std::span<const value_t> values() const { return values_; }
+  [[nodiscard]] std::span<value_t> values_mut() { return values_; }
+
+  /// Number of nonzeros in row i.
+  [[nodiscard]] index_t row_nnz(index_t i) const {
+    return static_cast<index_t>(rowptr_[static_cast<std::size_t>(i) + 1] -
+                                rowptr_[static_cast<std::size_t>(i)]);
+  }
+
+  /// Column indices / values of row i.
+  [[nodiscard]] std::span<const index_t> row_cols(index_t i) const;
+  [[nodiscard]] std::span<const value_t> row_vals(index_t i) const;
+
+  /// Bytes of the index structures (rowptr + colind).
+  [[nodiscard]] std::size_t index_bytes() const;
+  /// Bytes of the value array.
+  [[nodiscard]] std::size_t value_bytes() const;
+  /// Total matrix bytes (index + value).
+  [[nodiscard]] std::size_t bytes() const { return index_bytes() + value_bytes(); }
+
+  /// Working-set bytes of one SpMV: matrix + x + y.
+  [[nodiscard]] std::size_t spmv_working_set_bytes() const;
+
+  /// Structural + ordering invariants; throws std::invalid_argument with a
+  /// description on the first violation.
+  void validate() const;
+
+  /// Transpose (used by symmetric expansion tests and GMRES experiments).
+  [[nodiscard]] CsrMatrix transpose() const;
+
+  /// Copy of rows [begin, end) as a standalone (end-begin) x ncols matrix.
+  /// Used by the partitioned bound analysis (paper's future-work idea of
+  /// looking at the matrix "in partitions, instead of as a whole").
+  [[nodiscard]] CsrMatrix slice_rows(index_t begin, index_t end) const;
+
+  friend bool operator==(const CsrMatrix&, const CsrMatrix&) = default;
+
+ private:
+  index_t nrows_;
+  index_t ncols_;
+  aligned_vector<offset_t> rowptr_;
+  aligned_vector<index_t> colind_;
+  aligned_vector<value_t> values_;
+};
+
+/// Reference (serial, obviously-correct) SpMV: y = A * x. Used as the golden
+/// implementation that every optimized kernel is tested against.
+void spmv_reference(const CsrMatrix& a, std::span<const value_t> x, std::span<value_t> y);
+
+}  // namespace sparta

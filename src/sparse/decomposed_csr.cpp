@@ -1,0 +1,74 @@
+#include "sparse/decomposed_csr.hpp"
+
+#include <algorithm>
+
+namespace sparta {
+
+index_t DecomposedCsrMatrix::default_threshold(const CsrMatrix& csr) {
+  const double avg =
+      csr.nrows() > 0 ? static_cast<double>(csr.nnz()) / static_cast<double>(csr.nrows()) : 0.0;
+  return std::max(kMinLongRow, static_cast<index_t>(8.0 * avg));
+}
+
+DecomposedCsrMatrix DecomposedCsrMatrix::decompose(const CsrMatrix& csr, index_t threshold) {
+  DecomposedCsrMatrix out;
+  out.threshold_ = threshold > 0 ? threshold : default_threshold(csr);
+
+  const auto n = static_cast<std::size_t>(csr.nrows());
+  aligned_vector<offset_t> srowptr(n + 1, 0);
+  aligned_vector<index_t> scolind;
+  aligned_vector<value_t> svalues;
+  scolind.reserve(static_cast<std::size_t>(csr.nnz()));
+  svalues.reserve(static_cast<std::size_t>(csr.nnz()));
+
+  for (index_t i = 0; i < csr.nrows(); ++i) {
+    const auto cols = csr.row_cols(i);
+    const auto vals = csr.row_vals(i);
+    if (static_cast<index_t>(cols.size()) > out.threshold_) {
+      out.long_rows_.push_back(i);
+      out.long_colind_.insert(out.long_colind_.end(), cols.begin(), cols.end());
+      out.long_values_.insert(out.long_values_.end(), vals.begin(), vals.end());
+      out.long_rowptr_.push_back(static_cast<offset_t>(out.long_colind_.size()));
+      srowptr[static_cast<std::size_t>(i) + 1] = srowptr[static_cast<std::size_t>(i)];
+    } else {
+      scolind.insert(scolind.end(), cols.begin(), cols.end());
+      svalues.insert(svalues.end(), vals.begin(), vals.end());
+      srowptr[static_cast<std::size_t>(i) + 1] =
+          srowptr[static_cast<std::size_t>(i)] + static_cast<offset_t>(cols.size());
+    }
+  }
+  out.short_part_ =
+      CsrMatrix{csr.nrows(), csr.ncols(), std::move(srowptr), std::move(scolind),
+                std::move(svalues)};
+  return out;
+}
+
+offset_t DecomposedCsrMatrix::nnz() const {
+  return short_part_.nnz() + long_rowptr_.back();
+}
+
+CsrMatrix DecomposedCsrMatrix::recompose() const {
+  CooMatrix coo{nrows(), ncols()};
+  coo.reserve(static_cast<std::size_t>(nnz()));
+  for (index_t i = 0; i < nrows(); ++i) {
+    const auto cols = short_part_.row_cols(i);
+    const auto vals = short_part_.row_vals(i);
+    for (std::size_t j = 0; j < cols.size(); ++j) coo.add(i, cols[j], vals[j]);
+  }
+  for (std::size_t k = 0; k < long_rows_.size(); ++k) {
+    const auto b = static_cast<std::size_t>(long_rowptr_[k]);
+    const auto e = static_cast<std::size_t>(long_rowptr_[k + 1]);
+    for (std::size_t j = b; j < e; ++j) {
+      coo.add(long_rows_[k], long_colind_[j], long_values_[j]);
+    }
+  }
+  return CsrMatrix::from_coo(coo);
+}
+
+std::size_t DecomposedCsrMatrix::bytes() const {
+  return short_part_.bytes() + long_rows_.size() * sizeof(index_t) +
+         long_rowptr_.size() * sizeof(offset_t) + long_colind_.size() * sizeof(index_t) +
+         long_values_.size() * sizeof(value_t);
+}
+
+}  // namespace sparta

@@ -1,0 +1,79 @@
+#include "sparse/delta_csr.hpp"
+
+namespace sparta {
+
+std::optional<DeltaWidth> DeltaCsrMatrix::pick_width(const CsrMatrix& csr) {
+  index_t max_delta = 0;
+  for (index_t i = 0; i < csr.nrows(); ++i) {
+    const auto cols = csr.row_cols(i);
+    for (std::size_t j = 1; j < cols.size(); ++j) {
+      max_delta = std::max(max_delta, cols[j] - cols[j - 1]);
+    }
+  }
+  if (max_delta <= 0xff) return DeltaWidth::k8;
+  if (max_delta <= 0xffff) return DeltaWidth::k16;
+  return std::nullopt;
+}
+
+std::optional<DeltaCsrMatrix> DeltaCsrMatrix::compress(const CsrMatrix& csr) {
+  const auto width = pick_width(csr);
+  if (!width) return std::nullopt;
+
+  DeltaCsrMatrix out;
+  out.nrows_ = csr.nrows();
+  out.ncols_ = csr.ncols();
+  out.width_ = *width;
+  out.rowptr_.assign(csr.rowptr().begin(), csr.rowptr().end());
+  out.first_col_.resize(static_cast<std::size_t>(csr.nrows()));
+  out.values_.assign(csr.values().begin(), csr.values().end());
+
+  const auto nnz = static_cast<std::size_t>(csr.nnz());
+  if (*width == DeltaWidth::k8) {
+    out.deltas8_.assign(nnz, 0);
+  } else {
+    out.deltas16_.assign(nnz, 0);
+  }
+
+  for (index_t i = 0; i < csr.nrows(); ++i) {
+    const auto cols = csr.row_cols(i);
+    const auto base = static_cast<std::size_t>(csr.rowptr()[static_cast<std::size_t>(i)]);
+    out.first_col_[static_cast<std::size_t>(i)] = cols.empty() ? 0 : cols[0];
+    for (std::size_t j = 1; j < cols.size(); ++j) {
+      const auto d = static_cast<std::uint32_t>(cols[j] - cols[j - 1]);
+      if (*width == DeltaWidth::k8) {
+        out.deltas8_[base + j] = static_cast<std::uint8_t>(d);
+      } else {
+        out.deltas16_[base + j] = static_cast<std::uint16_t>(d);
+      }
+    }
+  }
+  return out;
+}
+
+std::size_t DeltaCsrMatrix::index_bytes() const {
+  const std::size_t delta_bytes =
+      width_ == DeltaWidth::k8 ? deltas8_.size() * sizeof(std::uint8_t)
+                               : deltas16_.size() * sizeof(std::uint16_t);
+  return rowptr_.size() * sizeof(offset_t) + first_col_.size() * sizeof(index_t) + delta_bytes;
+}
+
+CsrMatrix DeltaCsrMatrix::decompress() const {
+  aligned_vector<offset_t> rowptr(rowptr_.begin(), rowptr_.end());
+  aligned_vector<index_t> colind(static_cast<std::size_t>(nnz()));
+  aligned_vector<value_t> values(values_.begin(), values_.end());
+  for (index_t i = 0; i < nrows_; ++i) {
+    const auto b = static_cast<std::size_t>(rowptr_[static_cast<std::size_t>(i)]);
+    const auto e = static_cast<std::size_t>(rowptr_[static_cast<std::size_t>(i) + 1]);
+    index_t col = b < e ? first_col_[static_cast<std::size_t>(i)] : 0;
+    for (std::size_t j = b; j < e; ++j) {
+      if (j > b) {
+        col += width_ == DeltaWidth::k8 ? static_cast<index_t>(deltas8_[j])
+                                        : static_cast<index_t>(deltas16_[j]);
+      }
+      colind[j] = col;
+    }
+  }
+  return CsrMatrix{nrows_, ncols_, std::move(rowptr), std::move(colind), std::move(values)};
+}
+
+}  // namespace sparta

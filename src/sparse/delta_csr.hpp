@@ -1,0 +1,66 @@
+// Delta-compressed CSR — the paper's MB-class optimization (Table II).
+//
+// Column indices are stored as deltas from the previous nonzero in the same
+// row (the first nonzero of each row stores its absolute column in a
+// separate array). All deltas use a single width — 8 or 16 bits, "but never
+// both, in order to limit the branching overhead" (paper §III-E). When a
+// matrix has a delta that does not fit in 16 bits, compression is refused
+// and the caller keeps plain CSR.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "common/types.hpp"
+#include "sparse/csr.hpp"
+
+namespace sparta {
+
+/// Width of the delta stream.
+enum class DeltaWidth : std::uint8_t { k8 = 1, k16 = 2 };
+
+/// CSR with a compressed column-index stream.
+class DeltaCsrMatrix {
+ public:
+  /// Attempt compression. Returns std::nullopt when any intra-row column
+  /// delta exceeds 16 bits (the paper's scheme then does not apply).
+  static std::optional<DeltaCsrMatrix> compress(const CsrMatrix& csr);
+
+  /// Smallest single width that can represent every delta of `csr`,
+  /// or std::nullopt when 16 bits do not suffice.
+  static std::optional<DeltaWidth> pick_width(const CsrMatrix& csr);
+
+  [[nodiscard]] index_t nrows() const { return nrows_; }
+  [[nodiscard]] index_t ncols() const { return ncols_; }
+  [[nodiscard]] offset_t nnz() const { return rowptr_.back(); }
+  [[nodiscard]] DeltaWidth width() const { return width_; }
+
+  [[nodiscard]] std::span<const offset_t> rowptr() const { return rowptr_; }
+  [[nodiscard]] std::span<const index_t> first_col() const { return first_col_; }
+  [[nodiscard]] std::span<const std::uint8_t> deltas8() const { return deltas8_; }
+  [[nodiscard]] std::span<const std::uint16_t> deltas16() const { return deltas16_; }
+  [[nodiscard]] std::span<const value_t> values() const { return values_; }
+
+  /// Bytes of the compressed index structures (rowptr + first_col + deltas).
+  [[nodiscard]] std::size_t index_bytes() const;
+  [[nodiscard]] std::size_t value_bytes() const { return values_.size() * sizeof(value_t); }
+  [[nodiscard]] std::size_t bytes() const { return index_bytes() + value_bytes(); }
+
+  /// Expand back to plain CSR (round-trip tested).
+  [[nodiscard]] CsrMatrix decompress() const;
+
+ private:
+  DeltaCsrMatrix() = default;
+
+  index_t nrows_ = 0;
+  index_t ncols_ = 0;
+  DeltaWidth width_ = DeltaWidth::k8;
+  aligned_vector<offset_t> rowptr_;
+  aligned_vector<index_t> first_col_;      // absolute column of each row's first nnz
+  aligned_vector<std::uint8_t> deltas8_;   // used when width_ == k8; nnz entries
+  aligned_vector<std::uint16_t> deltas16_; // used when width_ == k16; nnz entries
+  aligned_vector<value_t> values_;
+};
+
+}  // namespace sparta

@@ -1,0 +1,108 @@
+#include "sparse/matrix_market.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace sparta::mm {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error{"matrix market: " + what};
+}
+
+}  // namespace
+
+CooMatrix read_coo(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line)) fail("empty stream");
+
+  std::istringstream header{line};
+  std::string banner, object, format, field, symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  if (banner != "%%MatrixMarket") fail("missing %%MatrixMarket banner");
+  if (lower(object) != "matrix" || lower(format) != "coordinate") {
+    fail("only 'matrix coordinate' is supported");
+  }
+  field = lower(field);
+  symmetry = lower(symmetry);
+  const bool pattern = field == "pattern";
+  if (!pattern && field != "real" && field != "integer") {
+    fail("unsupported field type '" + field + "'");
+  }
+  const bool symmetric = symmetry == "symmetric";
+  if (!symmetric && symmetry != "general") {
+    fail("unsupported symmetry '" + symmetry + "'");
+  }
+
+  // Skip comments, find the size line.
+  long long nrows = -1, ncols = -1, nnz = -1;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '%') continue;
+    std::istringstream ss{line};
+    if (!(ss >> nrows >> ncols >> nnz)) fail("bad size line");
+    break;
+  }
+  if (nrows < 0) fail("missing size line");
+  if (nrows > std::numeric_limits<index_t>::max() || ncols > std::numeric_limits<index_t>::max()) {
+    fail("matrix dimensions exceed 32-bit index range");
+  }
+
+  CooMatrix coo{static_cast<index_t>(nrows), static_cast<index_t>(ncols)};
+  coo.reserve(static_cast<std::size_t>(symmetric ? 2 * nnz : nnz));
+  long long seen = 0;
+  while (seen < nnz && std::getline(is, line)) {
+    if (line.empty() || line[0] == '%') continue;
+    std::istringstream ss{line};
+    long long r = 0, c = 0;
+    double v = 1.0;
+    if (!(ss >> r >> c)) fail("bad entry line: " + line);
+    if (!pattern && !(ss >> v)) fail("missing value: " + line);
+    if (r < 1 || r > nrows || c < 1 || c > ncols) fail("entry out of range: " + line);
+    const auto ri = static_cast<index_t>(r - 1);
+    const auto ci = static_cast<index_t>(c - 1);
+    coo.add(ri, ci, v);
+    if (symmetric && ri != ci) coo.add(ci, ri, v);
+    ++seen;
+  }
+  if (seen != nnz) fail("fewer entries than declared");
+  coo.compress();
+  return coo;
+}
+
+CsrMatrix read_csr_file(const std::string& path) {
+  std::ifstream f{path};
+  if (!f) fail("cannot open '" + path + "'");
+  return CsrMatrix::from_coo(read_coo(f));
+}
+
+void write(std::ostream& os, const CsrMatrix& m) {
+  os << "%%MatrixMarket matrix coordinate real general\n";
+  os << m.nrows() << ' ' << m.ncols() << ' ' << m.nnz() << '\n';
+  os << std::setprecision(17);
+  for (index_t i = 0; i < m.nrows(); ++i) {
+    const auto cols = m.row_cols(i);
+    const auto vals = m.row_vals(i);
+    for (std::size_t j = 0; j < cols.size(); ++j) {
+      os << (i + 1) << ' ' << (cols[j] + 1) << ' ' << vals[j] << '\n';
+    }
+  }
+}
+
+void write_file(const std::string& path, const CsrMatrix& m) {
+  std::ofstream f{path};
+  if (!f) fail("cannot open '" + path + "' for writing");
+  write(f, m);
+}
+
+}  // namespace sparta::mm

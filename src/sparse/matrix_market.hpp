@@ -1,0 +1,32 @@
+// Matrix Market (.mtx) I/O.
+//
+// The paper's suite comes from the University of Florida (SuiteSparse)
+// collection, which is distributed in this format. The offline container has
+// no network access, so experiments default to generated analogues, but the
+// reader lets users run the full pipeline on real downloaded matrices.
+//
+// Supported: "matrix coordinate {real|integer|pattern} {general|symmetric}".
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+
+namespace sparta::mm {
+
+/// Parse a Matrix Market stream into COO. Symmetric inputs are expanded to
+/// general form (both triangles; the diagonal is not duplicated). Pattern
+/// inputs get value 1.0. Throws std::runtime_error on malformed input.
+CooMatrix read_coo(std::istream& is);
+
+/// Convenience: read a file straight to CSR.
+CsrMatrix read_csr_file(const std::string& path);
+
+/// Write `m` as "matrix coordinate real general" with 17 significant digits
+/// (lossless double round-trip).
+void write(std::ostream& os, const CsrMatrix& m);
+void write_file(const std::string& path, const CsrMatrix& m);
+
+}  // namespace sparta::mm

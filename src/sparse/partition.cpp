@@ -1,0 +1,65 @@
+#include "sparse/partition.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sparta {
+
+std::vector<RowRange> partition_balanced_nnz(const CsrMatrix& m, int nparts) {
+  if (nparts <= 0) throw std::invalid_argument{"partition_balanced_nnz: nparts <= 0"};
+  const auto rowptr = m.rowptr();
+  const offset_t total = m.nnz();
+  std::vector<RowRange> parts;
+  parts.reserve(static_cast<std::size_t>(nparts));
+  index_t row = 0;
+  for (int p = 0; p < nparts; ++p) {
+    // Target cumulative nnz at the end of partition p.
+    const auto target = static_cast<offset_t>(
+        (static_cast<long double>(total) * (p + 1)) / nparts);
+    // First row index whose cumulative nnz reaches the target. The search
+    // can land on rowptr.end() (index nrows+1) when the target equals the
+    // total and trailing rows are empty — clamp into [row, nrows].
+    const auto it = std::lower_bound(rowptr.begin() + row + 1, rowptr.end(), target);
+    auto end = static_cast<index_t>(it - rowptr.begin());
+    if (p == nparts - 1) end = m.nrows();
+    end = std::clamp(end, row, m.nrows());
+    parts.push_back({row, end});
+    row = end;
+  }
+  parts.back().end = m.nrows();
+  return parts;
+}
+
+std::vector<RowRange> partition_equal_rows(index_t nrows, int nparts) {
+  if (nparts <= 0) throw std::invalid_argument{"partition_equal_rows: nparts <= 0"};
+  std::vector<RowRange> parts;
+  parts.reserve(static_cast<std::size_t>(nparts));
+  const index_t base = nrows / nparts;
+  const index_t extra = nrows % nparts;
+  index_t row = 0;
+  for (int p = 0; p < nparts; ++p) {
+    const index_t len = base + (p < extra ? 1 : 0);
+    parts.push_back({row, row + len});
+    row += len;
+  }
+  return parts;
+}
+
+offset_t range_nnz(const CsrMatrix& m, RowRange r) {
+  return m.rowptr()[static_cast<std::size_t>(r.end)] -
+         m.rowptr()[static_cast<std::size_t>(r.begin)];
+}
+
+void validate_partition(const std::vector<RowRange>& parts, index_t nrows) {
+  if (parts.empty()) throw std::invalid_argument{"partition: empty"};
+  if (parts.front().begin != 0) throw std::invalid_argument{"partition: does not start at 0"};
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (parts[i].begin > parts[i].end) throw std::invalid_argument{"partition: inverted range"};
+    if (i > 0 && parts[i].begin != parts[i - 1].end) {
+      throw std::invalid_argument{"partition: gap or overlap"};
+    }
+  }
+  if (parts.back().end != nrows) throw std::invalid_argument{"partition: does not end at nrows"};
+}
+
+}  // namespace sparta

@@ -1,0 +1,41 @@
+// Row partitioning schemes for parallel SpMV.
+//
+// The paper's baseline uses "a static one-dimensional row partitioning
+// scheme, where each partition has approximately equal number of nonzero
+// elements and is assigned to a single thread" (§IV-A). The vendor baseline
+// uses a conventional equal-rows static split, and the IMB optimization can
+// switch to dynamic (OpenMP "auto"-like) scheduling.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "sparse/csr.hpp"
+
+namespace sparta {
+
+/// Half-open row range [begin, end) owned by one thread.
+struct RowRange {
+  index_t begin;
+  index_t end;
+
+  [[nodiscard]] index_t size() const { return end - begin; }
+  friend bool operator==(const RowRange&, const RowRange&) = default;
+};
+
+/// Partition rows so that each of `nparts` ranges carries approximately
+/// equal nonzeros (binary search over rowptr for each boundary). Ranges
+/// cover [0, nrows) exactly, in order, some possibly empty.
+std::vector<RowRange> partition_balanced_nnz(const CsrMatrix& m, int nparts);
+
+/// Conventional static split: approximately equal row counts.
+std::vector<RowRange> partition_equal_rows(index_t nrows, int nparts);
+
+/// Nonzeros inside a row range.
+offset_t range_nnz(const CsrMatrix& m, RowRange r);
+
+/// Validate that `parts` is an ordered exact cover of [0, nrows).
+/// Throws std::invalid_argument otherwise.
+void validate_partition(const std::vector<RowRange>& parts, index_t nrows);
+
+}  // namespace sparta

@@ -1,0 +1,128 @@
+#include "sparse/sell.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace sparta {
+
+SellMatrix SellMatrix::from_csr(const CsrMatrix& m, index_t chunk, index_t sigma) {
+  if (chunk <= 0) throw std::invalid_argument{"sell: chunk must be positive"};
+  if (sigma <= 0) throw std::invalid_argument{"sell: sigma must be positive"};
+  // Round sigma up to a multiple of the chunk so windows align with chunks.
+  sigma = (sigma + chunk - 1) / chunk * chunk;
+
+  SellMatrix s;
+  s.nrows_ = m.nrows();
+  s.ncols_ = m.ncols();
+  s.chunk_ = chunk;
+  s.sigma_ = sigma;
+  s.nnz_ = m.nnz();
+
+  const auto n = static_cast<std::size_t>(m.nrows());
+  s.perm_.resize(n);
+  std::iota(s.perm_.begin(), s.perm_.end(), 0);
+  // Sort rows by descending length within each sigma-window (stable, so
+  // equal-length rows keep their original order — deterministic layout).
+  for (std::size_t w = 0; w < n; w += static_cast<std::size_t>(sigma)) {
+    const auto end = std::min(n, w + static_cast<std::size_t>(sigma));
+    std::stable_sort(s.perm_.begin() + static_cast<std::ptrdiff_t>(w),
+                     s.perm_.begin() + static_cast<std::ptrdiff_t>(end),
+                     [&](index_t a, index_t b) { return m.row_nnz(a) > m.row_nnz(b); });
+  }
+
+  s.row_len_.resize(n);
+  for (std::size_t p = 0; p < n; ++p) s.row_len_[p] = m.row_nnz(s.perm_[p]);
+
+  const auto nchunks = static_cast<std::size_t>((m.nrows() + chunk - 1) / chunk);
+  s.chunk_len_.resize(nchunks);
+  s.chunk_off_.resize(nchunks);
+  offset_t off = 0;
+  for (std::size_t k = 0; k < nchunks; ++k) {
+    index_t width = 0;
+    for (index_t lane = 0; lane < chunk; ++lane) {
+      const auto p = static_cast<std::size_t>(k) * static_cast<std::size_t>(chunk) +
+                     static_cast<std::size_t>(lane);
+      if (p < n) width = std::max(width, s.row_len_[p]);
+    }
+    s.chunk_len_[k] = width;
+    s.chunk_off_[k] = off;
+    off += static_cast<offset_t>(width) * chunk;
+  }
+
+  s.colind_.assign(static_cast<std::size_t>(off), 0);
+  s.values_.assign(static_cast<std::size_t>(off), 0.0);
+  for (std::size_t k = 0; k < nchunks; ++k) {
+    for (index_t lane = 0; lane < chunk; ++lane) {
+      const auto p = static_cast<std::size_t>(k) * static_cast<std::size_t>(chunk) +
+                     static_cast<std::size_t>(lane);
+      if (p >= n) continue;
+      const index_t row = s.perm_[p];
+      const auto cols = m.row_cols(row);
+      const auto vals = m.row_vals(row);
+      for (std::size_t j = 0; j < cols.size(); ++j) {
+        // Column-major within the chunk: element j of lane `lane` lives at
+        // chunk_off + j*chunk + lane.
+        const auto dst = static_cast<std::size_t>(s.chunk_off_[k]) +
+                         j * static_cast<std::size_t>(chunk) + static_cast<std::size_t>(lane);
+        s.colind_[dst] = cols[j];
+        s.values_[dst] = vals[j];
+      }
+    }
+  }
+  return s;
+}
+
+std::size_t SellMatrix::index_bytes() const {
+  return colind_.size() * sizeof(index_t) + perm_.size() * sizeof(index_t) +
+         row_len_.size() * sizeof(index_t) + chunk_len_.size() * sizeof(index_t) +
+         chunk_off_.size() * sizeof(offset_t);
+}
+
+CsrMatrix SellMatrix::to_csr() const {
+  CooMatrix coo{nrows_, ncols_};
+  coo.reserve(static_cast<std::size_t>(nnz_));
+  for (index_t k = 0; k < nchunks(); ++k) {
+    for (index_t lane = 0; lane < chunk_; ++lane) {
+      const index_t p = k * chunk_ + lane;
+      if (p >= nrows_) continue;
+      const index_t row = perm_[static_cast<std::size_t>(p)];
+      const index_t len = row_len_[static_cast<std::size_t>(p)];
+      for (index_t j = 0; j < len; ++j) {
+        const auto src = static_cast<std::size_t>(chunk_off_[static_cast<std::size_t>(k)]) +
+                         static_cast<std::size_t>(j) * static_cast<std::size_t>(chunk_) +
+                         static_cast<std::size_t>(lane);
+        coo.add(row, colind_[src], values_[src]);
+      }
+    }
+  }
+  return CsrMatrix::from_coo(coo);
+}
+
+void spmv_sell_reference(const SellMatrix& a, std::span<const value_t> x,
+                         std::span<value_t> y) {
+  if (x.size() != static_cast<std::size_t>(a.ncols()) ||
+      y.size() != static_cast<std::size_t>(a.nrows())) {
+    throw std::invalid_argument{"spmv_sell_reference: vector size mismatch"};
+  }
+  const auto colind = a.colind();
+  const auto values = a.values();
+  const index_t chunk = a.chunk_rows();
+  for (index_t k = 0; k < a.nchunks(); ++k) {
+    for (index_t lane = 0; lane < chunk; ++lane) {
+      const index_t p = k * chunk + lane;
+      if (p >= a.nrows()) continue;
+      value_t acc = 0.0;
+      const index_t len = a.row_len(p);
+      for (index_t j = 0; j < len; ++j) {
+        const auto src = static_cast<std::size_t>(a.chunk_offset(k)) +
+                         static_cast<std::size_t>(j) * static_cast<std::size_t>(chunk) +
+                         static_cast<std::size_t>(lane);
+        acc += values[src] * x[static_cast<std::size_t>(colind[src])];
+      }
+      y[static_cast<std::size_t>(a.row_of(p))] = acc;
+    }
+  }
+}
+
+}  // namespace sparta

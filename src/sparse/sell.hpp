@@ -1,0 +1,90 @@
+// SELL-C-sigma storage (Kreutzer, Hager, Wellein, Fehske, Bishop 2014 —
+// cited in the paper's introduction as a unified SIMD-friendly format).
+//
+// Rows are sorted by descending length inside windows of `sigma` rows, then
+// packed into chunks of `C` consecutive rows; each chunk is stored
+// column-major and padded to its longest row, so a SIMD unit of width C can
+// process one chunk with unit-stride loads of values/colind. The sorting
+// bounds the padding; sigma = 1 degenerates to ELLPACK-on-chunks
+// (no reordering), sigma = nrows is a full sort.
+//
+// Role in this repo: the realistic "internal format" of the vendor
+// inspector-executor (MKL's ESB format is a SELL variant), and a
+// literature-grade comparison point for the optimization pool.
+#pragma once
+
+#include <span>
+
+#include "common/types.hpp"
+#include "sparse/csr.hpp"
+
+namespace sparta {
+
+class SellMatrix {
+ public:
+  /// Convert from CSR. `chunk` is C (rows per chunk, typically the SIMD
+  /// width), `sigma` the sorting window in rows (rounded up to a multiple
+  /// of `chunk`). Throws std::invalid_argument on non-positive parameters.
+  static SellMatrix from_csr(const CsrMatrix& m, index_t chunk = 8, index_t sigma = 256);
+
+  [[nodiscard]] index_t nrows() const { return nrows_; }
+  [[nodiscard]] index_t ncols() const { return ncols_; }
+  /// True stored nonzeros (excluding padding).
+  [[nodiscard]] offset_t nnz() const { return nnz_; }
+  /// Stored elements including padding.
+  [[nodiscard]] offset_t padded_nnz() const { return static_cast<offset_t>(values_.size()); }
+  /// padded_nnz / nnz — the format's storage overhead (1.0 = no padding).
+  [[nodiscard]] double padding_ratio() const {
+    return nnz_ > 0 ? static_cast<double>(padded_nnz()) / static_cast<double>(nnz_) : 1.0;
+  }
+
+  [[nodiscard]] index_t chunk_rows() const { return chunk_; }
+  [[nodiscard]] index_t nchunks() const { return static_cast<index_t>(chunk_len_.size()); }
+  /// Width (padded row length) of chunk k.
+  [[nodiscard]] index_t chunk_len(index_t k) const {
+    return chunk_len_[static_cast<std::size_t>(k)];
+  }
+  /// Offset of chunk k's first element in values()/colind().
+  [[nodiscard]] offset_t chunk_offset(index_t k) const {
+    return chunk_off_[static_cast<std::size_t>(k)];
+  }
+  /// Original row index stored in sorted position p (p in [0, nrows)).
+  [[nodiscard]] index_t row_of(index_t p) const { return perm_[static_cast<std::size_t>(p)]; }
+  /// Actual (unpadded) length of the row at sorted position p.
+  [[nodiscard]] index_t row_len(index_t p) const {
+    return row_len_[static_cast<std::size_t>(p)];
+  }
+
+  /// Column-major chunk data; padding lanes carry colind 0 / value 0.
+  [[nodiscard]] std::span<const index_t> colind() const { return colind_; }
+  [[nodiscard]] std::span<const value_t> values() const { return values_; }
+
+  /// Bytes of index structures (colind + chunk descriptors + permutation).
+  [[nodiscard]] std::size_t index_bytes() const;
+  [[nodiscard]] std::size_t value_bytes() const { return values_.size() * sizeof(value_t); }
+  [[nodiscard]] std::size_t bytes() const { return index_bytes() + value_bytes(); }
+
+  /// Convert back to CSR (round-trip tested).
+  [[nodiscard]] CsrMatrix to_csr() const;
+
+ private:
+  SellMatrix() = default;
+
+  index_t nrows_ = 0;
+  index_t ncols_ = 0;
+  index_t chunk_ = 8;
+  index_t sigma_ = 256;
+  offset_t nnz_ = 0;
+  aligned_vector<index_t> perm_;      // sorted position -> original row
+  aligned_vector<index_t> row_len_;   // per sorted position
+  aligned_vector<index_t> chunk_len_; // per chunk: padded width
+  aligned_vector<offset_t> chunk_off_;
+  aligned_vector<index_t> colind_;    // column-major per chunk, padded
+  aligned_vector<value_t> values_;
+};
+
+/// Serial reference SpMV on SELL (golden implementation for tests).
+void spmv_sell_reference(const SellMatrix& a, std::span<const value_t> x,
+                         std::span<value_t> y);
+
+}  // namespace sparta

@@ -1,0 +1,61 @@
+// The bottleneck taxonomy — the classes of the paper's classification
+// problem (§III-A): MB (memory bandwidth), ML (memory latency), IMB (thread
+// imbalance), CMP (computation). A matrix may belong to several classes;
+// the optimizer applies the corresponding optimizations jointly.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+
+namespace sparta {
+
+enum class Bottleneck : std::uint8_t {
+  kMB = 0,   // saturates memory bandwidth; regular structure
+  kML = 1,   // latency bound: irregular x accesses defeat hw prefetchers
+  kIMB = 2,  // thread imbalance: uneven rows or uneven per-region cost
+  kCMP = 3,  // compute bound: cache-resident or dense-row dominated
+};
+
+inline constexpr int kNumBottlenecks = 4;
+
+/// Small value-type set of bottleneck classes (bitmask).
+class BottleneckSet {
+ public:
+  constexpr BottleneckSet() = default;
+  constexpr BottleneckSet(std::initializer_list<Bottleneck> list) {
+    for (Bottleneck b : list) insert(b);
+  }
+  static constexpr BottleneckSet from_mask(std::uint32_t mask) {
+    BottleneckSet s;
+    s.mask_ = mask & 0xF;
+    return s;
+  }
+
+  constexpr void insert(Bottleneck b) { mask_ |= bit(b); }
+  constexpr void erase(Bottleneck b) { mask_ &= ~bit(b); }
+  [[nodiscard]] constexpr bool contains(Bottleneck b) const { return (mask_ & bit(b)) != 0; }
+  [[nodiscard]] constexpr bool empty() const { return mask_ == 0; }
+  [[nodiscard]] constexpr std::uint32_t mask() const { return mask_; }
+  [[nodiscard]] constexpr int size() const {
+    int n = 0;
+    for (std::uint32_t m = mask_; m != 0; m >>= 1) n += static_cast<int>(m & 1);
+    return n;
+  }
+
+  friend constexpr bool operator==(BottleneckSet, BottleneckSet) = default;
+
+ private:
+  static constexpr std::uint32_t bit(Bottleneck b) {
+    return std::uint32_t{1} << static_cast<std::uint8_t>(b);
+  }
+  std::uint32_t mask_ = 0;
+};
+
+/// "MB", "ML", "IMB", "CMP".
+std::string to_string(Bottleneck b);
+
+/// "{ML,IMB}"; "{}" for the empty set (not worth optimizing).
+std::string to_string(BottleneckSet s);
+
+}  // namespace sparta

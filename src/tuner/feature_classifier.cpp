@@ -1,0 +1,110 @@
+#include "tuner/feature_classifier.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace sparta {
+
+ml::LabelMask encode_labels(BottleneckSet s) {
+  ml::LabelMask mask = s.mask();
+  if (s.empty()) mask |= ml::LabelMask{1} << kNumBottlenecks;  // dummy class
+  return mask;
+}
+
+BottleneckSet decode_labels(ml::LabelMask mask) {
+  return BottleneckSet::from_mask(mask & 0xF);
+}
+
+namespace {
+
+void to_dataset(std::span<const TrainingSample> samples, const FeatureClassifier::Config& cfg,
+                std::vector<std::vector<double>>& x, std::vector<ml::LabelMask>& y) {
+  x.clear();
+  y.clear();
+  x.reserve(samples.size());
+  y.reserve(samples.size());
+  for (const auto& s : samples) {
+    x.push_back(project(s.features, cfg.subset));
+    y.push_back(encode_labels(s.labels));
+  }
+}
+
+}  // namespace
+
+FeatureClassifier FeatureClassifier::train(std::span<const TrainingSample> samples, Config cfg) {
+  FeatureClassifier fc;
+  fc.config_ = std::move(cfg);
+  std::vector<std::vector<double>> x;
+  std::vector<ml::LabelMask> y;
+  to_dataset(samples, fc.config_, x, y);
+  fc.model_.fit(x, y, kNumTreeLabels, fc.config_.tree);
+  return fc;
+}
+
+BottleneckSet FeatureClassifier::classify(const FeatureVector& fv) const {
+  const auto sample = project(fv, config_.subset);
+  return decode_labels(model_.predict(sample));
+}
+
+ml::CvScores FeatureClassifier::cross_validate(std::span<const TrainingSample> samples,
+                                               const Config& cfg) {
+  std::vector<std::vector<double>> x;
+  std::vector<ml::LabelMask> y;
+  to_dataset(samples, cfg, x, y);
+  return ml::leave_one_out(x, y, kNumTreeLabels, cfg.tree);
+}
+
+void FeatureClassifier::save(std::ostream& os) const {
+  os << "sparta-classifier 1\n";
+  os << "subset " << config_.subset.size();
+  for (Feature f : config_.subset) os << ' ' << static_cast<int>(f);
+  os << '\n';
+  os << "params " << config_.tree.max_depth << ' ' << config_.tree.min_samples_leaf << ' '
+     << config_.tree.min_samples_split << '\n';
+  model_.save(os);
+}
+
+FeatureClassifier FeatureClassifier::load(std::istream& is) {
+  std::string tag;
+  int version = 0;
+  if (!(is >> tag >> version) || tag != "sparta-classifier" || version != 1) {
+    throw std::runtime_error{"classifier: unsupported format"};
+  }
+  FeatureClassifier fc;
+  std::size_t n = 0;
+  if (!(is >> tag >> n) || tag != "subset" || n == 0 || n > kNumFeatures) {
+    throw std::runtime_error{"classifier: malformed subset"};
+  }
+  fc.config_.subset.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    int f = -1;
+    if (!(is >> f) || f < 0 || f >= kNumFeatures) {
+      throw std::runtime_error{"classifier: bad feature id"};
+    }
+    fc.config_.subset.push_back(static_cast<Feature>(f));
+  }
+  if (!(is >> tag >> fc.config_.tree.max_depth >> fc.config_.tree.min_samples_leaf >>
+        fc.config_.tree.min_samples_split) ||
+      tag != "params") {
+    throw std::runtime_error{"classifier: malformed params"};
+  }
+  fc.model_ = ml::MultilabelTree::load(is);
+  if (fc.model_.nlabels() != kNumTreeLabels) {
+    throw std::runtime_error{"classifier: wrong label count"};
+  }
+  return fc;
+}
+
+void FeatureClassifier::save_file(const std::string& path) const {
+  std::ofstream f{path};
+  if (!f) throw std::runtime_error{"classifier: cannot open '" + path + "' for writing"};
+  save(f);
+}
+
+FeatureClassifier FeatureClassifier::load_file(const std::string& path) {
+  std::ifstream f{path};
+  if (!f) throw std::runtime_error{"classifier: cannot open '" + path + "'"};
+  return load(f);
+}
+
+}  // namespace sparta

@@ -1,0 +1,78 @@
+// Feature-guided classifier — paper §III-D.
+//
+// A multilabel CART decision tree over the Table I structural features,
+// trained offline on a corpus labeled by the profile-guided classifier
+// (§III-D3: "we use our profile-guided classifier for this purpose"). At
+// runtime it only extracts features — no micro-benchmarks — which is what
+// makes it the most lightweight optimizer in Table V.
+//
+// Label encoding: bits 0..3 are the four bottleneck classes, bit 4 is the
+// dummy "not worth optimizing" class the paper adds for matrices with an
+// empty class set.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "features/features.hpp"
+#include "ml/cross_validation.hpp"
+#include "ml/multilabel.hpp"
+#include "tuner/bottleneck.hpp"
+
+namespace sparta {
+
+/// One labeled training sample.
+struct TrainingSample {
+  FeatureVector features;
+  BottleneckSet labels;
+};
+
+/// Number of tree labels (4 bottlenecks + dummy).
+inline constexpr int kNumTreeLabels = kNumBottlenecks + 1;
+
+/// Encode a class set as a tree label mask (adds the dummy bit when empty).
+ml::LabelMask encode_labels(BottleneckSet s);
+
+/// Decode a predicted mask back to a class set (drops the dummy bit).
+BottleneckSet decode_labels(ml::LabelMask mask);
+
+class FeatureClassifier {
+ public:
+  struct Config {
+    /// Which features the tree sees (paper Table IV evaluates the O(N) and
+    /// O(NNZ) subsets; default is the more accurate full subset).
+    std::vector<Feature> subset = feature_subset_full();
+    ml::TreeParams tree{};
+  };
+
+  /// Train on labeled samples.
+  static FeatureClassifier train(std::span<const TrainingSample> samples, Config cfg);
+  static FeatureClassifier train(std::span<const TrainingSample> samples) {
+    return train(samples, Config{});
+  }
+
+  /// Classify from a pre-extracted feature vector.
+  [[nodiscard]] BottleneckSet classify(const FeatureVector& fv) const;
+
+  [[nodiscard]] const Config& config() const { return config_; }
+  [[nodiscard]] const ml::MultilabelTree& model() const { return model_; }
+
+  /// Leave-One-Out accuracy of a configuration on a labeled corpus
+  /// (paper §IV-B methodology; exact & partial match ratios).
+  static ml::CvScores cross_validate(std::span<const TrainingSample> samples, const Config& cfg);
+
+  /// Persist / restore a trained classifier (subset + hyperparameters +
+  /// trees) — the "train offline once, deploy everywhere" workflow.
+  void save(std::ostream& os) const;
+  void save_file(const std::string& path) const;
+  static FeatureClassifier load(std::istream& is);
+  static FeatureClassifier load_file(const std::string& path);
+
+ private:
+  Config config_;
+  ml::MultilabelTree model_;
+};
+
+}  // namespace sparta

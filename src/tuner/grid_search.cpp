@@ -1,0 +1,47 @@
+#include "tuner/grid_search.hpp"
+
+namespace sparta {
+
+double average_gain(std::span<const Autotuner::Evaluation> evals, const Autotuner& tuner,
+                    const ProfileThresholds& t) {
+  if (evals.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& e : evals) {
+    const auto classes = classify_profile(e.bounds, t);
+    // The IMB sub-selection is feature-driven and already folded into
+    // class_mask_gflops during evaluation.
+    const double optimized = e.class_mask_gflops[classes.mask()];
+    total += e.bounds.p_csr > 0.0 ? optimized / e.bounds.p_csr : 1.0;
+  }
+  (void)tuner;
+  return total / static_cast<double>(evals.size());
+}
+
+GridSearchResult tune_thresholds(std::span<const Autotuner::Evaluation> evals,
+                                 const Autotuner& tuner, std::span<const double> t_ml_values,
+                                 std::span<const double> t_imb_values) {
+  GridSearchResult result;
+  result.cells.reserve(t_ml_values.size() * t_imb_values.size());
+  for (double t_ml : t_ml_values) {
+    for (double t_imb : t_imb_values) {
+      ProfileThresholds t;
+      t.t_ml = t_ml;
+      t.t_imb = t_imb;
+      const double gain = average_gain(evals, tuner, t);
+      result.cells.push_back({t_ml, t_imb, gain});
+      if (gain > result.best_gain) {
+        result.best_gain = gain;
+        result.best = t;
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<double> default_threshold_grid() {
+  std::vector<double> grid;
+  for (double v = 1.05; v <= 2.001; v += 0.05) grid.push_back(v);
+  return grid;
+}
+
+}  // namespace sparta

@@ -1,0 +1,39 @@
+// Hyperparameter grid search for the profile-guided classifier (paper
+// §III-C): exhaustively sweep (T_ML, T_IMB) and keep the combination that
+// maximizes the average performance gain of the selected optimizations over
+// a training corpus.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tuner/optimizer.hpp"
+
+namespace sparta {
+
+struct GridSearchCell {
+  double t_ml = 0.0;
+  double t_imb = 0.0;
+  /// Mean over the corpus of (selected-optimization GFLOP/s) / (baseline).
+  double avg_gain = 0.0;
+};
+
+struct GridSearchResult {
+  ProfileThresholds best;
+  double best_gain = 0.0;
+  std::vector<GridSearchCell> cells;  // full surface, row-major (t_ml outer)
+};
+
+/// Average gain of given thresholds over precomputed evaluations.
+double average_gain(std::span<const Autotuner::Evaluation> evals, const Autotuner& tuner,
+                    const ProfileThresholds& t);
+
+/// Exhaustive sweep over the cross product of the candidate values.
+GridSearchResult tune_thresholds(std::span<const Autotuner::Evaluation> evals,
+                                 const Autotuner& tuner, std::span<const double> t_ml_values,
+                                 std::span<const double> t_imb_values);
+
+/// The default grid used by the benches: 1.05..2.0 in steps of ~0.05.
+std::vector<double> default_threshold_grid();
+
+}  // namespace sparta

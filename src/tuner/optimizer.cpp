@@ -1,0 +1,195 @@
+#include "tuner/optimizer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sparta {
+
+Autotuner::Autotuner(MachineSpec machine, ProfileThresholds thresholds, CostModelParams cost,
+                     ImbPolicy imb)
+    : machine_(std::move(machine)), thresholds_(thresholds), cost_(cost), imb_(imb) {}
+
+FeatureExtractionConfig Autotuner::extraction_config() const {
+  return {machine_.llc_bytes, machine_.values_per_line()};
+}
+
+double Autotuner::Evaluation::gflops_for(const sim::KernelConfig& cfg) const {
+  for (const auto& [c, g] : perf) {
+    if (c == cfg) return g;
+  }
+  throw std::out_of_range{"Evaluation: config '" + cfg.describe() + "' was not simulated"};
+}
+
+double Autotuner::Evaluation::seconds_at(double gflops) const {
+  return gflops > 0.0 ? 2.0 * static_cast<double>(nnz) / gflops * 1e-9 : 0.0;
+}
+
+double Autotuner::simulate_gflops(const CsrMatrix& m, const sim::KernelConfig& cfg) const {
+  return sim::simulate_spmv(m, machine_, cfg).run.gflops;
+}
+
+Autotuner::Evaluation Autotuner::evaluate(const std::string& name, const CsrMatrix& m) const {
+  Evaluation e;
+  e.name = name;
+  e.nrows = m.nrows();
+  e.nnz = m.nnz();
+  e.bounds = measure_bounds(m, machine_);
+  e.features = extract_features(m, extraction_config());
+
+  auto rate_of = [&](const sim::KernelConfig& cfg) {
+    for (const auto& [c, g] : e.perf) {
+      if (c == cfg) return g;
+    }
+    const double g = simulate_gflops(m, cfg);
+    e.perf.emplace_back(cfg, g);
+    return g;
+  };
+
+  // Baseline is part of the cache too (mask 0 / empty sweep entry).
+  rate_of(sim::baseline_config());
+
+  // All 15 sweep candidates.
+  const auto& combos = combined_optimization_sets();
+  e.combo_gflops.reserve(combos.size());
+  for (const auto& combo : combos) {
+    e.combo_gflops.push_back(rate_of(config_for(combo)));
+  }
+
+  // Every class-mask selection the classifiers could emit.
+  for (std::uint32_t mask = 0; mask < 16; ++mask) {
+    const auto classes = BottleneckSet::from_mask(mask);
+    const auto ops = select_optimizations(classes, e.features, imb_);
+    e.class_mask_gflops[mask] = rate_of(config_for(ops));
+  }
+  return e;
+}
+
+double Autotuner::setup_seconds(const std::vector<Optimization>& ops, double t_csr) const {
+  double sec = 0.0;
+  bool codegen = false;
+  for (Optimization o : ops) {
+    switch (o) {
+      case Optimization::kDeltaVec:
+        sec += cost_.delta_setup_spmv * t_csr;
+        codegen = true;
+        break;
+      case Optimization::kPrefetch:
+        codegen = true;
+        break;
+      case Optimization::kDecompose:
+        sec += cost_.decompose_setup_spmv * t_csr;
+        break;
+      case Optimization::kAutoSched:
+        sec += cost_.autosched_setup_spmv * t_csr;
+        break;
+      case Optimization::kUnrollVec:
+        codegen = true;
+        break;
+    }
+  }
+  if (codegen) sec += cost_.jit_fixed_seconds + cost_.codegen_setup_spmv * t_csr;
+  return sec;
+}
+
+OptimizationPlan Autotuner::plan_from_classes(const Evaluation& e, BottleneckSet classes,
+                                              std::string strategy,
+                                              double selection_seconds) const {
+  OptimizationPlan plan;
+  plan.strategy = std::move(strategy);
+  plan.classes = classes;
+  plan.optimizations = select_optimizations(classes, e.features, imb_);
+  plan.config = config_for(plan.optimizations);
+  plan.gflops = e.class_mask_gflops[classes.mask()];
+  plan.t_spmv_seconds = e.seconds_at(plan.gflops);
+  plan.t_pre_seconds = selection_seconds + setup_seconds(plan.optimizations, e.bounds.t_csr_seconds);
+  return plan;
+}
+
+OptimizationPlan Autotuner::plan_profile_guided(const Evaluation& e) const {
+  const auto classes = classify_profile(e.bounds, thresholds_);
+  // Selection cost: the profiling phase times the baseline and the two
+  // micro-benchmarks, timing_iters runs each (P_MB/P_peak are analytic and
+  // P_IMB falls out of the baseline run — paper §III-B).
+  const double t_ml_bench = e.seconds_at(e.bounds.p_ml);
+  const double t_cmp_bench = e.seconds_at(e.bounds.p_cmp);
+  const double selection =
+      cost_.timing_iters * (e.bounds.t_csr_seconds + t_ml_bench + t_cmp_bench);
+  return plan_from_classes(e, classes, "profile", selection);
+}
+
+OptimizationPlan Autotuner::plan_feature_guided(const Evaluation& e,
+                                                const FeatureClassifier& fc) const {
+  const auto classes = fc.classify(e.features);
+  // Selection cost: feature extraction (tree query is O(log n), negligible).
+  const bool needs_nnz_pass =
+      std::any_of(fc.config().subset.begin(), fc.config().subset.end(), [](Feature f) {
+        return f == Feature::kClusteringAvg || f == Feature::kMissesAvg;
+      });
+  const double selection = (needs_nnz_pass ? cost_.feat_extract_full_spmv
+                                           : cost_.feat_extract_linear_spmv) *
+                           e.bounds.t_csr_seconds;
+  return plan_from_classes(e, classes, "feature", selection);
+}
+
+OptimizationPlan Autotuner::plan_oracle(const Evaluation& e) const {
+  OptimizationPlan plan;
+  plan.strategy = "oracle";
+  plan.gflops = e.bounds.p_csr;
+  plan.config = sim::baseline_config();
+  const auto& combos = combined_optimization_sets();
+  for (std::size_t i = 0; i < combos.size(); ++i) {
+    if (e.combo_gflops[i] > plan.gflops) {
+      plan.gflops = e.combo_gflops[i];
+      plan.optimizations = combos[i];
+      plan.config = config_for(combos[i]);
+    }
+  }
+  plan.t_spmv_seconds = e.seconds_at(plan.gflops);
+  plan.t_pre_seconds = 0.0;  // the oracle is a hypothetical upper bound
+  return plan;
+}
+
+OptimizationPlan Autotuner::plan_trivial(const Evaluation& e, bool combined) const {
+  OptimizationPlan plan;
+  plan.strategy = combined ? "trivial-combined" : "trivial-single";
+  plan.gflops = e.bounds.p_csr;
+  plan.config = sim::baseline_config();
+  const auto& combos = combined_optimization_sets();
+  const std::size_t limit = combined ? combos.size() : single_optimization_sets().size();
+  double sweep_seconds = 0.0;
+  for (std::size_t i = 0; i < limit; ++i) {
+    // Pay for this trial: setup + timed runs of the candidate.
+    sweep_seconds += setup_seconds(combos[i], e.bounds.t_csr_seconds) +
+                     cost_.timing_iters * e.seconds_at(e.combo_gflops[i]);
+    if (e.combo_gflops[i] > plan.gflops) {
+      plan.gflops = e.combo_gflops[i];
+      plan.optimizations = combos[i];
+      plan.config = config_for(combos[i]);
+    }
+  }
+  plan.t_spmv_seconds = e.seconds_at(plan.gflops);
+  plan.t_pre_seconds = sweep_seconds;
+  return plan;
+}
+
+OptimizationPlan Autotuner::tune_profile_guided(const CsrMatrix& m) const {
+  return plan_profile_guided(evaluate("", m));
+}
+
+OptimizationPlan Autotuner::tune_feature_guided(const CsrMatrix& m,
+                                                const FeatureClassifier& fc) const {
+  return plan_feature_guided(evaluate("", m), fc);
+}
+
+TrainingSample Autotuner::label(const Evaluation& e) const {
+  return {e.features, classify_profile(e.bounds, thresholds_)};
+}
+
+TrainingSample Autotuner::label(const CsrMatrix& m) const {
+  TrainingSample s;
+  s.features = extract_features(m, extraction_config());
+  s.labels = classify_profile(measure_bounds(m, machine_), thresholds_);
+  return s;
+}
+
+}  // namespace sparta

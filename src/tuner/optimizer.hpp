@@ -1,0 +1,136 @@
+// The optimizer front-ends — the system the paper evaluates.
+//
+// An Autotuner owns a target platform and produces OptimizationPlans via
+// four strategies:
+//   profile-guided  — run the bound micro-benchmarks, classify (Fig. 4),
+//                     apply the mapped optimizations jointly
+//   feature-guided  — extract features, query the pre-trained tree
+//   oracle          — perfect optimizer: best of the 15 candidate sets
+//   trivial         — run every candidate (5 singles, or all 15) and keep
+//                     the best; pays for every trial (paper Table V)
+// Every plan carries both the optimized SpMV time and the preprocessing
+// cost t_pre charged by the amortization analysis
+//   N_iters,min = t_pre / (t_vendor - t_optimizer)        (paper §IV-D).
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "machine/machine_spec.hpp"
+#include "sim/simulator.hpp"
+#include "tuner/bounds.hpp"
+#include "tuner/feature_classifier.hpp"
+#include "tuner/optimizations.hpp"
+#include "tuner/profile_classifier.hpp"
+
+namespace sparta {
+
+/// Preprocessing cost model, in units the amortization study needs.
+/// Time-valued constants are expressed as multiples of the baseline SpMV
+/// time (so they scale with the matrix) plus fixed seconds for runtime code
+/// generation. Values are calibrated against paper Table V; the fixed JIT
+/// cost is scaled by the same 1/16 factor as the matrices and caches.
+struct CostModelParams {
+  /// SpMV iterations per timed trial ("We run 64 SpMV iterations to get
+  /// valid timing measurements", paper §IV-D).
+  int timing_iters = 64;
+  /// Fixed runtime code-generation (JIT) cost per distinct kernel, seconds.
+  double jit_fixed_seconds = 300e-6;
+  /// Feature extraction cost, multiples of t_csr: O(N) subset / O(NNZ) subset.
+  double feat_extract_linear_spmv = 1.0;
+  double feat_extract_full_spmv = 5.0;
+  /// Format-conversion setup costs, multiples of t_csr.
+  double delta_setup_spmv = 3.0;
+  double decompose_setup_spmv = 2.0;
+  double autosched_setup_spmv = 0.1;
+  /// Extra setup for codegen-only variants (prefetch/unroll/vector).
+  double codegen_setup_spmv = 0.5;
+  /// Vendor inspector-executor inspection cost, multiples of t_csr.
+  double ie_inspection_spmv = 40.0;
+};
+
+/// Outcome of one optimizer invocation for one matrix.
+struct OptimizationPlan {
+  std::string strategy;                     // "profile", "feature", "oracle", ...
+  BottleneckSet classes;                    // detected bottlenecks (empty for sweeps)
+  std::vector<Optimization> optimizations;  // jointly applied set
+  sim::KernelConfig config;                 // composed kernel variant
+  double gflops = 0.0;                      // optimized SpMV rate
+  double t_spmv_seconds = 0.0;              // optimized per-iteration time
+  double t_pre_seconds = 0.0;               // optimizer overhead (selection+setup)
+};
+
+class Autotuner {
+ public:
+  explicit Autotuner(MachineSpec machine, ProfileThresholds thresholds = {},
+                     CostModelParams cost = {}, ImbPolicy imb = {});
+
+  /// Everything the benches need for one matrix, computed once: bounds,
+  /// features, and the simulated performance of every candidate kernel
+  /// configuration (the 15 sweep sets plus every class-mask selection).
+  struct Evaluation {
+    std::string name;
+    index_t nrows = 0;
+    offset_t nnz = 0;
+    PerfBounds bounds;
+    FeatureVector features;
+    /// Simulated GFLOP/s per kernel configuration (a small config->rate map).
+    std::vector<std::pair<sim::KernelConfig, double>> perf;
+    /// GFLOP/s of the joint selection for every class bitmask 0..15
+    /// (mask 0 = baseline).
+    std::array<double, 16> class_mask_gflops{};
+    /// GFLOP/s of each combined_optimization_sets() entry, in order.
+    std::vector<double> combo_gflops;
+
+    /// Rate for a config simulated during evaluate(); throws if absent.
+    [[nodiscard]] double gflops_for(const sim::KernelConfig& cfg) const;
+    /// Optimized SpMV seconds from a rate.
+    [[nodiscard]] double seconds_at(double gflops) const;
+  };
+
+  [[nodiscard]] Evaluation evaluate(const std::string& name, const CsrMatrix& m) const;
+
+  // --- Planning from a precomputed evaluation (pure lookups) -------------
+  [[nodiscard]] OptimizationPlan plan_profile_guided(const Evaluation& e) const;
+  [[nodiscard]] OptimizationPlan plan_feature_guided(const Evaluation& e,
+                                                     const FeatureClassifier& fc) const;
+  [[nodiscard]] OptimizationPlan plan_oracle(const Evaluation& e) const;
+  /// trivial-single (combined = false) or trivial-combined (true).
+  [[nodiscard]] OptimizationPlan plan_trivial(const Evaluation& e, bool combined) const;
+
+  // --- Convenience: evaluate + plan in one call ---------------------------
+  [[nodiscard]] OptimizationPlan tune_profile_guided(const CsrMatrix& m) const;
+  [[nodiscard]] OptimizationPlan tune_feature_guided(const CsrMatrix& m,
+                                                     const FeatureClassifier& fc) const;
+
+  /// Simulate one configuration directly.
+  [[nodiscard]] double simulate_gflops(const CsrMatrix& m, const sim::KernelConfig& cfg) const;
+
+  /// Build a labeled training sample (features + profile-guided labels).
+  [[nodiscard]] TrainingSample label(const CsrMatrix& m) const;
+  [[nodiscard]] TrainingSample label(const Evaluation& e) const;
+
+  [[nodiscard]] const MachineSpec& machine() const { return machine_; }
+  [[nodiscard]] const ProfileThresholds& thresholds() const { return thresholds_; }
+  void set_thresholds(const ProfileThresholds& t) { thresholds_ = t; }
+  [[nodiscard]] const CostModelParams& cost_model() const { return cost_; }
+  [[nodiscard]] const ImbPolicy& imb_policy() const { return imb_; }
+  [[nodiscard]] FeatureExtractionConfig extraction_config() const;
+
+ private:
+  [[nodiscard]] double setup_seconds(const std::vector<Optimization>& ops,
+                                     double t_csr) const;
+  [[nodiscard]] OptimizationPlan plan_from_classes(const Evaluation& e, BottleneckSet classes,
+                                                   std::string strategy,
+                                                   double selection_seconds) const;
+
+  MachineSpec machine_;
+  ProfileThresholds thresholds_;
+  CostModelParams cost_;
+  ImbPolicy imb_;
+};
+
+}  // namespace sparta

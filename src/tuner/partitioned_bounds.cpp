@@ -1,0 +1,55 @@
+#include "tuner/partitioned_bounds.hpp"
+
+#include <stdexcept>
+
+#include "sim/simulator.hpp"
+#include "sparse/partition.hpp"
+
+namespace sparta {
+
+PartitionedMlResult measure_partitioned_ml(const CsrMatrix& m, const MachineSpec& machine,
+                                           int partitions) {
+  if (partitions <= 0) throw std::invalid_argument{"partitioned_ml: partitions <= 0"};
+  PartitionedMlResult result;
+
+  sim::KernelConfig reg = sim::baseline_config();
+  reg.x_access = sim::XAccess::kRegularized;
+
+  const double global_base = sim::simulate_spmv(m, machine, sim::baseline_config()).run.gflops;
+  const double global_reg = sim::simulate_spmv(m, machine, reg).run.gflops;
+  result.global_gain = global_base > 0.0 ? global_reg / global_base : 0.0;
+
+  const auto parts = partition_balanced_nnz(m, partitions);
+  result.partition_gains.reserve(parts.size());
+  for (std::size_t p = 0; p < parts.size(); ++p) {
+    const auto& r = parts[p];
+    if (r.size() == 0) {
+      result.partition_gains.push_back(1.0);
+      continue;
+    }
+    const CsrMatrix slice = m.slice_rows(r.begin, r.end);
+    if (slice.nnz() == 0) {
+      result.partition_gains.push_back(1.0);
+      continue;
+    }
+    const double base = sim::simulate_spmv(slice, machine, sim::baseline_config()).run.gflops;
+    const double regular = sim::simulate_spmv(slice, machine, reg).run.gflops;
+    const double gain = base > 0.0 ? regular / base : 1.0;
+    result.partition_gains.push_back(gain);
+    if (gain > result.max_partition_gain) {
+      result.max_partition_gain = gain;
+      result.worst_partition = static_cast<int>(p);
+    }
+  }
+  return result;
+}
+
+BottleneckSet classify_profile_partitioned(const PerfBounds& bounds,
+                                           const PartitionedMlResult& ml,
+                                           const ProfileThresholds& t) {
+  BottleneckSet cls = classify_profile(bounds, t);
+  if (ml.max_partition_gain > t.t_ml) cls.insert(Bottleneck::kML);
+  return cls;
+}
+
+}  // namespace sparta

@@ -1,0 +1,49 @@
+// Partitioned bound analysis — the paper's future-work extension (§IV-C):
+//
+//   "we discovered that the benchmark that exposes irregularity for the
+//    profile-guided classifier can actually detect the irregularity in this
+//    matrix by looking at it in partitions, instead of looking at it as a
+//    whole. We intend to extend our classification approach to incorporate
+//    this idea in future work."
+//
+// A matrix whose irregularity is confined to one region (e.g. rajat30's
+// dense rows, or the scattered half of a regionally hybrid matrix) can pass
+// the global P_ML test: the regularization gain of the irregular region is
+// diluted by the regular remainder. Here the P_ML micro-benchmark runs per
+// row partition and the *maximum* per-partition gain is reported; the
+// extended classifier adds the ML class when any region clears the T_ML
+// threshold.
+#pragma once
+
+#include <vector>
+
+#include "machine/machine_spec.hpp"
+#include "tuner/profile_classifier.hpp"
+
+namespace sparta {
+
+/// Per-partition regularization gains.
+struct PartitionedMlResult {
+  /// Whole-matrix gain P_ML / P_CSR (the standard Fig. 4 signal).
+  double global_gain = 0.0;
+  /// Gain of each row partition: P_ML(part) / P_CSR(part).
+  std::vector<double> partition_gains;
+  /// Max over partitions — the extension's detection signal.
+  double max_partition_gain = 0.0;
+  /// Index of the most latency-bound partition.
+  int worst_partition = -1;
+};
+
+/// Run the P_ML micro-benchmark per nnz-balanced row partition.
+/// `partitions` controls granularity (paper leaves it open; 16 keeps the
+/// added profiling cost at a small multiple of the standard benchmark).
+PartitionedMlResult measure_partitioned_ml(const CsrMatrix& m, const MachineSpec& machine,
+                                           int partitions = 16);
+
+/// The Fig. 4 classifier extended with the partitioned ML signal: same
+/// rules, plus ML when max_partition_gain > T_ML.
+BottleneckSet classify_profile_partitioned(const PerfBounds& bounds,
+                                           const PartitionedMlResult& ml,
+                                           const ProfileThresholds& t = {});
+
+}  // namespace sparta

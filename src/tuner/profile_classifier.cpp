@@ -1,0 +1,18 @@
+#include "tuner/profile_classifier.hpp"
+
+namespace sparta {
+
+BottleneckSet classify_profile(const PerfBounds& b, const ProfileThresholds& t) {
+  BottleneckSet cls;
+  if (b.p_csr <= 0.0) return cls;
+
+  if (b.p_imb / b.p_csr > t.t_imb) cls.insert(Bottleneck::kIMB);
+  if (b.p_ml / b.p_csr > t.t_ml) cls.insert(Bottleneck::kML);
+  if (b.p_csr >= t.approx * b.p_mb && b.p_mb < b.p_cmp && b.p_cmp < b.p_peak) {
+    cls.insert(Bottleneck::kMB);
+  }
+  if (b.p_mb > b.p_cmp || b.p_cmp > b.p_peak) cls.insert(Bottleneck::kCMP);
+  return cls;
+}
+
+}  // namespace sparta

@@ -1,0 +1,32 @@
+// Profile-guided classifier — paper Fig. 4.
+//
+// Rule algorithm over the per-class bounds:
+//   IMB  when P_IMB / P_CSR > T_IMB
+//   ML   when P_ML  / P_CSR > T_ML
+//   MB   when P_CSR ~ P_MB  and  P_MB < P_CMP < P_peak
+//   CMP  when P_MB > P_CMP  or  P_CMP > P_peak
+// T_ML and T_IMB are the hyperparameters; the paper's grid search found
+// T_ML = 1.25 and T_IMB = 1.24 (our grid search bench re-derives values for
+// the modeled platforms). A matrix may end up with no class at all: not
+// worth optimizing with this pool.
+#pragma once
+
+#include "tuner/bottleneck.hpp"
+#include "tuner/bounds.hpp"
+
+namespace sparta {
+
+/// Hyperparameters of the rule classifier.
+struct ProfileThresholds {
+  double t_ml = 1.25;
+  double t_imb = 1.24;
+  /// "P_CSR approximately equals P_MB" tolerance: P_CSR >= approx * P_MB.
+  double approx = 0.80;
+
+  friend bool operator==(const ProfileThresholds&, const ProfileThresholds&) = default;
+};
+
+/// Apply the Fig. 4 rules to measured bounds.
+BottleneckSet classify_profile(const PerfBounds& b, const ProfileThresholds& t = {});
+
+}  // namespace sparta

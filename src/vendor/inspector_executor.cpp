@@ -1,0 +1,74 @@
+#include "vendor/inspector_executor.hpp"
+
+#include "sim/sell_sim.hpp"
+#include "sim/simulator.hpp"
+#include "sparse/sell.hpp"
+#include "vendor/vendor_csr.hpp"
+
+namespace sparta::vendor {
+
+const std::vector<sim::KernelConfig>& ie_candidates() {
+  static const std::vector<sim::KernelConfig> kCandidates = [] {
+    std::vector<sim::KernelConfig> v;
+    // Conventional layout (what the executor falls back to).
+    v.push_back(vendor_csr_config());
+    // Balanced static partitioning, scalar and vectorized.
+    v.push_back(sim::KernelConfig{});
+    {
+      sim::KernelConfig c;
+      c.vectorized = true;
+      v.push_back(c);
+    }
+    // Dynamic scheduling, vectorized.
+    {
+      sim::KernelConfig c;
+      c.vectorized = true;
+      c.schedule = sim::Schedule::kDynamicChunks;
+      v.push_back(c);
+    }
+    // Compressed indices + vectorization.
+    {
+      sim::KernelConfig c;
+      c.delta = true;
+      c.vectorized = true;
+      v.push_back(c);
+    }
+    return v;
+  }();
+  return kCandidates;
+}
+
+IeResult inspector_executor(const CsrMatrix& m, const MachineSpec& machine,
+                            const CostModelParams& cost) {
+  IeResult best;
+  best.gflops = 0.0;
+  double t_csr = 0.0;
+  for (const auto& cfg : ie_candidates()) {
+    const auto r = sim::simulate_spmv(m, machine, cfg);
+    if (cfg == sim::KernelConfig{}) t_csr = r.run.seconds;
+    if (r.run.gflops > best.gflops) {
+      best.gflops = r.run.gflops;
+      best.chosen = cfg;
+      best.t_spmv_seconds = r.run.seconds;
+    }
+  }
+  // Internal SELL-C-sigma layout (ESB-like), C = SIMD width.
+  const auto sell = SellMatrix::from_csr(m, machine.simd_doubles(), 256);
+  const auto sell_run = sim::simulate_spmv_sell(sell, machine);
+  double sell_conversion = 0.0;
+  if (sell_run.gflops > best.gflops) {
+    best.gflops = sell_run.gflops;
+    best.used_sell = true;
+    sim::KernelConfig vec;
+    vec.vectorized = true;
+    best.chosen = vec;
+    best.t_spmv_seconds = sell_run.seconds;
+    // Conversion touches every (padded) element twice: read CSR, write SELL.
+    sell_conversion = 4.0 * t_csr * sell.padding_ratio();
+  }
+  best.t_pre_seconds =
+      cost.ie_inspection_spmv * t_csr + cost.jit_fixed_seconds + sell_conversion;
+  return best;
+}
+
+}  // namespace sparta::vendor

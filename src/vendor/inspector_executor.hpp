@@ -1,0 +1,40 @@
+// Vendor-library stand-in, part 2: the inspector-executor autotuner.
+//
+// Models MKL's mkl_sparse_optimize() / mkl_sparse_d_mv() pair: an inspection
+// phase analyzes the matrix and picks one of a fixed set of internal kernel
+// layouts (balanced partitioning, vectorization, dynamic scheduling, index
+// compression), paying a preprocessing cost for it. Unlike the paper's
+// optimizer it has no bottleneck model — it sweeps its internal candidates —
+// and its candidate set lacks software prefetching and long-row
+// decomposition, which is where the paper's largest wins over it come from.
+#pragma once
+
+#include <vector>
+
+#include "machine/machine_spec.hpp"
+#include "sim/kernel_model.hpp"
+#include "sparse/csr.hpp"
+#include "tuner/optimizer.hpp"
+
+namespace sparta::vendor {
+
+/// The internal kernel layouts the inspector considers.
+const std::vector<sim::KernelConfig>& ie_candidates();
+
+struct IeResult {
+  sim::KernelConfig chosen;
+  /// True when the inspector selected its internal SELL-C-sigma layout
+  /// (modeled after MKL's ESB format) instead of a CSR variant; `chosen`
+  /// is then the vectorized config the SELL kernel corresponds to.
+  bool used_sell = false;
+  double gflops = 0.0;
+  double t_spmv_seconds = 0.0;
+  /// Inspection + conversion overhead (simulated seconds).
+  double t_pre_seconds = 0.0;
+};
+
+/// Run the inspector-executor on the modeled platform.
+IeResult inspector_executor(const CsrMatrix& m, const MachineSpec& machine,
+                            const CostModelParams& cost = {});
+
+}  // namespace sparta::vendor

@@ -1,0 +1,24 @@
+#include "vendor/vendor_csr.hpp"
+
+#include "kernels/spmv_csr.hpp"
+#include "sim/simulator.hpp"
+
+namespace sparta::vendor {
+
+sim::KernelConfig vendor_csr_config() {
+  sim::KernelConfig cfg;
+  cfg.schedule = sim::Schedule::kStaticRows;
+  return cfg;
+}
+
+double vendor_csr_gflops(const CsrMatrix& m, const MachineSpec& machine) {
+  return sim::simulate_spmv(m, machine, vendor_csr_config()).run.gflops;
+}
+
+void vendor_csr_host(const CsrMatrix& m, std::span<const value_t> x, std::span<value_t> y,
+                     int threads) {
+  const auto parts = partition_equal_rows(m.nrows(), threads);
+  kernels::spmv_csr(m, x, y, parts);
+}
+
+}  // namespace sparta::vendor

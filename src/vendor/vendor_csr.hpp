@@ -1,0 +1,29 @@
+// Vendor-library stand-in, part 1: the conventional CSR kernel.
+//
+// The paper compares against Intel MKL's mkl_dcsrmv(), which is not
+// available offline. This module reproduces its *role*: a well-built but
+// conventional CSR SpMV — scalar inner loop, static equal-rows work split,
+// no matrix-specific adaptation. That is exactly the comparator profile the
+// paper's speedups are measured against (adaptive vs conventional).
+#pragma once
+
+#include <span>
+
+#include "machine/machine_spec.hpp"
+#include "sim/kernel_model.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/partition.hpp"
+
+namespace sparta::vendor {
+
+/// The conventional kernel's configuration on the modeled platforms.
+sim::KernelConfig vendor_csr_config();
+
+/// Simulated GFLOP/s of the vendor CSR kernel.
+double vendor_csr_gflops(const CsrMatrix& m, const MachineSpec& machine);
+
+/// Host execution of the vendor kernel (equal-rows static partitioning).
+void vendor_csr_host(const CsrMatrix& m, std::span<const value_t> x, std::span<value_t> y,
+                     int threads);
+
+}  // namespace sparta::vendor

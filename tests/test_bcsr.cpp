@@ -1,0 +1,120 @@
+// Tests for BCSR register blocking: geometry, fill-ratio behavior,
+// round-trips and the reference kernel, parameterized over block shapes and
+// matrix families.
+#include <gtest/gtest.h>
+
+#include "common/prng.hpp"
+#include "gen/generators.hpp"
+#include "sparse/bcsr.hpp"
+
+namespace sparta {
+namespace {
+
+TEST(Bcsr, RejectsBadBlockDims) {
+  const CsrMatrix m = gen::diagonal(8);
+  EXPECT_THROW(BcsrMatrix::from_csr(m, 0, 2), std::invalid_argument);
+  EXPECT_THROW(BcsrMatrix::from_csr(m, 2, 0), std::invalid_argument);
+}
+
+TEST(Bcsr, BlockDiagonalHasPerfectFill) {
+  // 4x4 dense blocks on the diagonal blocked as 4x4: zero padding.
+  const CsrMatrix m = gen::block_diagonal(64, 4, 1101);
+  const auto b = BcsrMatrix::from_csr(m, 4, 4);
+  EXPECT_DOUBLE_EQ(b.fill_ratio(), 1.0);
+  EXPECT_EQ(b.nblocks(), 16);
+  EXPECT_EQ(b.nnz(), m.nnz());
+}
+
+TEST(Bcsr, DiagonalPaysFullBlockFill) {
+  // A pure diagonal blocked 2x2 stores one diagonal element per... two rows
+  // share a block only when both diagonal entries land in it: entries (0,0)
+  // and (1,1) share block (0,0) -> 2 of 4 slots used.
+  const CsrMatrix m = gen::diagonal(16);
+  const auto b = BcsrMatrix::from_csr(m, 2, 2);
+  EXPECT_EQ(b.nblocks(), 8);
+  EXPECT_DOUBLE_EQ(b.fill_ratio(), 2.0);
+}
+
+TEST(Bcsr, OneByOneBlockingIsCsrEquivalent) {
+  const CsrMatrix m = gen::banded(200, 20, 6, 1102);
+  const auto b = BcsrMatrix::from_csr(m, 1, 1);
+  EXPECT_DOUBLE_EQ(b.fill_ratio(), 1.0);
+  EXPECT_EQ(b.nblocks(), m.nnz());
+  EXPECT_EQ(b.to_csr(), m);
+}
+
+TEST(Bcsr, FillGrowsWithBlockSizeOnScatteredMatrix) {
+  const CsrMatrix m = gen::random_uniform(500, 8, 1103);
+  const double f2 = BcsrMatrix::from_csr(m, 2, 2).fill_ratio();
+  const double f4 = BcsrMatrix::from_csr(m, 4, 4).fill_ratio();
+  EXPECT_GT(f2, 1.0);
+  EXPECT_GE(f4, f2);
+}
+
+TEST(Bcsr, IndexBytesShrinkValueBytesGrow) {
+  const CsrMatrix m = gen::fem_like(600, 4, 6, 120, 1104);
+  const auto b = BcsrMatrix::from_csr(m, 2, 2);
+  // One block column index per block instead of one per nonzero.
+  EXPECT_LT(b.index_bytes(), m.index_bytes());
+  EXPECT_GE(b.value_bytes(), m.value_bytes());
+}
+
+TEST(Bcsr, BlockColumnsSortedWithinBlockRow) {
+  const CsrMatrix m = gen::powerlaw(400, 1.7, 80, 1105);
+  const auto b = BcsrMatrix::from_csr(m, 2, 4);
+  const auto rowptr = b.block_rowptr();
+  const auto colind = b.block_colind();
+  for (std::size_t br = 0; br + 1 < rowptr.size(); ++br) {
+    for (offset_t k = rowptr[br] + 1; k < rowptr[br + 1]; ++k) {
+      EXPECT_LT(colind[static_cast<std::size_t>(k) - 1], colind[static_cast<std::size_t>(k)]);
+    }
+  }
+}
+
+struct BcsrCase {
+  const char* name;
+  CsrMatrix (*make)();
+  index_t r;
+  index_t c;
+};
+
+class BcsrRoundTrip : public ::testing::TestWithParam<BcsrCase> {};
+
+TEST_P(BcsrRoundTrip, ToCsrRecoversMatrix) {
+  const CsrMatrix m = GetParam().make();
+  const auto b = BcsrMatrix::from_csr(m, GetParam().r, GetParam().c);
+  EXPECT_EQ(b.to_csr(), m);
+  EXPECT_GE(b.fill_ratio(), 1.0);
+}
+
+TEST_P(BcsrRoundTrip, ReferenceKernelMatchesCsr) {
+  const CsrMatrix m = GetParam().make();
+  const auto b = BcsrMatrix::from_csr(m, GetParam().r, GetParam().c);
+  Xoshiro256 rng{1106};
+  aligned_vector<value_t> x(static_cast<std::size_t>(m.ncols()));
+  for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+  aligned_vector<value_t> want(static_cast<std::size_t>(m.nrows()));
+  aligned_vector<value_t> got(static_cast<std::size_t>(m.nrows()), -9.0);
+  spmv_reference(m, x, want);
+  spmv_bcsr_reference(b, x, got);
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    ASSERT_NEAR(got[i], want[i], 1e-10) << "row " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BcsrRoundTrip,
+    ::testing::Values(
+        BcsrCase{"stencil_2x2", [] { return gen::stencil5(21, 17); }, 2, 2},
+        BcsrCase{"banded_4x4", [] { return gen::banded(510, 40, 7, 1107); }, 4, 4},
+        BcsrCase{"banded_2x8", [] { return gen::banded(510, 40, 7, 1108); }, 2, 8},
+        BcsrCase{"fem_3x3", [] { return gen::fem_like(400, 4, 6, 90, 1109); }, 3, 3},
+        BcsrCase{"powerlaw_2x2", [] { return gen::powerlaw(700, 1.7, 120, 1110); }, 2, 2},
+        BcsrCase{"blockdiag_8x8", [] { return gen::block_diagonal(200, 8, 1111); }, 8, 8},
+        // Dimensions not divisible by the block: the ragged edge must work.
+        BcsrCase{"ragged_4x4", [] { return gen::banded(509, 35, 6, 1112); }, 4, 4},
+        BcsrCase{"circuit_2x2", [] { return gen::circuit_like(450, 3, 3, 300, 1113); }, 2, 2}),
+    [](const auto& info) { return std::string{info.param.name}; });
+
+}  // namespace
+}  // namespace sparta

@@ -1,0 +1,188 @@
+// Tests for the per-class bound computation (paper §III-B) and the
+// profile-guided rule classifier (paper Fig. 4).
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "tuner/bounds.hpp"
+#include "tuner/profile_classifier.hpp"
+
+namespace sparta {
+namespace {
+
+TEST(BottleneckSet, BasicSetOperations) {
+  BottleneckSet s;
+  EXPECT_TRUE(s.empty());
+  s.insert(Bottleneck::kML);
+  s.insert(Bottleneck::kIMB);
+  EXPECT_TRUE(s.contains(Bottleneck::kML));
+  EXPECT_TRUE(s.contains(Bottleneck::kIMB));
+  EXPECT_FALSE(s.contains(Bottleneck::kMB));
+  EXPECT_EQ(s.size(), 2);
+  s.erase(Bottleneck::kML);
+  EXPECT_FALSE(s.contains(Bottleneck::kML));
+  EXPECT_EQ(s.size(), 1);
+}
+
+TEST(BottleneckSet, MaskRoundTrip) {
+  const BottleneckSet s{Bottleneck::kMB, Bottleneck::kCMP};
+  EXPECT_EQ(BottleneckSet::from_mask(s.mask()), s);
+  EXPECT_EQ(BottleneckSet::from_mask(0xFFFF).mask(), 0xFu);  // clipped to 4 bits
+}
+
+TEST(BottleneckSet, ToString) {
+  EXPECT_EQ(to_string(BottleneckSet{}), "{}");
+  EXPECT_EQ(to_string(BottleneckSet{Bottleneck::kML, Bottleneck::kIMB}), "{ML,IMB}");
+  EXPECT_EQ(to_string(Bottleneck::kCMP), "CMP");
+}
+
+TEST(Bounds, PeakAlwaysAboveMb) {
+  // P_peak assumes indexing eliminated, so it dominates P_MB.
+  const CsrMatrix m = gen::banded(20000, 200, 8, 111);
+  for (const auto& machine : paper_platforms()) {
+    EXPECT_GT(p_peak_bound(m, machine), p_mb_bound(m, machine)) << machine.name;
+  }
+}
+
+TEST(Bounds, EffectiveBandwidthSwitchesAtLlc) {
+  const CsrMatrix small = gen::banded(800, 30, 6, 112);
+  const CsrMatrix large = gen::banded(200000, 300, 10, 113);
+  const auto m = knc();
+  EXPECT_DOUBLE_EQ(effective_bandwidth_gbs(small, m), m.stream_llc_gbs);
+  EXPECT_DOUBLE_EQ(effective_bandwidth_gbs(large, m), m.stream_main_gbs);
+}
+
+TEST(Bounds, MbScalesWithBandwidth) {
+  const CsrMatrix m = gen::banded(60000, 300, 10, 114);
+  EXPECT_GT(p_mb_bound(m, knl()), p_mb_bound(m, knc()));
+  EXPECT_GT(p_mb_bound(m, knc()), p_mb_bound(m, broadwell()));
+}
+
+TEST(Bounds, MeasuredBoundsAreConsistent) {
+  const CsrMatrix m = gen::fem_like(15000, 8, 8, 1500, 115);
+  const auto b = measure_bounds(m, knc());
+  EXPECT_GT(b.p_csr, 0.0);
+  EXPECT_GT(b.t_csr_seconds, 0.0);
+  EXPECT_EQ(b.thread_seconds.size(), static_cast<std::size_t>(knc().threads()));
+  // The baseline can never beat the imbalance-free bound by definition.
+  EXPECT_GE(b.p_imb, 0.99 * b.p_csr);
+  // Removing irregularity cannot hurt in the model.
+  EXPECT_GE(b.p_ml, 0.9 * b.p_csr);
+  EXPECT_GT(b.p_peak, b.p_mb);
+}
+
+TEST(Bounds, ScatteredMatrixShowsMlHeadroom) {
+  const CsrMatrix m = gen::random_uniform(20000, 16, 116);
+  const auto b = measure_bounds(m, knc());
+  EXPECT_GT(b.p_ml / b.p_csr, 1.25);
+}
+
+TEST(Bounds, SkewedMatrixShowsImbHeadroom) {
+  const CsrMatrix m = gen::circuit_like(40000, 3, 6, 30000, 117);
+  const auto b = measure_bounds(m, knc());
+  EXPECT_GT(b.p_imb / b.p_csr, 1.24);
+}
+
+TEST(Bounds, RegularMatrixShowsLittleHeadroom) {
+  // Tight band: the per-thread x window fits the private caches, so neither
+  // regularization nor balancing has headroom.
+  const CsrMatrix m = gen::fem_like(20000, 8, 8, 400, 118);
+  const auto b = measure_bounds(m, knc());
+  EXPECT_LT(b.p_ml / b.p_csr, 1.25);
+  EXPECT_LT(b.p_imb / b.p_csr, 1.24);
+}
+
+// ---- Rule classifier on crafted bound records --------------------------
+
+PerfBounds bounds_record(double p_csr, double p_mb, double p_ml, double p_imb, double p_cmp,
+                         double p_peak) {
+  PerfBounds b;
+  b.p_csr = p_csr;
+  b.p_mb = p_mb;
+  b.p_ml = p_ml;
+  b.p_imb = p_imb;
+  b.p_cmp = p_cmp;
+  b.p_peak = p_peak;
+  return b;
+}
+
+TEST(ProfileClassifier, DetectsMl) {
+  // Large ML headroom, everything else flat; P_CMP between P_MB and P_peak
+  // avoids the CMP rule.
+  const auto b = bounds_record(10, 30, 20, 10, 35, 40);
+  const auto cls = classify_profile(b);
+  EXPECT_TRUE(cls.contains(Bottleneck::kML));
+  EXPECT_FALSE(cls.contains(Bottleneck::kIMB));
+  EXPECT_FALSE(cls.contains(Bottleneck::kCMP));
+}
+
+TEST(ProfileClassifier, DetectsImb) {
+  const auto b = bounds_record(10, 30, 10, 20, 35, 40);
+  const auto cls = classify_profile(b);
+  EXPECT_TRUE(cls.contains(Bottleneck::kIMB));
+  EXPECT_FALSE(cls.contains(Bottleneck::kML));
+}
+
+TEST(ProfileClassifier, DetectsMbWhenSaturated) {
+  // P_CSR ~ P_MB and P_MB < P_CMP < P_peak.
+  const auto b = bounds_record(19, 20, 20, 19.5, 30, 40);
+  const auto cls = classify_profile(b);
+  EXPECT_TRUE(cls.contains(Bottleneck::kMB));
+  EXPECT_FALSE(cls.contains(Bottleneck::kCMP));
+}
+
+TEST(ProfileClassifier, DetectsCmpWhenCmpBelowMb) {
+  // P_MB > P_CMP: the paper's Eq. (1) argument -> compute limited.
+  const auto b = bounds_record(5, 20, 5.5, 5.5, 8, 40);
+  const auto cls = classify_profile(b);
+  EXPECT_TRUE(cls.contains(Bottleneck::kCMP));
+  EXPECT_FALSE(cls.contains(Bottleneck::kMB));
+}
+
+TEST(ProfileClassifier, DetectsCmpWhenCmpAbovePeak) {
+  // P_CMP > P_peak: cache-resident regime.
+  const auto b = bounds_record(5, 20, 5.5, 5.5, 50, 40);
+  const auto cls = classify_profile(b);
+  EXPECT_TRUE(cls.contains(Bottleneck::kCMP));
+}
+
+TEST(ProfileClassifier, MultiLabelMlAndImb) {
+  const auto b = bounds_record(10, 40, 20, 20, 45, 50);
+  const auto cls = classify_profile(b);
+  EXPECT_TRUE(cls.contains(Bottleneck::kML));
+  EXPECT_TRUE(cls.contains(Bottleneck::kIMB));
+  EXPECT_EQ(cls.size(), 2);
+}
+
+TEST(ProfileClassifier, EmptySetForUnremarkableMatrix) {
+  // No headroom anywhere, not saturated either (P_CSR well below P_MB).
+  const auto b = bounds_record(10, 20, 10.5, 10.5, 30, 40);
+  EXPECT_TRUE(classify_profile(b).empty());
+}
+
+TEST(ProfileClassifier, ThresholdsControlSensitivity) {
+  const auto b = bounds_record(10, 40, 13, 10, 45, 50);
+  ProfileThresholds strict;
+  strict.t_ml = 1.4;
+  EXPECT_FALSE(classify_profile(b, strict).contains(Bottleneck::kML));
+  ProfileThresholds loose;
+  loose.t_ml = 1.2;
+  EXPECT_TRUE(classify_profile(b, loose).contains(Bottleneck::kML));
+}
+
+TEST(ProfileClassifier, ZeroBaselineYieldsEmptySet) {
+  PerfBounds b;  // all zeros
+  EXPECT_TRUE(classify_profile(b).empty());
+}
+
+TEST(ProfileClassifier, EndToEndArchetypes) {
+  // Scattered matrix -> ML on KNC; skewed -> IMB; both detected from
+  // measured (simulated) bounds, closing the loop of the methodology.
+  const auto scattered = measure_bounds(gen::random_uniform(20000, 16, 119), knc());
+  EXPECT_TRUE(classify_profile(scattered).contains(Bottleneck::kML));
+
+  const auto skewed = measure_bounds(gen::circuit_like(40000, 3, 6, 30000, 120), knc());
+  EXPECT_TRUE(classify_profile(skewed).contains(Bottleneck::kIMB));
+}
+
+}  // namespace
+}  // namespace sparta

@@ -1,0 +1,138 @@
+// Tests for the set-associative LRU cache model that powers the x-access
+// miss accounting in the simulator.
+#include <gtest/gtest.h>
+
+#include "machine/cache_model.hpp"
+
+namespace sparta {
+namespace {
+
+TEST(Cache, FirstAccessMissesSecondHits) {
+  SetAssocCache c{1024, 64, 2};
+  EXPECT_FALSE(c.access(0));
+  EXPECT_TRUE(c.access(0));
+  EXPECT_TRUE(c.access(63));  // same line
+  EXPECT_FALSE(c.access(64)); // next line
+  EXPECT_EQ(c.misses(), 2u);
+  EXPECT_EQ(c.hits(), 2u);
+}
+
+TEST(Cache, CapacityGeometry) {
+  SetAssocCache c{8192, 64, 4};
+  EXPECT_EQ(c.sets(), 32u);
+  EXPECT_EQ(c.ways(), 4);
+  EXPECT_EQ(c.capacity_bytes(), 8192u);
+}
+
+TEST(Cache, CapacityRoundsDownToPowerOfTwoSets) {
+  SetAssocCache c{100 * 64, 64, 4};  // 100 lines -> 25 sets -> 16 sets
+  EXPECT_EQ(c.sets(), 16u);
+}
+
+TEST(Cache, MinimumOneSet) {
+  SetAssocCache c{64, 64, 8};  // capacity below ways*line
+  EXPECT_EQ(c.sets(), 1u);
+}
+
+TEST(Cache, RejectsBadParameters) {
+  EXPECT_THROW(SetAssocCache(1024, 0, 4), std::invalid_argument);
+  EXPECT_THROW(SetAssocCache(1024, 63, 4), std::invalid_argument);
+  EXPECT_THROW(SetAssocCache(1024, 64, 0), std::invalid_argument);
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed) {
+  // 1 set, 2 ways: lines A, B fill the set; touching A then adding C must
+  // evict B.
+  SetAssocCache c{128, 64, 2};
+  ASSERT_EQ(c.sets(), 1u);
+  c.access(0 * 64);   // A miss
+  c.access(1 * 64);   // B miss
+  c.access(0 * 64);   // A hit (A most recent)
+  c.access(2 * 64);   // C miss, evicts B
+  EXPECT_TRUE(c.access(0 * 64));   // A still resident
+  EXPECT_FALSE(c.access(1 * 64));  // B was evicted
+}
+
+TEST(Cache, AssociativityConflictMisses) {
+  // Direct-mapped: two lines mapping to the same set thrash.
+  SetAssocCache c{2 * 64, 64, 1};
+  ASSERT_EQ(c.sets(), 2u);
+  const std::uint64_t a = 0;
+  const std::uint64_t b = 2 * 64;  // same set (stride = nsets * line)
+  for (int i = 0; i < 10; ++i) {
+    c.access(a);
+    c.access(b);
+  }
+  EXPECT_EQ(c.hits(), 0u);
+  EXPECT_EQ(c.misses(), 20u);
+}
+
+TEST(Cache, FullyAssociativeHoldsWorkingSet) {
+  SetAssocCache c{8 * 64, 64, 8};
+  ASSERT_EQ(c.sets(), 1u);
+  for (std::uint64_t l = 0; l < 8; ++l) c.access(l * 64);
+  c.reset_counters();
+  for (int r = 0; r < 5; ++r) {
+    for (std::uint64_t l = 0; l < 8; ++l) c.access(l * 64);
+  }
+  EXPECT_EQ(c.misses(), 0u);
+  EXPECT_EQ(c.hits(), 40u);
+}
+
+TEST(Cache, StreamingLargerThanCacheAlwaysMisses) {
+  SetAssocCache c{1024, 64, 4};
+  const std::uint64_t lines = 64;  // 4 KiB stream through a 1 KiB cache
+  for (int r = 0; r < 3; ++r) {
+    for (std::uint64_t l = 0; l < lines; ++l) c.access(l * 64);
+  }
+  EXPECT_EQ(c.hits(), 0u);
+  EXPECT_EQ(c.misses(), 3u * lines);
+}
+
+TEST(Cache, ClearForgetsContentsKeepsCounters) {
+  SetAssocCache c{1024, 64, 2};
+  c.access(0);
+  EXPECT_TRUE(c.access(0));
+  c.clear();
+  EXPECT_FALSE(c.access(0));  // miss again after clear
+  EXPECT_EQ(c.misses(), 2u);
+  EXPECT_EQ(c.hits(), 1u);
+}
+
+TEST(Cache, ResetCountersKeepsContents) {
+  SetAssocCache c{1024, 64, 2};
+  c.access(0);
+  c.reset_counters();
+  EXPECT_TRUE(c.access(0));
+  EXPECT_EQ(c.hits(), 1u);
+  EXPECT_EQ(c.misses(), 0u);
+}
+
+// Parameterized sweep: hit rate of a cyclic working set is 100% when it
+// fits, ~0% when it is twice the capacity (LRU worst case).
+class CacheWorkingSet : public ::testing::TestWithParam<int> {};
+
+TEST_P(CacheWorkingSet, CyclicReuse) {
+  const int ways = GetParam();
+  SetAssocCache c{64 * 64, 64, ways};
+  const std::uint64_t capacity_lines = c.sets() * static_cast<std::uint64_t>(c.ways());
+
+  // Fits: second pass all hits.
+  for (std::uint64_t l = 0; l < capacity_lines; ++l) c.access(l * 64);
+  c.reset_counters();
+  for (std::uint64_t l = 0; l < capacity_lines; ++l) c.access(l * 64);
+  EXPECT_EQ(c.misses(), 0u);
+
+  // Twice the capacity, cyclic: LRU evicts exactly what is needed next.
+  c.clear();
+  c.reset_counters();
+  for (int r = 0; r < 4; ++r) {
+    for (std::uint64_t l = 0; l < 2 * capacity_lines; ++l) c.access(l * 64);
+  }
+  EXPECT_EQ(c.hits(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Associativities, CacheWorkingSet, ::testing::Values(1, 2, 4, 8, 16));
+
+}  // namespace
+}  // namespace sparta

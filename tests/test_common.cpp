@@ -1,0 +1,213 @@
+// Tests for common utilities: PRNG, statistics, table printer, aligned
+// allocation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <sstream>
+
+#include "common/prng.hpp"
+#include "common/statistics.hpp"
+#include "common/table.hpp"
+#include "common/types.hpp"
+
+namespace sparta {
+namespace {
+
+TEST(SplitMix64, KnownSequenceIsDeterministic) {
+  SplitMix64 a{42};
+  SplitMix64 b{42};
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a{1};
+  SplitMix64 b{2};
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Xoshiro256, DeterministicPerSeed) {
+  Xoshiro256 a{7};
+  Xoshiro256 b{7};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, UniformInUnitInterval) {
+  Xoshiro256 rng{3};
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro256, UniformRangeRespected) {
+  Xoshiro256 rng{3};
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-5.0, 11.0);
+    EXPECT_GE(u, -5.0);
+    EXPECT_LT(u, 11.0);
+  }
+}
+
+TEST(Xoshiro256, UniformMeanIsCentered) {
+  Xoshiro256 rng{11};
+  double acc = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) acc += rng.uniform();
+  EXPECT_NEAR(acc / kN, 0.5, 0.01);
+}
+
+TEST(Xoshiro256, BoundedStaysBelowBound) {
+  Xoshiro256 rng{5};
+  for (std::uint64_t n : {1ull, 2ull, 3ull, 10ull, 1000ull, 12345678ull}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.bounded(n), n);
+  }
+}
+
+TEST(Xoshiro256, BoundedZeroReturnsZero) {
+  Xoshiro256 rng{5};
+  EXPECT_EQ(rng.bounded(0), 0u);
+}
+
+TEST(Xoshiro256, BoundedCoversSmallRange) {
+  Xoshiro256 rng{5};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.bounded(4));
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Xoshiro256, GaussianMoments) {
+  Xoshiro256 rng{17};
+  constexpr int kN = 100000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / kN, 1.0, 0.03);
+}
+
+TEST(Xoshiro256, ZipfWithinRange) {
+  Xoshiro256 rng{23};
+  for (int i = 0; i < 10000; ++i) {
+    const auto z = rng.zipf(100, 1.5);
+    EXPECT_GE(z, 1u);
+    EXPECT_LE(z, 100u);
+  }
+}
+
+TEST(Xoshiro256, ZipfIsSkewedTowardSmallValues) {
+  Xoshiro256 rng{23};
+  int small = 0;
+  constexpr int kN = 10000;
+  for (int i = 0; i < kN; ++i) {
+    if (rng.zipf(1000, 2.0) <= 10) ++small;
+  }
+  // With alpha=2, the mass below 10 dominates.
+  EXPECT_GT(small, kN / 2);
+}
+
+TEST(Xoshiro256, ZipfDegenerateRangeReturnsOne) {
+  Xoshiro256 rng{23};
+  EXPECT_EQ(rng.zipf(1, 1.5), 1u);
+}
+
+TEST(Statistics, MeanBasics) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(stats::mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(stats::mean({}), 0.0);
+}
+
+TEST(Statistics, StddevIsPopulationStddev) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(stats::stddev(xs), 2.0, 1e-12);
+}
+
+TEST(Statistics, StddevOfConstantIsZero) {
+  const std::vector<double> xs{3.0, 3.0, 3.0};
+  EXPECT_DOUBLE_EQ(stats::stddev(xs), 0.0);
+}
+
+TEST(Statistics, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(stats::median(std::vector<double>{3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(stats::median(std::vector<double>{4.0, 1.0, 3.0, 2.0}), 2.5);
+  EXPECT_DOUBLE_EQ(stats::median(std::vector<double>{5.0}), 5.0);
+}
+
+TEST(Statistics, MedianDoesNotModifyInput) {
+  const std::vector<double> xs{9.0, 1.0, 5.0};
+  (void)stats::median(xs);
+  EXPECT_EQ(xs, (std::vector<double>{9.0, 1.0, 5.0}));
+}
+
+TEST(Statistics, HarmonicMean) {
+  const std::vector<double> xs{1.0, 4.0, 4.0};
+  EXPECT_NEAR(stats::harmonic_mean(xs), 2.0, 1e-12);
+}
+
+TEST(Statistics, HarmonicMeanLeqArithmetic) {
+  const std::vector<double> xs{1.5, 2.5, 9.0, 4.0};
+  EXPECT_LE(stats::harmonic_mean(xs), stats::mean(xs));
+}
+
+TEST(Statistics, PercentileEndpointsAndMiddle) {
+  const std::vector<double> xs{10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(stats::percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(stats::percentile(xs, 100), 50.0);
+  EXPECT_DOUBLE_EQ(stats::percentile(xs, 50), 30.0);
+  EXPECT_DOUBLE_EQ(stats::percentile(xs, 25), 20.0);
+}
+
+TEST(Statistics, GeometricMean) {
+  const std::vector<double> xs{1.0, 8.0};
+  EXPECT_NEAR(stats::geometric_mean(xs), std::sqrt(8.0), 1e-12);
+}
+
+TEST(Statistics, MinMax) {
+  const std::vector<double> xs{4.0, -1.0, 7.0};
+  EXPECT_DOUBLE_EQ(stats::min(xs), -1.0);
+  EXPECT_DOUBLE_EQ(stats::max(xs), 7.0);
+}
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t{{"name", "value"}};
+  t.add_row({"a", "1"});
+  t.add_row({"long-name", "2"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("long-name"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  Table t{{"a", "b"}};
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, NumFormatsDecimals) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+TEST(AlignedAllocator, VectorDataIsCacheLineAligned) {
+  aligned_vector<double> v(100, 1.0);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % kCacheLineBytes, 0u);
+  aligned_vector<index_t> w(33, 2);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(w.data()) % kCacheLineBytes, 0u);
+}
+
+TEST(AlignedAllocator, GrowsAndPreservesContents) {
+  aligned_vector<int> v;
+  for (int i = 0; i < 1000; ++i) v.push_back(i);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+}
+
+}  // namespace
+}  // namespace sparta

@@ -1,0 +1,141 @@
+// Direct unit tests of the timing model (sim/exec_model): crafted
+// per-thread tallies with hand-computable outcomes, so regressions in the
+// bandwidth-sharing, latency-exposure and makespan logic are caught without
+// running full matrix simulations.
+#include <gtest/gtest.h>
+
+#include "sim/exec_model.hpp"
+
+namespace sparta::sim {
+namespace {
+
+MachineSpec simple_machine() {
+  MachineSpec m;
+  m.name = "unit";
+  m.cores = 4;
+  m.smt = 1;
+  m.clock_ghz = 1.0;
+  m.issue_penalty = 1.0;
+  m.llc_bytes = 1 << 20;
+  m.stream_main_gbs = 4.0;   // 4 GB/s chip
+  m.stream_llc_gbs = 8.0;
+  m.core_bw_gbs = 2.0;       // 2 GB/s per core
+  m.vector_bw_boost = 2.0;
+  m.dram_latency_ns = 100.0;
+  m.llc_latency_ns = 10.0;
+  m.latency_overlap = 0.5;
+  m.cache_line_bytes = 64;
+  return m;
+}
+
+ThreadTally tally(double cycles, double bytes, std::uint64_t irregular_misses) {
+  ThreadTally t;
+  t.cycles = cycles;
+  t.stream_bytes = bytes;
+  t.x_misses = irregular_misses;
+  t.x_irregular_misses = irregular_misses;
+  t.nnz = 100;
+  t.rows = 10;
+  return t;
+}
+
+TEST(ExecModel, ComputeBoundThread) {
+  // 1e6 cycles at 1 GHz = 1 ms; negligible bytes.
+  const auto m = simple_machine();
+  const std::vector<ThreadTally> ts{tally(1e6, 1.0, 0)};
+  const auto r = combine_threads(ts, KernelConfig{}, m, 100 << 20, 100);
+  EXPECT_NEAR(r.seconds, 1e-3, 1e-6);
+  EXPECT_NEAR(r.critical_compute, 1e-3, 1e-6);
+}
+
+TEST(ExecModel, BandwidthBoundThreadUsesFairShareFloor) {
+  // One active thread: demand share = full chip (4 GB/s) but core cap is
+  // 2 GB/s -> 1 MB takes 0.5 ms.
+  const auto m = simple_machine();
+  const std::vector<ThreadTally> ts{tally(10.0, 1 << 20, 0)};
+  const auto r = combine_threads(ts, KernelConfig{}, m, 100 << 20, 100);
+  EXPECT_NEAR(r.seconds, (1 << 20) / 2.0e9, 1e-7);
+}
+
+TEST(ExecModel, VectorizationRaisesCoreBandwidth) {
+  const auto m = simple_machine();
+  const std::vector<ThreadTally> ts{tally(10.0, 1 << 20, 0)};
+  KernelConfig vec;
+  vec.vectorized = true;
+  const auto r = combine_threads(ts, vec, m, 100 << 20, 100);
+  // vector_bw_boost = 2 -> core cap 4 GB/s (= chip) -> 0.25 ms.
+  EXPECT_NEAR(r.seconds, (1 << 20) / 4.0e9, 1e-7);
+}
+
+TEST(ExecModel, AggregateBandwidthFloorBindsBalancedThreads) {
+  // 4 threads x 1 MB at min(core 2, chip/4 = 1) GB/s each: 1 ms, which
+  // equals the aggregate floor 4 MB / 4 GB/s.
+  const auto m = simple_machine();
+  const std::vector<ThreadTally> ts(4, tally(10.0, 1 << 20, 0));
+  const auto r = combine_threads(ts, KernelConfig{}, m, 100 << 20, 400);
+  EXPECT_NEAR(r.seconds, 1.048e-3, 1e-5);
+  EXPECT_EQ(r.thread_seconds.size(), 4u);
+}
+
+TEST(ExecModel, LatencyAddsExposedStalls) {
+  // 1000 irregular misses x 100 ns x (1 - 0.5) = 50 us, plus miss-line
+  // traffic time.
+  const auto m = simple_machine();
+  const std::vector<ThreadTally> ts{tally(10.0, 0.0, 1000)};
+  const auto r = combine_threads(ts, KernelConfig{}, m, 100 << 20, 100);
+  const double line_bytes = 1000.0 * 64.0;
+  const double t_bw = line_bytes / 2.0e9;
+  EXPECT_NEAR(r.seconds, t_bw + 50e-6, 1e-7);
+  EXPECT_NEAR(r.critical_latency, 50e-6, 1e-9);
+}
+
+TEST(ExecModel, PrefetchShrinksExposure) {
+  const auto m = simple_machine();
+  const std::vector<ThreadTally> ts{tally(10.0, 0.0, 1000)};
+  KernelConfig pf;
+  pf.prefetch = true;
+  const auto base = combine_threads(ts, KernelConfig{}, m, 100 << 20, 100);
+  const auto with_pf = combine_threads(ts, pf, m, 100 << 20, 100);
+  EXPECT_LT(with_pf.critical_latency, base.critical_latency * 0.2);
+}
+
+TEST(ExecModel, LlcResidencySwitchesRegime) {
+  const auto m = simple_machine();
+  const std::vector<ThreadTally> ts{tally(10.0, 0.0, 1000)};
+  // Working set below llc_bytes: cheaper latency (10 ns) and faster
+  // bandwidth are used.
+  const auto small = combine_threads(ts, KernelConfig{}, m, 1 << 10, 100);
+  const auto large = combine_threads(ts, KernelConfig{}, m, 100 << 20, 100);
+  EXPECT_TRUE(small.fits_llc);
+  EXPECT_FALSE(large.fits_llc);
+  EXPECT_LT(small.critical_latency, large.critical_latency);
+}
+
+TEST(ExecModel, StragglerGetsDemandProportionalShare) {
+  // One heavy thread (4 MB) among three idle-ish ones: its bandwidth is the
+  // core cap (2 GB/s), not chip/4 (1 GB/s).
+  const auto m = simple_machine();
+  std::vector<ThreadTally> ts(4, tally(10.0, 1 << 10, 0));
+  ts[0] = tally(10.0, 4 << 20, 0);
+  const auto r = combine_threads(ts, KernelConfig{}, m, 100 << 20, 400);
+  EXPECT_NEAR(r.seconds, (4 << 20) / 2.0e9, 1e-4);
+}
+
+TEST(ExecModel, RatesAndBytesAccounted) {
+  const auto m = simple_machine();
+  const std::vector<ThreadTally> ts{tally(10.0, 1000.0, 10)};
+  const auto r = combine_threads(ts, KernelConfig{}, m, 100 << 20, 500);
+  EXPECT_NEAR(r.total_dram_bytes, 1000.0 + 10 * 64.0, 1e-9);
+  EXPECT_NEAR(r.gflops, 2.0 * 500 / r.seconds * 1e-9, 1e-9);
+  EXPECT_GT(r.bandwidth_gbs, 0.0);
+}
+
+TEST(ExecModel, EmptyTalliesProduceTinyPositiveTime) {
+  const auto m = simple_machine();
+  const std::vector<ThreadTally> ts(4);
+  const auto r = combine_threads(ts, KernelConfig{}, m, 1 << 20, 0);
+  EXPECT_GT(r.seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace sparta::sim

@@ -1,0 +1,273 @@
+// Tests for the extension features: row slicing, regionally hybrid
+// matrices, partitioned ML detection (the paper's future-work idea), model
+// persistence and the CLI option parser.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/cli.hpp"
+#include "gen/generators.hpp"
+#include "gen/suite.hpp"
+#include "sparse/properties.hpp"
+#include "tuner/feature_classifier.hpp"
+#include "tuner/optimizer.hpp"
+#include "tuner/partitioned_bounds.hpp"
+
+namespace sparta {
+namespace {
+
+// ---- CsrMatrix::slice_rows ------------------------------------------------
+
+TEST(SliceRows, ExtractsContiguousRows) {
+  const CsrMatrix m = gen::banded(100, 10, 5, 701);
+  const CsrMatrix s = m.slice_rows(20, 50);
+  EXPECT_EQ(s.nrows(), 30);
+  EXPECT_EQ(s.ncols(), m.ncols());
+  for (index_t i = 0; i < 30; ++i) {
+    const auto want_cols = m.row_cols(20 + i);
+    const auto got_cols = s.row_cols(i);
+    ASSERT_EQ(got_cols.size(), want_cols.size());
+    for (std::size_t j = 0; j < got_cols.size(); ++j) {
+      EXPECT_EQ(got_cols[j], want_cols[j]);
+      EXPECT_DOUBLE_EQ(s.row_vals(i)[j], m.row_vals(20 + i)[j]);
+    }
+  }
+}
+
+TEST(SliceRows, FullAndEmptySlices) {
+  const CsrMatrix m = gen::diagonal(10);
+  EXPECT_EQ(m.slice_rows(0, 10), m);
+  const CsrMatrix empty = m.slice_rows(4, 4);
+  EXPECT_EQ(empty.nrows(), 0);
+  EXPECT_EQ(empty.nnz(), 0);
+}
+
+TEST(SliceRows, SlicesConcatenateToWhole) {
+  const CsrMatrix m = gen::powerlaw(500, 1.7, 100, 702);
+  offset_t total = 0;
+  for (index_t b = 0; b < m.nrows(); b += 97) {
+    const index_t e = std::min<index_t>(m.nrows(), b + 97);
+    total += m.slice_rows(b, e).nnz();
+  }
+  EXPECT_EQ(total, m.nnz());
+}
+
+TEST(SliceRows, RejectsBadRanges) {
+  const CsrMatrix m = gen::diagonal(10);
+  EXPECT_THROW(m.slice_rows(-1, 5), std::out_of_range);
+  EXPECT_THROW(m.slice_rows(5, 11), std::out_of_range);
+  EXPECT_THROW(m.slice_rows(7, 3), std::out_of_range);
+}
+
+// ---- hybrid_regions generator ---------------------------------------------
+
+TEST(HybridRegions, TopIsBandedBottomIsScattered) {
+  const CsrMatrix m = gen::hybrid_regions(2000, 0.5, 10, 703);
+  // Regular half: columns stay near the diagonal.
+  for (index_t i = 100; i < 900; ++i) {
+    for (index_t c : m.row_cols(i)) {
+      EXPECT_NEAR(static_cast<double>(c), static_cast<double>(i), 25.0);
+    }
+  }
+  // Scattered half: average row bandwidth is a large fraction of n.
+  double bw = 0.0;
+  for (index_t i = 1000; i < 2000; ++i) {
+    const auto cols = m.row_cols(i);
+    if (cols.size() >= 2) bw += static_cast<double>(cols.back() - cols.front());
+  }
+  EXPECT_GT(bw / 1000.0, 800.0);
+}
+
+TEST(HybridRegions, FractionBoundsRespected) {
+  const CsrMatrix all_regular = gen::hybrid_regions(500, 1.0, 8, 704);
+  const auto scan_r = scan_rows(all_regular);
+  for (double b : scan_r.bandwidth) EXPECT_LE(b, 33.0);
+  const CsrMatrix all_scattered = gen::hybrid_regions(500, 0.0, 8, 705);
+  double max_bw = 0.0;
+  for (double b : scan_rows(all_scattered).bandwidth) max_bw = std::max(max_bw, b);
+  EXPECT_GT(max_bw, 300.0);
+}
+
+// ---- partitioned ML detection ----------------------------------------------
+
+TEST(PartitionedMl, RejectsBadPartitionCount) {
+  const CsrMatrix m = gen::diagonal(100);
+  EXPECT_THROW(measure_partitioned_ml(m, knc(), 0), std::invalid_argument);
+}
+
+TEST(PartitionedMl, UniformMatrixGainsAgree) {
+  // Fully scattered: every partition is as irregular as the whole.
+  const CsrMatrix m = gen::random_uniform(20000, 16, 706);
+  const auto ml = measure_partitioned_ml(m, knc(), 8);
+  EXPECT_GT(ml.global_gain, 1.25);
+  EXPECT_GT(ml.max_partition_gain, 1.25);
+  EXPECT_EQ(ml.partition_gains.size(), 8u);
+}
+
+TEST(PartitionedMl, RegularMatrixShowsNoGainAnywhere) {
+  const CsrMatrix m = gen::fem_like(20000, 8, 8, 400, 707);
+  const auto ml = measure_partitioned_ml(m, knc(), 8);
+  EXPECT_LT(ml.global_gain, 1.25);
+  EXPECT_LT(ml.max_partition_gain, 1.6);
+}
+
+TEST(PartitionedMl, LocalizesRegionalIrregularity) {
+  // 95% regular band + 5% scattered region: per-partition gains pinpoint
+  // *where* the irregularity lives — the worst partition sits in the
+  // scattered tail while the regular partitions show no headroom. This is
+  // the localized diagnosis the paper's rajat30 discussion asks for.
+  const CsrMatrix m = gen::hybrid_regions(60000, 0.95, 12, 708);
+  const auto ml = measure_partitioned_ml(m, knc(), 16);
+  EXPECT_GT(ml.max_partition_gain, 1.25);
+  ASSERT_EQ(ml.partition_gains.size(), 16u);
+  // The scattered 5% of rows live in the last partitions.
+  EXPECT_GE(ml.worst_partition, 12);
+  // Early (regular-band) partitions show no regularization headroom.
+  EXPECT_LT(ml.partition_gains[0], 1.25);
+  EXPECT_LT(ml.partition_gains[4], 1.25);
+}
+
+TEST(PartitionedMl, DetectsAtLeastAsOftenAsGlobal) {
+  // The extended classifier can only add ML, never remove it: whenever the
+  // global test fires, the partitioned one does as well.
+  for (std::uint64_t s = 0; s < 4; ++s) {
+    const CsrMatrix m = gen::hybrid_regions(30000, 0.25 * static_cast<double>(s), 10, 730 + s);
+    const auto bounds = measure_bounds(m, knc());
+    const auto ml = measure_partitioned_ml(m, knc(), 8);
+    const bool global_ml = classify_profile(bounds).contains(Bottleneck::kML);
+    const bool part_ml =
+        classify_profile_partitioned(bounds, ml).contains(Bottleneck::kML);
+    if (global_ml) EXPECT_TRUE(part_ml) << "regular fraction " << 0.25 * static_cast<double>(s);
+  }
+}
+
+TEST(PartitionedMl, ExtendedClassifierAddsMl) {
+  const CsrMatrix m = gen::hybrid_regions(60000, 0.95, 12, 709);
+  const auto bounds = measure_bounds(m, knc());
+  const auto ml = measure_partitioned_ml(m, knc(), 16);
+  const auto base_cls = classify_profile(bounds);
+  const auto ext_cls = classify_profile_partitioned(bounds, ml);
+  EXPECT_TRUE(ext_cls.contains(Bottleneck::kML));
+  // The extension only ever adds ML; everything else is untouched.
+  for (int b = 0; b < kNumBottlenecks; ++b) {
+    const auto bb = static_cast<Bottleneck>(b);
+    if (bb != Bottleneck::kML) EXPECT_EQ(ext_cls.contains(bb), base_cls.contains(bb));
+  }
+}
+
+// ---- model persistence -----------------------------------------------------
+
+TEST(Persistence, DecisionTreeRoundTrip) {
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  for (int i = 0; i < 40; ++i) {
+    x.push_back({static_cast<double>(i % 10), static_cast<double>(i % 4)});
+    y.push_back(i % 10 < 5 ? 0 : 1);
+  }
+  ml::DecisionTree t;
+  t.fit(x, y);
+  std::stringstream ss;
+  t.save(ss);
+  const ml::DecisionTree back = ml::DecisionTree::load(ss);
+  EXPECT_EQ(back.node_count(), t.node_count());
+  for (const auto& sample : x) {
+    EXPECT_EQ(back.predict(sample), t.predict(sample));
+    EXPECT_DOUBLE_EQ(back.predict_proba(sample), t.predict_proba(sample));
+  }
+}
+
+TEST(Persistence, DecisionTreeRejectsGarbage) {
+  std::stringstream bad1{"nottree 1 1\n"};
+  EXPECT_THROW(ml::DecisionTree::load(bad1), std::runtime_error);
+  std::stringstream bad2{"tree 2 3\n0 1.5 1 2 0.5 10 0.1\n"};  // truncated
+  EXPECT_THROW(ml::DecisionTree::load(bad2), std::runtime_error);
+  std::stringstream bad3{"tree 2 1\n0 1.5 5 9 0.5 10 0.1\n"};  // child out of range
+  EXPECT_THROW(ml::DecisionTree::load(bad3), std::runtime_error);
+}
+
+TEST(Persistence, MultilabelRoundTrip) {
+  std::vector<std::vector<double>> x;
+  std::vector<ml::LabelMask> y;
+  for (int i = 0; i < 30; ++i) {
+    x.push_back({static_cast<double>(i)});
+    y.push_back((i < 15 ? 1u : 0u) | (i % 2 == 0 ? 2u : 0u));
+  }
+  ml::MultilabelTree m;
+  m.fit(x, y, 2);
+  std::stringstream ss;
+  m.save(ss);
+  const auto back = ml::MultilabelTree::load(ss);
+  ASSERT_EQ(back.nlabels(), 2);
+  for (const auto& sample : x) EXPECT_EQ(back.predict(sample), m.predict(sample));
+}
+
+TEST(Persistence, FeatureClassifierRoundTripFile) {
+  const Autotuner tuner{knc()};
+  std::vector<TrainingSample> corpus;
+  for (std::uint64_t s = 0; s < 4; ++s) {
+    corpus.push_back(tuner.label(gen::random_uniform(6000, 14, 710 + s)));
+    corpus.push_back(tuner.label(gen::banded(15000, 250, 8, 720 + s)));
+  }
+  const auto fc = FeatureClassifier::train(corpus);
+  const std::string path = ::testing::TempDir() + "/sparta_model_test.txt";
+  fc.save_file(path);
+  const auto back = FeatureClassifier::load_file(path);
+  EXPECT_EQ(back.config().subset, fc.config().subset);
+  EXPECT_EQ(back.config().tree, fc.config().tree);
+  for (const auto& sample : corpus) {
+    EXPECT_EQ(back.classify(sample.features).mask(), fc.classify(sample.features).mask());
+  }
+}
+
+TEST(Persistence, FeatureClassifierRejectsWrongVersion) {
+  std::stringstream ss{"sparta-classifier 99\n"};
+  EXPECT_THROW(FeatureClassifier::load(ss), std::runtime_error);
+  EXPECT_THROW(FeatureClassifier::load_file("/nonexistent/model.txt"), std::runtime_error);
+}
+
+// ---- CLI parser --------------------------------------------------------------
+
+std::vector<char*> argv_of(std::vector<std::string>& args) {
+  std::vector<char*> out;
+  out.reserve(args.size());
+  for (auto& a : args) out.push_back(a.data());
+  return out;
+}
+
+TEST(Cli, ParsesFlagsOptionsAndPositionals) {
+  CliParser cli{{"run"}, {"platform", "threads"}};
+  std::vector<std::string> args{"prog", "--run", "--platform", "knl", "input.mtx",
+                                "--threads", "8"};
+  auto argv = argv_of(args);
+  cli.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(cli.has("run"));
+  EXPECT_EQ(cli.value_or("platform", "x"), "knl");
+  EXPECT_EQ(cli.int_or("threads", 1), 8);
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "input.mtx");
+}
+
+TEST(Cli, DefaultsWhenAbsent) {
+  CliParser cli{{"run"}, {"platform"}};
+  std::vector<std::string> args{"prog"};
+  auto argv = argv_of(args);
+  cli.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_FALSE(cli.has("run"));
+  EXPECT_FALSE(cli.value("platform").has_value());
+  EXPECT_EQ(cli.value_or("platform", "host"), "host");
+  EXPECT_EQ(cli.int_or("threads", 4), 4);
+}
+
+TEST(Cli, RejectsUnknownAndMalformed) {
+  CliParser cli{{}, {"platform"}};
+  std::vector<std::string> bad1{"prog", "--bogus"};
+  auto argv1 = argv_of(bad1);
+  EXPECT_THROW(cli.parse(static_cast<int>(argv1.size()), argv1.data()), std::invalid_argument);
+  CliParser cli2{{}, {"platform"}};
+  std::vector<std::string> bad2{"prog", "--platform"};
+  auto argv2 = argv_of(bad2);
+  EXPECT_THROW(cli2.parse(static_cast<int>(argv2.size()), argv2.data()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sparta

@@ -1,0 +1,178 @@
+// Tests for the optimized storage formats: delta-compressed CSR and the
+// long-row decomposition. Round-trips are verified across generator
+// families with parameterized property tests.
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "sparse/decomposed_csr.hpp"
+#include "sparse/delta_csr.hpp"
+
+namespace sparta {
+namespace {
+
+TEST(DeltaWidthPick, NarrowBandGets8Bit) {
+  const CsrMatrix m = gen::banded(500, 30, 6, 1);
+  const auto w = DeltaCsrMatrix::pick_width(m);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(*w, DeltaWidth::k8);
+}
+
+TEST(DeltaWidthPick, MediumBandGets16Bit) {
+  const CsrMatrix m = gen::banded(40000, 15000, 8, 2);
+  const auto w = DeltaCsrMatrix::pick_width(m);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(*w, DeltaWidth::k16);
+}
+
+TEST(DeltaWidthPick, HugeGapsAreIncompressible) {
+  CooMatrix coo{2, 200000};
+  coo.add(0, 0, 1.0);
+  coo.add(0, 150000, 2.0);  // delta 150000 > 65535
+  const CsrMatrix m = CsrMatrix::from_coo(coo);
+  EXPECT_FALSE(DeltaCsrMatrix::pick_width(m).has_value());
+  EXPECT_FALSE(DeltaCsrMatrix::compress(m).has_value());
+}
+
+TEST(DeltaCsr, SingleWidthNeverMixed) {
+  // A matrix with mostly tiny deltas but one >255 must use 16-bit uniformly.
+  CooMatrix coo{2, 1000};
+  coo.add(0, 0, 1.0);
+  coo.add(0, 1, 1.0);
+  coo.add(0, 500, 1.0);
+  const CsrMatrix m = CsrMatrix::from_coo(coo);
+  const auto d = DeltaCsrMatrix::compress(m);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->width(), DeltaWidth::k16);
+  EXPECT_TRUE(d->deltas8().empty());
+  EXPECT_EQ(d->deltas16().size(), 3u);
+}
+
+TEST(DeltaCsr, RoundTripPreservesMatrix) {
+  const CsrMatrix m = gen::banded(1000, 100, 10, 3);
+  const auto d = DeltaCsrMatrix::compress(m);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->decompress(), m);
+}
+
+TEST(DeltaCsr, CompressesIndexBytes) {
+  const CsrMatrix m = gen::banded(2000, 50, 12, 4);
+  const auto d = DeltaCsrMatrix::compress(m);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->width(), DeltaWidth::k8);
+  EXPECT_LT(d->index_bytes(), m.index_bytes());
+  EXPECT_EQ(d->value_bytes(), m.value_bytes());
+  EXPECT_EQ(d->nnz(), m.nnz());
+}
+
+TEST(DeltaCsr, HandlesEmptyRows) {
+  CooMatrix coo{4, 16};
+  coo.add(0, 3, 1.0);
+  coo.add(3, 2, 2.0);
+  coo.add(3, 9, 3.0);
+  const CsrMatrix m = CsrMatrix::from_coo(coo);
+  const auto d = DeltaCsrMatrix::compress(m);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->decompress(), m);
+}
+
+TEST(DeltaCsr, DiagonalMatrixCompressesTo8Bit) {
+  const CsrMatrix m = gen::diagonal(100);
+  const auto d = DeltaCsrMatrix::compress(m);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->width(), DeltaWidth::k8);
+  EXPECT_EQ(d->decompress(), m);
+}
+
+TEST(Decomposed, DefaultThresholdScalesWithAverage) {
+  const CsrMatrix dense_rows = gen::dense_rows_wide(500, 300, 5);
+  EXPECT_GE(DecomposedCsrMatrix::default_threshold(dense_rows),
+            DecomposedCsrMatrix::kMinLongRow);
+}
+
+TEST(Decomposed, SplitsLongRows) {
+  const CsrMatrix m = gen::circuit_like(3000, 3, 4, 2500, 6);
+  const auto d = DecomposedCsrMatrix::decompose(m, 100);
+  EXPECT_GT(d.long_rows().size(), 0u);
+  // Long rows are emptied in the short part.
+  for (index_t r : d.long_rows()) {
+    EXPECT_EQ(d.short_part().row_nnz(r), 0);
+  }
+  // Short part has no row above the threshold.
+  for (index_t i = 0; i < d.short_part().nrows(); ++i) {
+    EXPECT_LE(d.short_part().row_nnz(i), d.threshold());
+  }
+  EXPECT_EQ(d.nnz(), m.nnz());
+}
+
+TEST(Decomposed, LongRowsAreSortedAscending) {
+  const CsrMatrix m = gen::circuit_like(2000, 3, 6, 1500, 7);
+  const auto d = DecomposedCsrMatrix::decompose(m, 64);
+  for (std::size_t i = 1; i < d.long_rows().size(); ++i) {
+    EXPECT_LT(d.long_rows()[i - 1], d.long_rows()[i]);
+  }
+}
+
+TEST(Decomposed, RoundTripPreservesMatrix) {
+  const CsrMatrix m = gen::circuit_like(1500, 4, 5, 1200, 8);
+  const auto d = DecomposedCsrMatrix::decompose(m, 50);
+  EXPECT_EQ(d.recompose(), m);
+}
+
+TEST(Decomposed, UniformMatrixHasNoLongRows) {
+  const CsrMatrix m = gen::banded(1000, 40, 8, 9);
+  const auto d = DecomposedCsrMatrix::decompose(m);
+  EXPECT_TRUE(d.long_rows().empty());
+  EXPECT_EQ(d.short_part(), m);
+}
+
+TEST(Decomposed, BytesCoverAllParts) {
+  const CsrMatrix m = gen::circuit_like(1500, 4, 5, 1200, 10);
+  const auto d = DecomposedCsrMatrix::decompose(m, 50);
+  EXPECT_GE(d.bytes(), d.short_part().bytes());
+}
+
+// Property sweep: delta and decomposition round-trip across families.
+struct FormatCase {
+  const char* name;
+  CsrMatrix (*make)();
+};
+
+class FormatRoundTrip : public ::testing::TestWithParam<FormatCase> {};
+
+TEST_P(FormatRoundTrip, DeltaRoundTripsWhenCompressible) {
+  const CsrMatrix m = GetParam().make();
+  const auto d = DeltaCsrMatrix::compress(m);
+  if (d.has_value()) {
+    EXPECT_EQ(d->decompress(), m);
+    // The per-row first_col array only pays off when rows average more than
+    // one nonzero; singleton-row matrices legitimately grow slightly.
+    if (m.nnz() >= 2 * m.nrows()) {
+      EXPECT_LE(d->index_bytes(), m.index_bytes());
+    }
+  } else {
+    EXPECT_FALSE(DeltaCsrMatrix::pick_width(m).has_value());
+  }
+}
+
+TEST_P(FormatRoundTrip, DecompositionRoundTrips) {
+  const CsrMatrix m = GetParam().make();
+  const auto d = DecomposedCsrMatrix::decompose(m, 32);
+  EXPECT_EQ(d.recompose(), m);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, FormatRoundTrip,
+    ::testing::Values(
+        FormatCase{"stencil5", [] { return gen::stencil5(24, 18); }},
+        FormatCase{"stencil27", [] { return gen::stencil27(8, 8, 8); }},
+        FormatCase{"banded", [] { return gen::banded(700, 60, 9, 11); }},
+        FormatCase{"fem", [] { return gen::fem_like(600, 4, 6, 150, 12); }},
+        FormatCase{"random", [] { return gen::random_uniform(400, 12, 13); }},
+        FormatCase{"powerlaw", [] { return gen::powerlaw(800, 1.7, 200, 14); }},
+        FormatCase{"circuit", [] { return gen::circuit_like(900, 3, 4, 700, 15); }},
+        FormatCase{"diagonal", [] { return gen::diagonal(333); }},
+        FormatCase{"blockdiag", [] { return gen::block_diagonal(512, 16, 16); }}),
+    [](const auto& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace sparta

@@ -1,0 +1,215 @@
+// Tests for the synthetic matrix generators and the named suite: structural
+// guarantees each family promises, determinism, and suite/corpus integrity.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "gen/generators.hpp"
+#include "gen/suite.hpp"
+#include "sparse/properties.hpp"
+
+namespace sparta {
+namespace {
+
+TEST(Stencil5, InteriorRowsHaveFivePoints) {
+  const CsrMatrix m = gen::stencil5(10, 10);
+  EXPECT_EQ(m.nrows(), 100);
+  // Interior point (5,5) -> row 55 has 5 nonzeros.
+  EXPECT_EQ(m.row_nnz(55), 5);
+  // Corner has 3.
+  EXPECT_EQ(m.row_nnz(0), 3);
+  EXPECT_TRUE(is_symmetric(m));
+  EXPECT_TRUE(has_full_diagonal(m));
+}
+
+TEST(Stencil27, InteriorRowsHave27Points) {
+  const CsrMatrix m = gen::stencil27(5, 5, 5);
+  EXPECT_EQ(m.nrows(), 125);
+  // Center point row: full 27-point neighborhood.
+  EXPECT_EQ(m.row_nnz(62), 27);
+  // Corner: 8.
+  EXPECT_EQ(m.row_nnz(0), 8);
+  EXPECT_TRUE(is_symmetric(m));
+}
+
+TEST(Banded, RespectsBand) {
+  const index_t half_bw = 25;
+  const CsrMatrix m = gen::banded(500, half_bw, 9, 71);
+  for (index_t i = 0; i < m.nrows(); ++i) {
+    for (index_t c : m.row_cols(i)) {
+      EXPECT_GE(c, i - half_bw);
+      EXPECT_LE(c, i + half_bw);
+    }
+  }
+  EXPECT_TRUE(has_full_diagonal(m));
+}
+
+TEST(Banded, DeterministicInSeed) {
+  EXPECT_EQ(gen::banded(200, 20, 5, 7), gen::banded(200, 20, 5, 7));
+  EXPECT_NE(gen::banded(200, 20, 5, 7), gen::banded(200, 20, 5, 8));
+}
+
+TEST(FemLike, RowsAreClustered) {
+  const CsrMatrix m = gen::fem_like(400, 4, 8, 100, 72);
+  const auto scan = scan_rows(m);
+  // Blocks of ~8 consecutive columns: clustering (groups/nnz) well below 1.
+  double avg_clustering = 0.0;
+  for (double c : scan.clustering) avg_clustering += c;
+  avg_clustering /= static_cast<double>(scan.clustering.size());
+  EXPECT_LT(avg_clustering, 0.5);
+}
+
+TEST(RandomUniform, HasRequestedRowLengths) {
+  const CsrMatrix m = gen::random_uniform(300, 12, 73);
+  for (index_t i = 0; i < m.nrows(); ++i) EXPECT_EQ(m.row_nnz(i), 12);
+}
+
+TEST(RandomUniform, ColumnsSpreadAcrossMatrix) {
+  const CsrMatrix m = gen::random_uniform(2000, 10, 74);
+  const auto scan = scan_rows(m);
+  double avg_bw = 0.0;
+  for (double b : scan.bandwidth) avg_bw += b;
+  avg_bw /= static_cast<double>(scan.bandwidth.size());
+  EXPECT_GT(avg_bw, 800.0);  // far beyond any band
+}
+
+TEST(Powerlaw, DegreesBoundedAndSkewed) {
+  const index_t max_deg = 150;
+  const CsrMatrix m = gen::powerlaw(2000, 1.6, max_deg, 75);
+  index_t observed_max = 0;
+  index_t short_rows = 0;
+  for (index_t i = 0; i < m.nrows(); ++i) {
+    observed_max = std::max(observed_max, m.row_nnz(i));
+    if (m.row_nnz(i) <= 3) ++short_rows;
+  }
+  EXPECT_LE(observed_max, max_deg);
+  // Power law: most rows are very short, but hubs exist.
+  EXPECT_GT(short_rows, m.nrows() / 2);
+  EXPECT_GT(observed_max, 20);
+}
+
+TEST(CircuitLike, HasUltraDenseRows) {
+  const CsrMatrix m = gen::circuit_like(3000, 3, 5, 2500, 76);
+  index_t max_nnz = 0;
+  for (index_t i = 0; i < m.nrows(); ++i) max_nnz = std::max(max_nnz, m.row_nnz(i));
+  EXPECT_GE(max_nnz, 2000);
+  EXPECT_TRUE(has_full_diagonal(m));
+}
+
+TEST(DenseRowsWide, UniformHeavyRows) {
+  const CsrMatrix m = gen::dense_rows_wide(200, 60, 77);
+  for (index_t i = 0; i < m.nrows(); ++i) {
+    EXPECT_GE(m.row_nnz(i), 50);
+    EXPECT_LE(m.row_nnz(i), 60);
+  }
+}
+
+TEST(Diagonal, ExactStructure) {
+  const CsrMatrix m = gen::diagonal(10);
+  EXPECT_EQ(m.nnz(), 10);
+  for (index_t i = 0; i < 10; ++i) {
+    ASSERT_EQ(m.row_nnz(i), 1);
+    EXPECT_EQ(m.row_cols(i)[0], i);
+  }
+}
+
+TEST(Dense, FullMatrix) {
+  const CsrMatrix m = gen::dense(12, 78);
+  EXPECT_EQ(m.nnz(), 144);
+}
+
+TEST(BlockDiagonal, BlockStructure) {
+  const CsrMatrix m = gen::block_diagonal(64, 8, 79);
+  EXPECT_EQ(m.nnz(), 64 * 8);
+  // Every nonzero within its 8x8 block.
+  for (index_t i = 0; i < m.nrows(); ++i) {
+    const index_t block = i / 8;
+    for (index_t c : m.row_cols(i)) EXPECT_EQ(c / 8, block);
+  }
+}
+
+TEST(BlockDiagonal, HandlesNonDivisibleTail) {
+  const CsrMatrix m = gen::block_diagonal(20, 8, 80);
+  EXPECT_EQ(m.nrows(), 20);
+  EXPECT_EQ(m.row_nnz(19), 4);  // last block is 4 wide
+}
+
+TEST(DiagonallyDominant, MakesRowsDominant) {
+  const CsrMatrix base = gen::random_uniform(100, 6, 81);
+  const CsrMatrix m = gen::make_diagonally_dominant(base, 82);
+  EXPECT_TRUE(has_full_diagonal(m));
+  for (index_t i = 0; i < m.nrows(); ++i) {
+    const auto cols = m.row_cols(i);
+    const auto vals = m.row_vals(i);
+    double diag = 0.0, off = 0.0;
+    for (std::size_t j = 0; j < cols.size(); ++j) {
+      if (cols[j] == i) {
+        diag = std::abs(vals[j]);
+      } else {
+        off += std::abs(vals[j]);
+      }
+    }
+    EXPECT_GT(diag, off);
+  }
+}
+
+TEST(Suite, HasSeventeenNamedAnalogues) {
+  EXPECT_EQ(gen::suite_specs().size(), 17u);
+}
+
+TEST(Suite, NamesAreUniqueAndResolvable) {
+  const auto names = gen::suite_names();
+  std::set<std::string> unique{names.begin(), names.end()};
+  EXPECT_EQ(unique.size(), names.size());
+}
+
+TEST(Suite, UnknownNameThrows) {
+  EXPECT_THROW(gen::make_suite_matrix("no_such_matrix"), std::out_of_range);
+}
+
+TEST(Suite, CircuitAnaloguesHaveDenseRows) {
+  const CsrMatrix m = gen::make_suite_matrix("rajat30");
+  index_t max_nnz = 0;
+  for (index_t i = 0; i < m.nrows(); ++i) max_nnz = std::max(max_nnz, m.row_nnz(i));
+  const double avg = static_cast<double>(m.nnz()) / m.nrows();
+  EXPECT_GT(static_cast<double>(max_nnz), 50.0 * avg);
+}
+
+TEST(Suite, FemAnalogueIsRegular) {
+  const CsrMatrix m = gen::make_suite_matrix("consph");
+  const auto scan = scan_rows(m);
+  double mn = 1e9, mx = 0.0;
+  for (double v : scan.nnz) {
+    mn = std::min(mn, v);
+    mx = std::max(mx, v);
+  }
+  EXPECT_LT(mx / std::max(mn, 1.0), 40.0);  // no pathological skew
+}
+
+TEST(TrainingPopulation, CountAndFamilies) {
+  const auto pop = gen::training_population(24, 7);
+  EXPECT_EQ(pop.size(), 24u);
+  std::set<std::string> families;
+  for (const auto& m : pop) families.insert(m.family);
+  EXPECT_GE(families.size(), 8u);
+}
+
+TEST(TrainingPopulation, DeterministicInSeed) {
+  const auto a = gen::training_population(8, 3);
+  const auto b = gen::training_population(8, 3);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].matrix, b[i].matrix);
+}
+
+TEST(TrainingPopulation, MatricesAreNonTrivial) {
+  const auto pop = gen::training_population(16, 9);
+  for (const auto& m : pop) {
+    EXPECT_GT(m.matrix.nnz(), 1000);
+    EXPECT_GT(m.matrix.nrows(), 100);
+  }
+}
+
+}  // namespace
+}  // namespace sparta

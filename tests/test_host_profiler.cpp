@@ -1,0 +1,100 @@
+// Tests for the host profiling path: real timed bounds, the timed baseline
+// kernel, and end-to-end host tuning. These run real kernels on whatever
+// machine executes the suite, so assertions stick to invariants that hold
+// regardless of the hardware.
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "kernels/spmv_timed.hpp"
+#include "tuner/host_profiler.hpp"
+
+namespace sparta {
+namespace {
+
+TEST(SpmvTimed, ProducesCorrectResultAndTimings) {
+  const CsrMatrix m = gen::banded(4000, 100, 8, 801);
+  aligned_vector<value_t> x(static_cast<std::size_t>(m.ncols()), 1.0);
+  aligned_vector<value_t> y(static_cast<std::size_t>(m.nrows()));
+  const auto parts = partition_balanced_nnz(m, 4);
+  const auto run = kernels::spmv_csr_timed(m, x, y, parts, 3);
+
+  aligned_vector<value_t> want(y.size());
+  spmv_reference(m, x, want);
+  for (std::size_t i = 0; i < y.size(); ++i) EXPECT_NEAR(y[i], want[i], 1e-12);
+
+  EXPECT_GT(run.seconds, 0.0);
+  ASSERT_EQ(run.thread_seconds.size(), 4u);
+  for (double t : run.thread_seconds) {
+    EXPECT_GE(t, 0.0);
+    // A partition's busy time cannot exceed the total by more than noise.
+    EXPECT_LE(t, run.seconds * 4.0 + 1e-3);
+  }
+}
+
+TEST(HostBounds, InvariantsHold) {
+  const CsrMatrix m = gen::banded(20000, 400, 10, 802);
+  HostProfileOptions opts;
+  opts.threads = 2;
+  opts.iterations = 3;
+  const auto b = measure_bounds_host(m, opts);
+  EXPECT_GT(b.p_csr, 0.0);
+  EXPECT_GT(b.p_ml, 0.0);
+  EXPECT_GT(b.p_cmp, 0.0);
+  EXPECT_GT(b.t_csr_seconds, 0.0);
+  EXPECT_EQ(b.thread_seconds.size(), 2u);
+  // Analytic roofs preserve their ordering regardless of measurement noise.
+  EXPECT_GT(b.p_peak, b.p_mb);
+  // The imbalance bound never falls meaningfully below the baseline.
+  EXPECT_GE(b.p_imb, 0.5 * b.p_csr);
+}
+
+TEST(HostBounds, ReusesProvidedStreamProbe) {
+  const CsrMatrix m = gen::banded(8000, 200, 8, 803);
+  // Pin both bandwidth regimes to the same value so P_MB is exactly
+  // determined by byte counts regardless of whether the working set is
+  // classified as LLC-resident.
+  StreamResult probe;
+  probe.main_gbs = 10.0;
+  probe.llc_gbs = 10.0;
+  HostProfileOptions opts;
+  opts.threads = 2;
+  opts.iterations = 2;
+  opts.stream = &probe;
+  const auto b = measure_bounds_host(m, opts);
+  // With a pinned 10 GB/s bandwidth, P_MB is exactly determined by bytes.
+  const double xy = static_cast<double>(m.ncols() + m.nrows()) * sizeof(value_t);
+  const double expect =
+      2.0 * static_cast<double>(m.nnz()) /
+      ((static_cast<double>(m.bytes()) + xy) / (10.0 * 1e9)) * 1e-9;
+  EXPECT_NEAR(b.p_mb, expect, 1e-9);
+}
+
+TEST(HostTune, ReturnsExecutablePlanWithRealCosts) {
+  const CsrMatrix m = gen::powerlaw(20000, 1.7, 500, 804);
+  HostProfileOptions opts;
+  opts.threads = 2;
+  opts.iterations = 3;
+  const auto plan = tune_host(m, opts);
+  EXPECT_EQ(plan.strategy, "profile-host");
+  EXPECT_GT(plan.gflops, 0.0);
+  EXPECT_GT(plan.t_spmv_seconds, 0.0);
+  EXPECT_GT(plan.t_pre_seconds, 0.0);
+  // The plan's optimizations must be consistent with its classes.
+  for (Optimization o : plan.optimizations) {
+    EXPECT_TRUE(plan.classes.contains(target_class(o)));
+  }
+}
+
+TEST(HostTune, EmptyClassSetKeepsBaselineConfig) {
+  // A tiny diagonal matrix has no meaningful headroom anywhere; whatever the
+  // classifier decides, the returned config must be runnable.
+  const CsrMatrix m = gen::diagonal(5000);
+  HostProfileOptions opts;
+  opts.threads = 2;
+  opts.iterations = 2;
+  const auto plan = tune_host(m, opts);
+  EXPECT_GT(plan.gflops, 0.0);
+}
+
+}  // namespace
+}  // namespace sparta

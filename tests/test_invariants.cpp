@@ -1,0 +1,124 @@
+// Cross-cutting property tests: methodology invariants that must hold for
+// every (suite matrix, modeled platform) pair — the safety net behind the
+// figure benches. Parameterized over matrices x platforms.
+#include <gtest/gtest.h>
+
+#include "common/statistics.hpp"
+#include "gen/suite.hpp"
+#include "tuner/optimizer.hpp"
+#include "vendor/inspector_executor.hpp"
+#include "vendor/vendor_csr.hpp"
+
+namespace sparta {
+namespace {
+
+struct InvariantCase {
+  const char* matrix;
+  int platform;  // index into paper_platforms()
+};
+
+class SuitePlatformInvariants : public ::testing::TestWithParam<InvariantCase> {
+ protected:
+  static const Autotuner::Evaluation& eval() {
+    // Cache evaluations across tests of the same parameter: the fixture is
+    // re-created per test, so memoize by (matrix, platform).
+    static std::map<std::pair<std::string, int>, Autotuner::Evaluation> cache;
+    const auto key = std::make_pair(std::string{GetParam().matrix}, GetParam().platform);
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+      const Autotuner tuner{paper_platforms()[static_cast<std::size_t>(key.second)]};
+      it = cache.emplace(key, tuner.evaluate(key.first, gen::make_suite_matrix(key.first)))
+               .first;
+    }
+    return it->second;
+  }
+  static Autotuner tuner() {
+    return Autotuner{paper_platforms()[static_cast<std::size_t>(GetParam().platform)]};
+  }
+};
+
+TEST_P(SuitePlatformInvariants, BoundsOrdering) {
+  const auto& b = eval().bounds;
+  EXPECT_GT(b.p_csr, 0.0);
+  // P_peak dominates P_MB by construction (less traffic, same bandwidth).
+  EXPECT_GT(b.p_peak, b.p_mb);
+  // The imbalance-free bound cannot fall meaningfully below the baseline.
+  EXPECT_GE(b.p_imb, 0.95 * b.p_csr);
+  // Eliminating irregularity cannot hurt in the model.
+  EXPECT_GE(b.p_ml, 0.9 * b.p_csr);
+}
+
+TEST_P(SuitePlatformInvariants, OracleDominates) {
+  const auto t = tuner();
+  const auto& e = eval();
+  const auto oracle = t.plan_oracle(e);
+  EXPECT_GE(oracle.gflops, e.bounds.p_csr * 0.999);
+  EXPECT_GE(oracle.gflops, t.plan_profile_guided(e).gflops * 0.999);
+  EXPECT_GE(oracle.gflops, t.plan_trivial(e, false).gflops * 0.999);
+  // trivial-combined sweeps the same candidates as the oracle.
+  EXPECT_NEAR(oracle.gflops, t.plan_trivial(e, true).gflops, 1e-9);
+}
+
+TEST_P(SuitePlatformInvariants, ProfilePlanConsistent) {
+  const auto t = tuner();
+  const auto& e = eval();
+  const auto plan = t.plan_profile_guided(e);
+  // Selected optimizations match the detected classes one-to-one.
+  for (Optimization o : plan.optimizations) {
+    EXPECT_TRUE(plan.classes.contains(target_class(o)));
+  }
+  int covered = 0;
+  for (int c = 0; c < kNumBottlenecks; ++c) {
+    if (plan.classes.contains(static_cast<Bottleneck>(c))) ++covered;
+  }
+  EXPECT_EQ(static_cast<int>(plan.optimizations.size()), covered);
+  // The plan's rate is what the evaluation recorded for that class mask.
+  EXPECT_NEAR(plan.gflops, e.class_mask_gflops[plan.classes.mask()], 1e-12);
+  EXPECT_GE(plan.t_pre_seconds, 0.0);
+}
+
+TEST_P(SuitePlatformInvariants, OverheadOrdering) {
+  const auto t = tuner();
+  const auto& e = eval();
+  // trivial-combined always costs more than trivial-single (superset of
+  // trials), and both cost more than the profile-guided selection.
+  const double prof = t.plan_profile_guided(e).t_pre_seconds;
+  const double single = t.plan_trivial(e, false).t_pre_seconds;
+  const double combined = t.plan_trivial(e, true).t_pre_seconds;
+  EXPECT_LT(prof, single);
+  EXPECT_LT(single, combined);
+}
+
+TEST_P(SuitePlatformInvariants, VendorWithinLandscape) {
+  const auto machine = paper_platforms()[static_cast<std::size_t>(GetParam().platform)];
+  const CsrMatrix m = gen::make_suite_matrix(GetParam().matrix);
+  const double vendor_rate = vendor::vendor_csr_gflops(m, machine);
+  EXPECT_GT(vendor_rate, 0.0);
+  const auto ie = vendor::inspector_executor(m, machine);
+  EXPECT_GE(ie.gflops, vendor_rate * 0.999);
+  // The vendor kernel cannot beat the format-independent roof.
+  EXPECT_LE(vendor_rate, p_peak_bound(m, machine) * 1.001);
+}
+
+// Six structurally distinct suite matrices x all three platforms.
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SuitePlatformInvariants,
+    ::testing::Values(InvariantCase{"consph", 0}, InvariantCase{"consph", 1},
+                      InvariantCase{"consph", 2}, InvariantCase{"poisson3Db", 0},
+                      InvariantCase{"poisson3Db", 1}, InvariantCase{"poisson3Db", 2},
+                      InvariantCase{"rajat30", 0}, InvariantCase{"rajat30", 1},
+                      InvariantCase{"rajat30", 2}, InvariantCase{"webbase-1M", 0},
+                      InvariantCase{"webbase-1M", 1}, InvariantCase{"webbase-1M", 2},
+                      InvariantCase{"human_gene1", 0}, InvariantCase{"human_gene1", 1},
+                      InvariantCase{"human_gene1", 2}, InvariantCase{"degme", 0},
+                      InvariantCase{"degme", 1}, InvariantCase{"degme", 2}),
+    [](const auto& info) {
+      std::string name = info.param.matrix;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name + "_" + paper_platforms()[static_cast<std::size_t>(info.param.platform)].name;
+    });
+
+}  // namespace
+}  // namespace sparta

@@ -1,0 +1,97 @@
+// Tests for the platform models: paper Table III values (scaled), derived
+// quantities, and the host STREAM probe.
+#include <gtest/gtest.h>
+
+#include "machine/machine_spec.hpp"
+#include "machine/stream_probe.hpp"
+
+namespace sparta {
+namespace {
+
+TEST(MachineSpec, KncMatchesTableIII) {
+  const auto m = knc();
+  EXPECT_EQ(m.name, "KNC");
+  EXPECT_EQ(m.cores, 57);
+  EXPECT_EQ(m.smt, 4);
+  EXPECT_EQ(m.threads(), 228);
+  EXPECT_DOUBLE_EQ(m.clock_ghz, 1.10);
+  EXPECT_DOUBLE_EQ(m.stream_main_gbs, 128.0);
+  EXPECT_DOUBLE_EQ(m.stream_llc_gbs, 140.0);
+  EXPECT_EQ(m.simd_doubles(), 8);
+  // 30 MiB aggregate L2, scaled by kCacheScale.
+  EXPECT_EQ(m.llc_bytes, static_cast<std::size_t>((30ull << 20) * kCacheScale));
+}
+
+TEST(MachineSpec, KnlMatchesTableIII) {
+  const auto m = knl();
+  EXPECT_EQ(m.cores, 68);
+  EXPECT_EQ(m.threads(), 272);
+  EXPECT_DOUBLE_EQ(m.clock_ghz, 1.40);
+  EXPECT_DOUBLE_EQ(m.stream_main_gbs, 395.0);  // flat-mode MCDRAM
+  EXPECT_DOUBLE_EQ(m.stream_llc_gbs, 570.0);
+  EXPECT_EQ(m.simd_doubles(), 8);
+}
+
+TEST(MachineSpec, BroadwellMatchesTableIII) {
+  const auto m = broadwell();
+  EXPECT_EQ(m.cores, 22);
+  EXPECT_EQ(m.smt, 2);
+  EXPECT_EQ(m.threads(), 44);
+  EXPECT_DOUBLE_EQ(m.clock_ghz, 2.20);
+  EXPECT_DOUBLE_EQ(m.stream_main_gbs, 60.0);
+  EXPECT_EQ(m.simd_doubles(), 4);
+  EXPECT_EQ(m.llc_bytes, static_cast<std::size_t>((55ull << 20) * kCacheScale));
+}
+
+TEST(MachineSpec, PaperPlatformsInOrder) {
+  const auto& p = paper_platforms();
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_EQ(p[0].name, "KNC");
+  EXPECT_EQ(p[1].name, "KNL");
+  EXPECT_EQ(p[2].name, "Broadwell");
+}
+
+TEST(MachineSpec, ArchitecturalOrderings) {
+  // The relationships the paper's analysis relies on.
+  EXPECT_GT(knl().stream_main_gbs, knc().stream_main_gbs);
+  EXPECT_GT(knc().stream_main_gbs, broadwell().stream_main_gbs);
+  EXPECT_GT(knc().dram_latency_ns, broadwell().dram_latency_ns);  // order-of-magnitude gap
+  EXPECT_GT(knc().issue_penalty, broadwell().issue_penalty);      // in-order vs OoO
+  EXPECT_GT(broadwell().latency_overlap, knc().latency_overlap);
+  EXPECT_GT(knc().threads(), broadwell().threads());
+}
+
+TEST(MachineSpec, XCacheBytesIsPositiveAndBounded) {
+  for (const auto& m : paper_platforms()) {
+    const auto b = m.x_cache_bytes_per_thread();
+    EXPECT_GE(b, 2 * m.cache_line_bytes);
+    EXPECT_LT(b, m.l1_bytes + m.l2_slice_bytes + m.llc_bytes);
+  }
+}
+
+TEST(MachineSpec, ValuesPerLine) {
+  EXPECT_EQ(knc().values_per_line(), 8);
+}
+
+TEST(MachineSpec, HostMachineHasSaneDefaults) {
+  const auto m = host_machine(false);
+  EXPECT_EQ(m.name, "host");
+  EXPECT_GE(m.cores, 1);
+  EXPECT_GT(m.stream_main_gbs, 0.0);
+  EXPECT_GT(m.clock_ghz, 0.0);
+}
+
+TEST(StreamProbe, ReportsPositiveBandwidth) {
+  const auto r = stream_triad_probe(2);
+  EXPECT_GT(r.main_gbs, 0.0);
+  EXPECT_GT(r.llc_gbs, 0.0);
+}
+
+TEST(StreamProbe, FeedsHostMachine) {
+  const auto m = host_machine(true);
+  EXPECT_GT(m.stream_main_gbs, 0.0);
+  EXPECT_GT(m.stream_llc_gbs, 0.0);
+}
+
+}  // namespace
+}  // namespace sparta

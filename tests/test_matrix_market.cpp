@@ -1,0 +1,144 @@
+// Tests for Matrix Market I/O: round-trips, symmetric/pattern handling,
+// malformed-input rejection.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gen/generators.hpp"
+#include "sparse/matrix_market.hpp"
+
+namespace sparta {
+namespace {
+
+TEST(MatrixMarket, WriteReadRoundTrip) {
+  const CsrMatrix m = gen::banded(60, 10, 5, 21);
+  std::stringstream ss;
+  mm::write(ss, m);
+  const CsrMatrix back = CsrMatrix::from_coo(mm::read_coo(ss));
+  EXPECT_EQ(back, m);
+}
+
+TEST(MatrixMarket, RoundTripPreservesValuesExactly) {
+  CooMatrix coo{2, 2};
+  coo.add(0, 0, 1.0 / 3.0);
+  coo.add(1, 1, -2.718281828459045);
+  const CsrMatrix m = CsrMatrix::from_coo(coo);
+  std::stringstream ss;
+  mm::write(ss, m);
+  const CsrMatrix back = CsrMatrix::from_coo(mm::read_coo(ss));
+  EXPECT_DOUBLE_EQ(back.values()[0], 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(back.values()[1], -2.718281828459045);
+}
+
+TEST(MatrixMarket, ParsesGeneralRealWithComments) {
+  std::stringstream ss{
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a comment\n"
+      "%another\n"
+      "3 3 2\n"
+      "1 1 5.0\n"
+      "3 2 -1.5\n"};
+  const CooMatrix coo = mm::read_coo(ss);
+  EXPECT_EQ(coo.nrows(), 3);
+  EXPECT_EQ(coo.nnz(), 2);
+  EXPECT_EQ(coo.entries()[0], (Triplet{0, 0, 5.0}));
+  EXPECT_EQ(coo.entries()[1], (Triplet{2, 1, -1.5}));
+}
+
+TEST(MatrixMarket, SymmetricExpandsOffDiagonal) {
+  std::stringstream ss{
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 2\n"
+      "2 1 4.0\n"
+      "3 3 9.0\n"};
+  const CooMatrix coo = mm::read_coo(ss);
+  EXPECT_EQ(coo.nnz(), 3);  // (1,0), (0,1), (2,2)
+  const CsrMatrix m = CsrMatrix::from_coo(coo);
+  EXPECT_DOUBLE_EQ(m.row_vals(0)[0], 4.0);
+  EXPECT_DOUBLE_EQ(m.row_vals(1)[0], 4.0);
+  EXPECT_DOUBLE_EQ(m.row_vals(2)[0], 9.0);
+}
+
+TEST(MatrixMarket, SymmetricDiagonalNotDuplicated) {
+  std::stringstream ss{
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "2 2 1\n"
+      "1 1 3.0\n"};
+  const CooMatrix coo = mm::read_coo(ss);
+  EXPECT_EQ(coo.nnz(), 1);
+  EXPECT_DOUBLE_EQ(coo.entries()[0].value, 3.0);
+}
+
+TEST(MatrixMarket, PatternEntriesGetUnitValue) {
+  std::stringstream ss{
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 2\n"
+      "1 2\n"
+      "2 1\n"};
+  const CooMatrix coo = mm::read_coo(ss);
+  EXPECT_EQ(coo.nnz(), 2);
+  EXPECT_DOUBLE_EQ(coo.entries()[0].value, 1.0);
+}
+
+TEST(MatrixMarket, IntegerFieldAccepted) {
+  std::stringstream ss{
+      "%%MatrixMarket matrix coordinate integer general\n"
+      "1 1 1\n"
+      "1 1 7\n"};
+  const CooMatrix coo = mm::read_coo(ss);
+  EXPECT_DOUBLE_EQ(coo.entries()[0].value, 7.0);
+}
+
+TEST(MatrixMarket, RejectsMissingBanner) {
+  std::stringstream ss{"1 1 1\n1 1 1.0\n"};
+  EXPECT_THROW(mm::read_coo(ss), std::runtime_error);
+}
+
+TEST(MatrixMarket, RejectsArrayFormat) {
+  std::stringstream ss{"%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n"};
+  EXPECT_THROW(mm::read_coo(ss), std::runtime_error);
+}
+
+TEST(MatrixMarket, RejectsComplexField) {
+  std::stringstream ss{"%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n"};
+  EXPECT_THROW(mm::read_coo(ss), std::runtime_error);
+}
+
+TEST(MatrixMarket, RejectsOutOfRangeEntry) {
+  std::stringstream ss{
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "3 1 1.0\n"};
+  EXPECT_THROW(mm::read_coo(ss), std::runtime_error);
+}
+
+TEST(MatrixMarket, RejectsTruncatedEntries) {
+  std::stringstream ss{
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 3\n"
+      "1 1 1.0\n"};
+  EXPECT_THROW(mm::read_coo(ss), std::runtime_error);
+}
+
+TEST(MatrixMarket, RejectsMissingValue) {
+  std::stringstream ss{
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "1 1\n"};
+  EXPECT_THROW(mm::read_coo(ss), std::runtime_error);
+}
+
+TEST(MatrixMarket, FileRoundTrip) {
+  const CsrMatrix m = gen::stencil5(7, 5);
+  const std::string path = ::testing::TempDir() + "/sparta_mm_test.mtx";
+  mm::write_file(path, m);
+  const CsrMatrix back = mm::read_csr_file(path);
+  EXPECT_EQ(back, m);
+}
+
+TEST(MatrixMarket, MissingFileThrows) {
+  EXPECT_THROW(mm::read_csr_file("/nonexistent/path/x.mtx"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sparta

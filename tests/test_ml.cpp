@@ -1,0 +1,254 @@
+// Tests for the from-scratch CART tree, the multilabel wrapper, the match
+// metrics and cross-validation.
+#include <gtest/gtest.h>
+
+#include "common/prng.hpp"
+#include "ml/cross_validation.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/multilabel.hpp"
+
+namespace sparta::ml {
+namespace {
+
+TEST(DecisionTree, LearnsAxisAlignedSplit) {
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  for (int i = 0; i < 20; ++i) {
+    x.push_back({static_cast<double>(i)});
+    y.push_back(i < 10 ? 0 : 1);
+  }
+  DecisionTree t;
+  t.fit(x, y);
+  EXPECT_EQ(t.predict(std::vector<double>{3.0}), 0);
+  EXPECT_EQ(t.predict(std::vector<double>{15.0}), 1);
+  EXPECT_EQ(t.depth(), 1);
+}
+
+TEST(DecisionTree, LearnsTwoFeatureInteraction) {
+  // AND pattern: needs a nested split (greedy CART can find it, unlike XOR).
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  for (double a : {0.0, 1.0}) {
+    for (double b : {0.0, 1.0}) {
+      for (int rep = 0; rep < 5; ++rep) {
+        x.push_back({a, b});
+        y.push_back((a > 0.5 && b > 0.5) ? 1 : 0);
+      }
+    }
+  }
+  DecisionTree t;
+  t.fit(x, y);
+  EXPECT_EQ(t.predict(std::vector<double>{1.0, 1.0}), 1);
+  EXPECT_EQ(t.predict(std::vector<double>{0.0, 1.0}), 0);
+  EXPECT_EQ(t.predict(std::vector<double>{1.0, 0.0}), 0);
+  EXPECT_GE(t.depth(), 2);
+}
+
+TEST(DecisionTree, PureLeafForConstantLabels) {
+  std::vector<std::vector<double>> x{{1.0}, {2.0}, {3.0}};
+  std::vector<int> y{1, 1, 1};
+  DecisionTree t;
+  t.fit(x, y);
+  EXPECT_EQ(t.node_count(), 1u);
+  EXPECT_DOUBLE_EQ(t.predict_proba(std::vector<double>{9.0}), 1.0);
+}
+
+TEST(DecisionTree, MaxDepthLimitsGrowth) {
+  Xoshiro256 rng{5};
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  for (int i = 0; i < 200; ++i) {
+    x.push_back({rng.uniform(), rng.uniform()});
+    y.push_back(static_cast<int>(rng.bounded(2)));
+  }
+  TreeParams p;
+  p.max_depth = 3;
+  DecisionTree t;
+  t.fit(x, y, p);
+  EXPECT_LE(t.depth(), 3);
+}
+
+TEST(DecisionTree, MinSamplesLeafRespected) {
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  for (int i = 0; i < 10; ++i) {
+    x.push_back({static_cast<double>(i)});
+    y.push_back(i == 0 ? 1 : 0);
+  }
+  // With 10 samples and a 6-sample leaf floor, every split leaves one side
+  // under the minimum, so the tree must stay a single leaf.
+  TreeParams p;
+  p.min_samples_leaf = 6;
+  DecisionTree t;
+  t.fit(x, y, p);
+  EXPECT_EQ(t.node_count(), 1u);
+
+  // With a 2-sample floor the informative split is allowed.
+  TreeParams loose;
+  loose.min_samples_leaf = 2;
+  DecisionTree t2;
+  t2.fit(x, y, loose);
+  EXPECT_GT(t2.node_count(), 1u);
+}
+
+TEST(DecisionTree, RejectsMalformedInput) {
+  DecisionTree t;
+  std::vector<std::vector<double>> x{{1.0}, {2.0, 3.0}};
+  std::vector<int> y{0, 1};
+  EXPECT_THROW(t.fit(x, y), std::invalid_argument);
+  std::vector<std::vector<double>> x2{{1.0}};
+  std::vector<int> y2{0, 1};
+  EXPECT_THROW(t.fit(x2, y2), std::invalid_argument);
+  std::vector<std::vector<double>> x3{{1.0}};
+  std::vector<int> y3{2};
+  EXPECT_THROW(t.fit(x3, y3), std::invalid_argument);
+  EXPECT_THROW(t.fit({}, {}), std::invalid_argument);
+}
+
+TEST(DecisionTree, PredictBeforeFitThrows) {
+  DecisionTree t;
+  EXPECT_THROW((void)t.predict(std::vector<double>{1.0}), std::logic_error);
+}
+
+TEST(DecisionTree, PredictArityMismatchThrows) {
+  std::vector<std::vector<double>> x{{1.0}, {2.0}};
+  std::vector<int> y{0, 1};
+  DecisionTree t;
+  t.fit(x, y);
+  EXPECT_THROW((void)t.predict(std::vector<double>{1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(DecisionTree, FeatureImportancesSumToOne) {
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  for (int i = 0; i < 40; ++i) {
+    // Feature 0 is informative, feature 1 is constant noise.
+    x.push_back({static_cast<double>(i), 5.0});
+    y.push_back(i < 20 ? 0 : 1);
+  }
+  DecisionTree t;
+  t.fit(x, y);
+  const auto imp = t.feature_importances();
+  ASSERT_EQ(imp.size(), 2u);
+  EXPECT_NEAR(imp[0] + imp[1], 1.0, 1e-12);
+  EXPECT_GT(imp[0], imp[1]);
+}
+
+TEST(DecisionTree, ToTextShowsStructure) {
+  std::vector<std::vector<double>> x{{0.0}, {1.0}};
+  std::vector<int> y{0, 1};
+  DecisionTree t;
+  t.fit(x, y);
+  const std::vector<std::string> names{"width"};
+  const std::string text = t.to_text(names);
+  EXPECT_NE(text.find("if width <="), std::string::npos);
+  EXPECT_NE(text.find("leaf"), std::string::npos);
+}
+
+TEST(Multilabel, FitsIndependentLabels) {
+  // label 0: x0 > 0.5; label 1: x1 > 0.5.
+  std::vector<std::vector<double>> x;
+  std::vector<LabelMask> y;
+  for (double a : {0.0, 1.0}) {
+    for (double b : {0.0, 1.0}) {
+      for (int rep = 0; rep < 4; ++rep) {
+        x.push_back({a, b});
+        y.push_back(static_cast<LabelMask>((a > 0.5 ? 1 : 0) | (b > 0.5 ? 2 : 0)));
+      }
+    }
+  }
+  MultilabelTree m;
+  m.fit(x, y, 2);
+  EXPECT_EQ(m.predict(std::vector<double>{1.0, 0.0}), 1u);
+  EXPECT_EQ(m.predict(std::vector<double>{1.0, 1.0}), 3u);
+  EXPECT_EQ(m.predict(std::vector<double>{0.0, 0.0}), 0u);
+  EXPECT_EQ(m.nlabels(), 2);
+}
+
+TEST(Multilabel, RejectsBadLabelCount) {
+  MultilabelTree m;
+  std::vector<std::vector<double>> x{{0.0}};
+  std::vector<LabelMask> y{0};
+  EXPECT_THROW(m.fit(x, y, 0), std::invalid_argument);
+  EXPECT_THROW(m.fit(x, y, 33), std::invalid_argument);
+}
+
+TEST(Multilabel, PredictBeforeFitThrows) {
+  MultilabelTree m;
+  EXPECT_THROW((void)m.predict(std::vector<double>{0.0}), std::logic_error);
+}
+
+TEST(Metrics, ExactMatchRatio) {
+  const std::vector<LabelMask> truth{1, 2, 3, 0};
+  const std::vector<LabelMask> pred{1, 2, 1, 0};
+  EXPECT_DOUBLE_EQ(exact_match_ratio(pred, truth), 0.75);
+}
+
+TEST(Metrics, PartialMatchCountsSharedLabel) {
+  const std::vector<LabelMask> truth{0b11, 0b10, 0b01};
+  const std::vector<LabelMask> pred{0b01, 0b01, 0b10};
+  // sample0 shares bit0; sample1 shares nothing; sample2 shares nothing.
+  EXPECT_NEAR(partial_match_ratio(pred, truth), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Metrics, PartialMatchTreatsEmptyAgreementAsCorrect) {
+  const std::vector<LabelMask> truth{0, 0};
+  const std::vector<LabelMask> pred{0, 1};
+  EXPECT_DOUBLE_EQ(partial_match_ratio(pred, truth), 0.5);
+}
+
+TEST(Metrics, ExactImpliesPartial) {
+  Xoshiro256 rng{31};
+  std::vector<LabelMask> truth, pred;
+  for (int i = 0; i < 100; ++i) {
+    truth.push_back(static_cast<LabelMask>(rng.bounded(16)));
+    pred.push_back(static_cast<LabelMask>(rng.bounded(16)));
+  }
+  EXPECT_LE(exact_match_ratio(pred, truth), partial_match_ratio(pred, truth));
+}
+
+TEST(Metrics, SizeMismatchThrows) {
+  const std::vector<LabelMask> a{1};
+  const std::vector<LabelMask> b{1, 2};
+  EXPECT_THROW(exact_match_ratio(a, b), std::invalid_argument);
+  EXPECT_THROW(partial_match_ratio(a, b), std::invalid_argument);
+}
+
+TEST(CrossValidation, PerfectOnSeparableData) {
+  std::vector<std::vector<double>> x;
+  std::vector<LabelMask> y;
+  for (int i = 0; i < 30; ++i) {
+    x.push_back({static_cast<double>(i % 10), static_cast<double>(i % 3)});
+    y.push_back(i % 10 < 5 ? 1u : 2u);
+  }
+  const auto scores = leave_one_out(x, y, 2);
+  EXPECT_GT(scores.exact_match, 0.95);
+  EXPECT_GE(scores.partial_match, scores.exact_match);
+}
+
+TEST(CrossValidation, KFoldRunsAndBoundsHold) {
+  Xoshiro256 rng{77};
+  std::vector<std::vector<double>> x;
+  std::vector<LabelMask> y;
+  for (int i = 0; i < 60; ++i) {
+    const double v = rng.uniform();
+    x.push_back({v, rng.uniform()});
+    y.push_back(v > 0.5 ? 1u : 0u);
+  }
+  const auto scores = k_fold(x, y, 2, 5);
+  EXPECT_GE(scores.exact_match, 0.0);
+  EXPECT_LE(scores.exact_match, 1.0);
+  EXPECT_GE(scores.partial_match, scores.exact_match);
+}
+
+TEST(CrossValidation, RejectsDegenerateInputs) {
+  std::vector<std::vector<double>> x{{1.0}};
+  std::vector<LabelMask> y{1};
+  EXPECT_THROW(leave_one_out(x, y, 1), std::invalid_argument);
+  std::vector<std::vector<double>> x2{{1.0}, {2.0}, {3.0}};
+  std::vector<LabelMask> y2{1, 0, 1};
+  EXPECT_THROW(k_fold(x2, y2, 1, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sparta::ml

@@ -1,0 +1,273 @@
+// Tests for the CG and GMRES solvers: convergence on well-conditioned
+// systems, residual correctness, preconditioning, and the pluggable-SpMV
+// hook the amortization experiments rely on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/prng.hpp"
+#include "gen/generators.hpp"
+#include "kernels/kernel_registry.hpp"
+#include "solvers/bicgstab.hpp"
+#include "solvers/cg.hpp"
+#include "solvers/gmres.hpp"
+
+namespace sparta {
+namespace {
+
+aligned_vector<value_t> random_vector(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng{seed};
+  aligned_vector<value_t> v(n);
+  for (auto& x : v) x = rng.uniform(-1.0, 1.0);
+  return v;
+}
+
+double residual_norm(const CsrMatrix& a, std::span<const value_t> x,
+                     std::span<const value_t> b) {
+  aligned_vector<value_t> ax(b.size());
+  spmv_reference(a, x, ax);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < b.size(); ++i) acc += (b[i] - ax[i]) * (b[i] - ax[i]);
+  return std::sqrt(acc);
+}
+
+TEST(VectorOps, DotNormAxpy) {
+  const aligned_vector<value_t> a{1.0, 2.0, 3.0};
+  const aligned_vector<value_t> b{4.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(solvers::dot(a, b), 32.0);
+  EXPECT_DOUBLE_EQ(solvers::norm2(a), std::sqrt(14.0));
+  aligned_vector<value_t> y{1.0, 1.0, 1.0};
+  solvers::axpy(2.0, a, y);
+  EXPECT_DOUBLE_EQ(y[2], 7.0);
+  aligned_vector<value_t> z{1.0, 1.0, 1.0};
+  solvers::xpby(a, 3.0, z);
+  EXPECT_DOUBLE_EQ(z[0], 4.0);
+}
+
+TEST(Cg, SolvesPoissonSystem) {
+  const CsrMatrix a = gen::stencil5(20, 20);
+  const auto b = random_vector(static_cast<std::size_t>(a.nrows()), 501);
+  aligned_vector<value_t> x(b.size(), 0.0);
+  const auto r = solvers::cg(a, b, x);
+  EXPECT_TRUE(r.converged);
+  EXPECT_GT(r.iterations, 0);
+  EXPECT_LT(residual_norm(a, x, b), 1e-6);
+  EXPECT_GE(r.seconds, 0.0);
+  EXPECT_LE(r.spmv_seconds, r.seconds + 1e-9);
+}
+
+TEST(Cg, JacobiPreconditioningDoesNotBreakConvergence) {
+  // CG needs SPD: symmetrize a banded matrix, then make it diagonally
+  // dominant (symmetric + strictly dominant positive diagonal => SPD).
+  const CsrMatrix banded = gen::banded(400, 20, 6, 502);
+  const CsrMatrix bt = banded.transpose();
+  CooMatrix sym{banded.nrows(), banded.ncols()};
+  for (index_t i = 0; i < banded.nrows(); ++i) {
+    const auto cols = banded.row_cols(i);
+    const auto vals = banded.row_vals(i);
+    for (std::size_t j = 0; j < cols.size(); ++j) sym.add(i, cols[j], vals[j]);
+    const auto tcols = bt.row_cols(i);
+    const auto tvals = bt.row_vals(i);
+    for (std::size_t j = 0; j < tcols.size(); ++j) sym.add(i, tcols[j], tvals[j]);
+  }
+  const CsrMatrix a =
+      gen::make_diagonally_dominant(CsrMatrix::from_coo(sym), 503);
+  const auto b = random_vector(static_cast<std::size_t>(a.nrows()), 504);
+  aligned_vector<value_t> x_plain(b.size(), 0.0), x_pc(b.size(), 0.0);
+  solvers::CgOptions plain;
+  solvers::CgOptions pc;
+  pc.jacobi = true;
+  const auto r_plain = solvers::cg(a, b, x_plain, plain);
+  const auto r_pc = solvers::cg(a, b, x_pc, pc);
+  EXPECT_TRUE(r_plain.converged);
+  EXPECT_TRUE(r_pc.converged);
+  EXPECT_LT(residual_norm(a, x_pc, b), 1e-5);
+}
+
+TEST(Cg, ZeroRhsYieldsZeroSolution) {
+  const CsrMatrix a = gen::stencil5(8, 8);
+  const aligned_vector<value_t> b(static_cast<std::size_t>(a.nrows()), 0.0);
+  aligned_vector<value_t> x(b.size(), 0.0);
+  const auto r = solvers::cg(a, b, x);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.iterations, 0);
+  for (value_t v : x) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Cg, MaxIterationsCapsWork) {
+  const CsrMatrix a = gen::stencil5(30, 30);
+  const auto b = random_vector(static_cast<std::size_t>(a.nrows()), 505);
+  aligned_vector<value_t> x(b.size(), 0.0);
+  solvers::CgOptions opts;
+  opts.max_iterations = 3;
+  const auto r = solvers::cg(a, b, x, opts);
+  EXPECT_FALSE(r.converged);
+  EXPECT_LE(r.iterations, 3);
+}
+
+TEST(Cg, RejectsShapeMismatch) {
+  const CsrMatrix a = gen::stencil5(4, 4);
+  aligned_vector<value_t> b(5), x(16);
+  EXPECT_THROW(solvers::cg(a, b, x), std::invalid_argument);
+  CooMatrix rect{4, 6};
+  rect.add(0, 0, 1.0);
+  const CsrMatrix ra = CsrMatrix::from_coo(rect);
+  aligned_vector<value_t> b2(4), x2(4);
+  EXPECT_THROW(solvers::cg(ra, b2, x2), std::invalid_argument);
+}
+
+TEST(Cg, AcceptsCustomSpmv) {
+  const CsrMatrix a = gen::stencil5(16, 16);
+  const auto b = random_vector(static_cast<std::size_t>(a.nrows()), 506);
+  aligned_vector<value_t> x(b.size(), 0.0);
+  const kernels::PreparedSpmv prepared{a, sim::KernelConfig{}, 4};
+  int calls = 0;
+  const solvers::SpmvFn fn = [&](std::span<const value_t> in, std::span<value_t> out) {
+    ++calls;
+    prepared.run(in, out);
+  };
+  const auto r = solvers::cg(a, b, x, {}, &fn);
+  EXPECT_TRUE(r.converged);
+  EXPECT_GT(calls, 0);
+  EXPECT_LT(residual_norm(a, x, b), 1e-6);
+}
+
+TEST(Gmres, SolvesNonsymmetricSystem) {
+  const CsrMatrix a =
+      gen::make_diagonally_dominant(gen::random_uniform(300, 8, 507), 508);
+  const auto b = random_vector(static_cast<std::size_t>(a.nrows()), 509);
+  aligned_vector<value_t> x(b.size(), 0.0);
+  const auto r = solvers::gmres(a, b, x);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(residual_norm(a, x, b), 1e-5);
+}
+
+TEST(Gmres, RestartSmallerThanConvergenceDimension) {
+  const CsrMatrix a =
+      gen::make_diagonally_dominant(gen::banded(500, 30, 7, 510), 511);
+  const auto b = random_vector(static_cast<std::size_t>(a.nrows()), 512);
+  aligned_vector<value_t> x(b.size(), 0.0);
+  solvers::GmresOptions opts;
+  opts.restart = 5;  // force several restart cycles
+  const auto r = solvers::gmres(a, b, x, opts);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(residual_norm(a, x, b), 1e-5);
+}
+
+TEST(Gmres, SolvesSpdSystemToo) {
+  const CsrMatrix a = gen::stencil5(15, 15);
+  const auto b = random_vector(static_cast<std::size_t>(a.nrows()), 513);
+  aligned_vector<value_t> x(b.size(), 0.0);
+  const auto r = solvers::gmres(a, b, x);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(residual_norm(a, x, b), 1e-5);
+}
+
+TEST(Gmres, IterationBudgetRespected) {
+  const CsrMatrix a = gen::stencil5(30, 30);
+  const auto b = random_vector(static_cast<std::size_t>(a.nrows()), 514);
+  aligned_vector<value_t> x(b.size(), 0.0);
+  solvers::GmresOptions opts;
+  opts.max_iterations = 7;
+  const auto r = solvers::gmres(a, b, x, opts);
+  EXPECT_LE(r.iterations, 7);
+}
+
+TEST(Gmres, RejectsBadOptionsAndShapes) {
+  const CsrMatrix a = gen::stencil5(4, 4);
+  aligned_vector<value_t> b(16), x(16);
+  solvers::GmresOptions opts;
+  opts.restart = 0;
+  EXPECT_THROW(solvers::gmres(a, b, x, opts), std::invalid_argument);
+  aligned_vector<value_t> shrt(5);
+  EXPECT_THROW(solvers::gmres(a, shrt, x), std::invalid_argument);
+}
+
+TEST(Gmres, AcceptsCustomSpmv) {
+  const CsrMatrix a =
+      gen::make_diagonally_dominant(gen::banded(200, 15, 5, 515), 516);
+  const auto b = random_vector(static_cast<std::size_t>(a.nrows()), 517);
+  aligned_vector<value_t> x(b.size(), 0.0);
+  int calls = 0;
+  const solvers::SpmvFn fn = [&](std::span<const value_t> in, std::span<value_t> out) {
+    ++calls;
+    spmv_reference(a, in, out);
+  };
+  const auto r = solvers::gmres(a, b, x, {}, &fn);
+  EXPECT_TRUE(r.converged);
+  EXPECT_GT(calls, 0);
+}
+
+TEST(Bicgstab, SolvesNonsymmetricSystem) {
+  const CsrMatrix a =
+      gen::make_diagonally_dominant(gen::random_uniform(300, 8, 521), 522);
+  const auto b = random_vector(static_cast<std::size_t>(a.nrows()), 523);
+  aligned_vector<value_t> x(b.size(), 0.0);
+  const auto r = solvers::bicgstab(a, b, x);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(residual_norm(a, x, b), 1e-5);
+  EXPECT_LE(r.spmv_seconds, r.seconds + 1e-9);
+}
+
+TEST(Bicgstab, SolvesSpdSystem) {
+  const CsrMatrix a = gen::stencil5(15, 15);
+  const auto b = random_vector(static_cast<std::size_t>(a.nrows()), 524);
+  aligned_vector<value_t> x(b.size(), 0.0);
+  const auto r = solvers::bicgstab(a, b, x);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(residual_norm(a, x, b), 1e-5);
+}
+
+TEST(Bicgstab, IterationBudgetRespected) {
+  const CsrMatrix a = gen::stencil5(30, 30);
+  const auto b = random_vector(static_cast<std::size_t>(a.nrows()), 525);
+  aligned_vector<value_t> x(b.size(), 0.0);
+  solvers::BicgstabOptions opts;
+  opts.max_iterations = 4;
+  const auto r = solvers::bicgstab(a, b, x, opts);
+  EXPECT_LE(r.iterations, 4);
+}
+
+TEST(Bicgstab, RejectsShapeMismatch) {
+  const CsrMatrix a = gen::stencil5(4, 4);
+  aligned_vector<value_t> b(5), x(16);
+  EXPECT_THROW(solvers::bicgstab(a, b, x), std::invalid_argument);
+}
+
+TEST(Bicgstab, AcceptsCustomSpmv) {
+  const CsrMatrix a =
+      gen::make_diagonally_dominant(gen::banded(200, 15, 5, 526), 527);
+  const auto b = random_vector(static_cast<std::size_t>(a.nrows()), 528);
+  aligned_vector<value_t> x(b.size(), 0.0);
+  int calls = 0;
+  const solvers::SpmvFn fn = [&](std::span<const value_t> in, std::span<value_t> out) {
+    ++calls;
+    spmv_reference(a, in, out);
+  };
+  const auto r = solvers::bicgstab(a, b, x, {}, &fn);
+  EXPECT_TRUE(r.converged);
+  // BiCGSTAB issues two SpMVs per full iteration (plus the initial residual).
+  EXPECT_GE(calls, 2 * r.iterations);
+}
+
+TEST(Bicgstab, AgreesWithGmres) {
+  const CsrMatrix a =
+      gen::make_diagonally_dominant(gen::random_uniform(150, 6, 529), 530);
+  const auto b = random_vector(static_cast<std::size_t>(a.nrows()), 531);
+  aligned_vector<value_t> x_bi(b.size(), 0.0), x_gm(b.size(), 0.0);
+  ASSERT_TRUE(solvers::bicgstab(a, b, x_bi).converged);
+  ASSERT_TRUE(solvers::gmres(a, b, x_gm).converged);
+  for (std::size_t i = 0; i < b.size(); ++i) EXPECT_NEAR(x_bi[i], x_gm[i], 1e-5);
+}
+
+TEST(Solvers, CgAndGmresAgreeOnSpdSystem) {
+  const CsrMatrix a = gen::stencil5(12, 12);
+  const auto b = random_vector(static_cast<std::size_t>(a.nrows()), 518);
+  aligned_vector<value_t> x_cg(b.size(), 0.0), x_gm(b.size(), 0.0);
+  ASSERT_TRUE(solvers::cg(a, b, x_cg).converged);
+  ASSERT_TRUE(solvers::gmres(a, b, x_gm).converged);
+  for (std::size_t i = 0; i < b.size(); ++i) EXPECT_NEAR(x_cg[i], x_gm[i], 1e-5);
+}
+
+}  // namespace
+}  // namespace sparta

@@ -1,0 +1,60 @@
+// sparta_train — offline training of the feature-guided classifier
+// (paper §III-D: "pre-trained during an offline stage").
+//
+//   sparta_train [--platform knc|knl|broadwell|host] [--corpus N]
+//                [--subset linear|full] [--depth D] --out model.txt
+//
+// Labels a generated corpus with the profile-guided classifier on the
+// chosen platform, trains the multilabel CART tree, reports LOO accuracy
+// and writes the model for sparta_tune --strategy feature --model.
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "gen/suite.hpp"
+#include "sparta.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sparta;
+  CliParser cli{{"help"}, {"platform", "corpus", "subset", "depth", "out"}};
+  try {
+    cli.parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+  const auto out = cli.value("out");
+  if (cli.has("help") || !out) {
+    std::cerr << "usage: sparta_train [--platform knc|knl|broadwell|host] [--corpus N]\n"
+                 "                    [--subset linear|full] [--depth D] --out model.txt\n";
+    return cli.has("help") ? 0 : 2;
+  }
+
+  const std::string platform = cli.value_or("platform", "knl");
+  const MachineSpec machine = platform == "knc"         ? knc()
+                              : platform == "knl"       ? knl()
+                              : platform == "broadwell" ? broadwell()
+                                                        : host_machine(true);
+  const Autotuner tuner{machine};
+
+  const int corpus_n = cli.int_or("corpus", 210);
+  std::cout << "labeling " << corpus_n << "-matrix corpus on " << machine.name << "...\n";
+  std::vector<TrainingSample> corpus;
+  corpus.reserve(static_cast<std::size_t>(corpus_n));
+  for (auto& m : gen::training_population(corpus_n)) {
+    corpus.push_back(tuner.label(m.matrix));
+  }
+
+  FeatureClassifier::Config cfg;
+  cfg.subset = cli.value_or("subset", "full") == "linear" ? feature_subset_linear()
+                                                          : feature_subset_full();
+  cfg.tree.max_depth = cli.int_or("depth", cfg.tree.max_depth);
+
+  const auto scores = FeatureClassifier::cross_validate(corpus, cfg);
+  std::cout << "LOO accuracy: exact " << Table::num(scores.exact_match * 100.0, 1)
+            << "%, partial " << Table::num(scores.partial_match * 100.0, 1) << "%\n";
+
+  const auto fc = FeatureClassifier::train(corpus, cfg);
+  fc.save_file(*out);
+  std::cout << "model written to " << *out << "\n";
+  return 0;
+}

@@ -1,0 +1,131 @@
+// sparta_tune — command-line front end of the optimizer.
+//
+//   sparta_tune [--platform knc|knl|broadwell|host] [--strategy profile|feature|oracle]
+//               [--model model.txt] [--run] [--threads N] (matrix.mtx | suite:<name>)
+//
+// Classifies the matrix on the chosen platform, prints the plan (classes,
+// optimizations, expected rate, preprocessing cost), and with --run executes
+// the optimized host kernel against the reference for validation and timing.
+// --strategy feature requires a model file from sparta_train (or falls back
+// to training a small corpus on the fly).
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "gen/suite.hpp"
+#include "sparta.hpp"
+
+namespace {
+
+sparta::MachineSpec platform_by_name(const std::string& name) {
+  using namespace sparta;
+  if (name == "knc") return knc();
+  if (name == "knl") return knl();
+  if (name == "broadwell") return broadwell();
+  if (name == "host") return host_machine(true);
+  throw std::invalid_argument{"unknown platform '" + name + "'"};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sparta;
+  CliParser cli{{"run", "real", "help"}, {"platform", "strategy", "model", "threads", "corpus"}};
+  try {
+    cli.parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+  if (cli.has("help") || cli.positional().size() != 1) {
+    std::cerr << "usage: sparta_tune [--platform knc|knl|broadwell|host]\n"
+                 "                   [--strategy profile|feature|oracle] [--model file]\n"
+                 "                   [--real] [--run] [--threads N] (matrix.mtx | suite:<name>)\n"
+                 "  --real  profile with real kernels and wall-clock timers on this\n"
+                 "          machine instead of the platform model\n";
+    return cli.has("help") ? 0 : 2;
+  }
+
+  const std::string source = cli.positional().front();
+  const CsrMatrix matrix = source.rfind("suite:", 0) == 0
+                               ? gen::make_suite_matrix(source.substr(6))
+                               : mm::read_csr_file(source);
+  std::cout << "matrix: " << matrix.nrows() << " x " << matrix.ncols() << ", " << matrix.nnz()
+            << " nonzeros\n";
+
+  if (cli.has("real")) {
+    // Host profiling path: measured bounds, real preprocessing and kernel
+    // times on this machine.
+    HostProfileOptions opts;
+    opts.threads = cli.int_or("threads", 0);
+    const auto plan = tune_host(matrix, opts);
+    std::cout << "strategy:        " << plan.strategy << " (measured on this host)\n"
+              << "classes:         " << to_string(plan.classes) << "\n"
+              << "optimizations:   " << to_string(plan.optimizations) << "\n"
+              << "kernel variant:  " << plan.config.describe() << "\n"
+              << "measured rate:   " << Table::num(plan.gflops) << " GFLOP/s\n"
+              << "preprocessing:   " << Table::num(plan.t_pre_seconds * 1e3, 3)
+              << " ms (measured)\n";
+    return 0;
+  }
+
+  const auto machine = platform_by_name(cli.value_or("platform", "knl"));
+  const Autotuner tuner{machine};
+  const auto evaluation = tuner.evaluate(source, matrix);
+
+  const std::string strategy = cli.value_or("strategy", "profile");
+  OptimizationPlan plan;
+  if (strategy == "profile") {
+    plan = tuner.plan_profile_guided(evaluation);
+  } else if (strategy == "oracle") {
+    plan = tuner.plan_oracle(evaluation);
+  } else if (strategy == "feature") {
+    FeatureClassifier fc = [&] {
+      if (const auto model = cli.value("model")) {
+        return FeatureClassifier::load_file(*model);
+      }
+      const int corpus_n = cli.int_or("corpus", 60);
+      std::cout << "(no --model given; training on a " << corpus_n
+                << "-matrix corpus — use sparta_train to do this once)\n";
+      std::vector<TrainingSample> corpus;
+      for (auto& m : gen::training_population(corpus_n)) {
+        corpus.push_back(tuner.label(m.matrix));
+      }
+      return FeatureClassifier::train(corpus);
+    }();
+    plan = tuner.plan_feature_guided(evaluation, fc);
+  } else {
+    std::cerr << "error: unknown strategy '" << strategy << "'\n";
+    return 2;
+  }
+
+  std::cout << "platform:        " << machine.name << " (" << machine.threads()
+            << " threads)\n"
+            << "strategy:        " << plan.strategy << "\n"
+            << "classes:         " << to_string(plan.classes) << "\n"
+            << "optimizations:   " << to_string(plan.optimizations) << "\n"
+            << "kernel variant:  " << plan.config.describe() << "\n"
+            << "expected rate:   " << Table::num(plan.gflops) << " GFLOP/s (baseline "
+            << Table::num(evaluation.bounds.p_csr) << ")\n"
+            << "preprocessing:   " << Table::num(plan.t_pre_seconds * 1e3, 3) << " ms (model)\n";
+
+  if (cli.has("run")) {
+    const int threads = cli.int_or("threads", host_machine().cores);
+    const kernels::PreparedSpmv spmv{matrix, plan.config, threads};
+    aligned_vector<value_t> x(static_cast<std::size_t>(matrix.ncols()), 1.0);
+    aligned_vector<value_t> y(static_cast<std::size_t>(matrix.nrows()));
+    aligned_vector<value_t> want(y.size());
+    Timer t;
+    constexpr int kIters = 20;
+    for (int i = 0; i < kIters; ++i) spmv.run(x, y);
+    const double sec = t.seconds() / kIters;
+    spmv_reference(matrix, x, want);
+    double max_err = 0.0;
+    for (std::size_t i = 0; i < y.size(); ++i) max_err = std::max(max_err, std::abs(y[i] - want[i]));
+    std::cout << "host run:        "
+              << Table::num(2.0 * static_cast<double>(matrix.nnz()) / sec * 1e-9, 2)
+              << " GFLOP/s over " << kIters << " iterations with " << threads
+              << " threads; max |error| = " << max_err << "\n";
+    return max_err < 1e-9 ? 0 : 1;
+  }
+  return 0;
+}
