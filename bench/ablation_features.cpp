@@ -7,7 +7,8 @@
 #include "bench_common.hpp"
 #include "common/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  sparta::bench::init(argc, argv);
   using namespace sparta;
   bench::print_header("ablation_features", "Table IV extension (feature ablation)");
 

@@ -9,7 +9,8 @@
 #include "common/table.hpp"
 #include "tuner/profile_classifier.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  sparta::bench::init(argc, argv);
   using namespace sparta;
   bench::print_header("ablation_imb_policy", "SIII-E IMB sub-selection (design-choice ablation)");
 

@@ -10,7 +10,8 @@
 #include "gen/generators.hpp"
 #include "tuner/partitioned_bounds.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  sparta::bench::init(argc, argv);
   using namespace sparta;
   bench::print_header("ablation_partitioned_ml", "SIV-C future-work extension");
 

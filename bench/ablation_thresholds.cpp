@@ -12,7 +12,8 @@
 #include "common/table.hpp"
 #include "tuner/grid_search.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  sparta::bench::init(argc, argv);
   using namespace sparta;
   bench::print_header("ablation_thresholds", "Figure 4 hyperparameters (grid search)");
 

@@ -1,8 +1,40 @@
 #include "bench_common.hpp"
 
+#include <omp.h>
+
 #include <cstdlib>
+#include <iostream>
+#include <string>
 
 namespace sparta::bench {
+
+namespace {
+int g_threads = 0;  // 0 until init() sees --threads
+}  // namespace
+
+void init(int& argc, char** argv) {
+  const auto usage_error = [&](const std::string& why) {
+    std::cerr << argv[0] << ": " << why << "\nusage: " << argv[0] << " [--threads N]\n";
+    std::exit(2);
+  };
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads") {
+      if (i + 1 >= argc) usage_error("missing value for --threads");
+      const int n = std::atoi(argv[++i]);
+      if (n <= 0) usage_error("--threads expects a positive integer, got '" +
+                              std::string(argv[i]) + "'");
+      g_threads = n;
+      omp_set_num_threads(n);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+}
+
+int effective_threads() { return g_threads > 0 ? g_threads : omp_get_max_threads(); }
 
 int corpus_size() {
   if (const char* env = std::getenv("SPARTA_CORPUS")) {
@@ -46,6 +78,7 @@ void print_header(const std::string& title, const std::string& paper_item) {
   std::cout << "==========================================================================\n"
             << title << "\n"
             << "reproduces: " << paper_item << "\n"
+            << "threads: " << effective_threads() << " (set with --threads N)\n"
             << "==========================================================================\n";
 }
 

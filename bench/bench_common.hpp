@@ -12,6 +12,16 @@
 
 namespace sparta::bench {
 
+/// Parse the shared bench flags and apply them. Currently `--threads N`
+/// pins the OpenMP thread count (overriding OMP_NUM_THREADS). Recognized
+/// flags are stripped from argc/argv so binaries with their own parsers
+/// (google-benchmark) can chain theirs afterwards. Call first in main().
+void init(int& argc, char** argv);
+
+/// OpenMP thread count the bench kernels will use: the --threads value if
+/// given, otherwise omp_get_max_threads(). Printed by print_header.
+int effective_threads();
+
 /// Size of the training corpus (paper: 210 matrices). Override with the
 /// SPARTA_CORPUS environment variable for quick runs.
 int corpus_size();
@@ -29,7 +39,7 @@ FeatureClassifier train_default_classifier(const std::vector<TrainingSample>& co
 /// Arithmetic mean of per-matrix speedups a/b.
 double mean_speedup(const std::vector<double>& numer, const std::vector<double>& denom);
 
-/// Print a standard bench header.
+/// Print a standard bench header (title, paper item, effective threads).
 void print_header(const std::string& title, const std::string& paper_item);
 
 }  // namespace sparta::bench

@@ -11,7 +11,8 @@
 #include "common/table.hpp"
 #include "tuner/optimizations.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  sparta::bench::init(argc, argv);
   using namespace sparta;
   bench::print_header("fig1_single_optimizations", "Figure 1");
 

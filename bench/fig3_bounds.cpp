@@ -10,7 +10,8 @@
 #include "common/table.hpp"
 #include "tuner/profile_classifier.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  sparta::bench::init(argc, argv);
   using namespace sparta;
   bench::print_header("fig3_bounds", "Figure 3 (+ classifier of Figure 4)");
 

@@ -15,7 +15,8 @@
 #include "vendor/inspector_executor.hpp"
 #include "vendor/vendor_csr.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  sparta::bench::init(argc, argv);
   using namespace sparta;
   bench::print_header("fig5_performance_landscape", "Figure 5 (a) KNC, (b) KNL, (c) Broadwell");
 

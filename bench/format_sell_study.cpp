@@ -10,7 +10,8 @@
 #include "sim/sell_sim.hpp"
 #include "sparse/sell.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  sparta::bench::init(argc, argv);
   using namespace sparta;
   bench::print_header("format_sell_study", "related-work format comparison (extension)");
 

@@ -38,7 +38,8 @@ double measure_gflops(const CsrMatrix& m, const sim::KernelConfig& cfg, int thre
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  sparta::bench::init(argc, argv);
   using namespace sparta;
   bench::print_header("host_landscape", "Figure 5, host-hardware edition (extension)");
 

@@ -4,6 +4,10 @@
 // that each kernel variant is a working, competitive implementation.
 #include <benchmark/benchmark.h>
 
+#include <iostream>
+
+#include "bench_common.hpp"
+
 #include "common/prng.hpp"
 #include "gen/generators.hpp"
 #include "kernels/kernel_registry.hpp"
@@ -136,4 +140,15 @@ BENCHMARK(BM_PcmpKernel_Scattered);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// --threads is stripped by bench::init before google-benchmark parses the
+// rest of the command line.
+int main(int argc, char** argv) {
+  sparta::bench::init(argc, argv);
+  std::cout << "threads: " << sparta::bench::effective_threads()
+            << " (set with --threads N)\n";
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

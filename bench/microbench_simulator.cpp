@@ -4,6 +4,10 @@
 // experiments run thousands of these).
 #include <benchmark/benchmark.h>
 
+#include <iostream>
+
+#include "bench_common.hpp"
+
 #include "gen/generators.hpp"
 #include "sim/simulator.hpp"
 #include "tuner/bounds.hpp"
@@ -52,4 +56,15 @@ BENCHMARK(BM_MeasureBounds)->Iterations(2);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// --threads is stripped by bench::init before google-benchmark parses the
+// rest of the command line.
+int main(int argc, char** argv) {
+  sparta::bench::init(argc, argv);
+  std::cout << "threads: " << sparta::bench::effective_threads()
+            << " (set with --threads N)\n";
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

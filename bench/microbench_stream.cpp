@@ -2,13 +2,16 @@
 // "STREAM triad main/llc" row, which anchors every modeled bandwidth number.
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "common/table.hpp"
 #include "machine/machine_spec.hpp"
 #include "machine/stream_probe.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sparta;
-  std::cout << "host STREAM triad probe (cf. paper Table III bandwidth row)\n";
+  bench::init(argc, argv);
+  std::cout << "host STREAM triad probe (cf. paper Table III bandwidth row)\n"
+            << "threads: " << bench::effective_threads() << " (set with --threads N)\n";
   const auto r = stream_triad_probe();
   Table table{{"platform", "STREAM main (GB/s)", "STREAM llc (GB/s)", "kind"}};
   table.add_row({"host (measured)", Table::num(r.main_gbs, 1), Table::num(r.llc_gbs, 1),

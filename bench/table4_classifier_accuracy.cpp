@@ -10,7 +10,8 @@
 #include "bench_common.hpp"
 #include "common/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  sparta::bench::init(argc, argv);
   using namespace sparta;
   bench::print_header("table4_classifier_accuracy", "Table IV");
 

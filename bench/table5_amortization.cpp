@@ -24,7 +24,8 @@
 #include "vendor/inspector_executor.hpp"
 #include "vendor/vendor_csr.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  sparta::bench::init(argc, argv);
   using namespace sparta;
   bench::print_header("table5_amortization", "Table V");
 

@@ -1,0 +1,77 @@
+// NUMA-aware bulk storage.
+//
+// On first-touch NUMA systems (Linux default policy) a page is placed on the
+// node of the thread that first *writes* it, not the thread that allocates
+// it. `aligned_vector` cannot express thread-placed initialization: its
+// constructor value-initializes every element from the calling thread, so a
+// matrix built serially lands entirely on one node and every remote thread
+// pays interconnect latency per cache line — exactly the tax the persistent
+// solver engine (src/engine/) is built to avoid.
+//
+// NumaArray allocates cache-line-aligned storage *without touching it*; the
+// owner is expected to initialize each element range from the thread that
+// will later read it (see PreparedSpmv's first-touch build and the engine's
+// vector setup pass).
+#pragma once
+
+#include <cstdlib>
+#include <new>
+#include <span>
+#include <type_traits>
+#include <utility>
+
+#include "common/types.hpp"
+
+namespace sparta {
+
+template <class T>
+class NumaArray {
+  static_assert(std::is_trivially_copyable_v<T> && std::is_trivially_destructible_v<T>,
+                "NumaArray leaves elements uninitialized; only trivial types are safe");
+
+ public:
+  NumaArray() = default;
+
+  /// Allocate `n` elements of untouched (page-unmapped) storage.
+  explicit NumaArray(std::size_t n) : size_(n) {
+    if (n == 0) return;
+    const std::size_t bytes =
+        (n * sizeof(T) + kCacheLineBytes - 1) / kCacheLineBytes * kCacheLineBytes;
+    data_ = static_cast<T*>(std::aligned_alloc(kCacheLineBytes, bytes));
+    if (data_ == nullptr) throw std::bad_alloc{};
+  }
+
+  NumaArray(NumaArray&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)), size_(std::exchange(other.size_, 0)) {}
+
+  NumaArray& operator=(NumaArray&& other) noexcept {
+    if (this != &other) {
+      std::free(data_);
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+
+  NumaArray(const NumaArray&) = delete;
+  NumaArray& operator=(const NumaArray&) = delete;
+
+  ~NumaArray() { std::free(data_); }
+
+  [[nodiscard]] T* data() { return data_; }
+  [[nodiscard]] const T* data() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  [[nodiscard]] std::span<T> span() { return {data_, size_}; }
+  [[nodiscard]] std::span<const T> span() const { return {data_, size_}; }
+
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace sparta

@@ -1,26 +1,55 @@
 #include "kernels/kernel_registry.hpp"
 
+#include <omp.h>
+
+#include <algorithm>
 #include <optional>
 #include <stdexcept>
 
+#include "common/numa.hpp"
 #include "common/timer.hpp"
 #include "kernels/spmv_kernels.hpp"
 
 namespace sparta::kernels {
 
-namespace {
+namespace detail_registry {
 
 /// Shared ownership of everything a prepared kernel closure needs.
 struct Prepared {
   const CsrMatrix* source = nullptr;
   std::optional<DeltaCsrMatrix> delta;
   std::optional<DecomposedCsrMatrix> decomposed;
-  std::vector<RowRange> parts;
+  std::vector<RowRange> parts;         // one-shot partitions (config-dependent)
+  std::vector<RowRange> region_parts;  // balanced-nnz thread ownership, always built
+
+  // Views the kernels read through — the source arrays, or the first-touch
+  // copies below when NUMA placement was requested.
+  CsrView view;
+  DeltaView delta_view;  // valid iff delta
+
+  NumaArray<offset_t> ft_rowptr;
+  NumaArray<index_t> ft_colind;
+  NumaArray<value_t> ft_values;
+  NumaArray<index_t> ft_first_col;
+  NumaArray<std::uint8_t> ft_deltas8;
+  NumaArray<std::uint16_t> ft_deltas16;
+
+  // Region-reentrant dispatch (one owned RowRange per call, no pragmas).
+  void (*local)(const Prepared&, RowRange, std::span<const value_t>,
+                std::span<value_t>) = nullptr;
+  double (*local_dot)(const Prepared&, RowRange, std::span<const value_t>, std::span<value_t>,
+                      std::span<const value_t>) = nullptr;
 };
+
+}  // namespace detail_registry
+
+namespace {
+
+using detail_registry::Prepared;
 
 template <bool V, bool U, bool P>
 void run_csr(const Prepared& p, std::span<const value_t> x, std::span<value_t> y) {
-  spmv_csr_partitioned<V, U, P>(*p.source, x, y, p.parts);
+  spmv_csr_partitioned<V, U, P>(p.view, x, y, p.parts);
 }
 
 template <bool V, bool U, bool P>
@@ -42,11 +71,12 @@ void run_decomposed(const Prepared& p, std::span<const value_t> x, std::span<val
   }
 }
 
-/// Select the <V, U, P> instantiation at runtime.
+/// Select the <V, U, P> instantiation at runtime. The runner signature is
+/// whatever Fn::run has, so the same picker serves the one-shot and the
+/// region-reentrant tables.
 template <template <bool, bool, bool> class Fn>
 auto pick(bool vec, bool unroll, bool prefetch) {
-  // Fn is a class template wrapper; expand the 8 combinations.
-  using Runner = void (*)(const Prepared&, std::span<const value_t>, std::span<value_t>);
+  using Runner = decltype(&Fn<false, false, false>::run);
   static constexpr Runner table[2][2][2] = {
       {{Fn<false, false, false>::run, Fn<false, false, true>::run},
        {Fn<false, true, false>::run, Fn<false, true, true>::run}},
@@ -73,24 +103,79 @@ struct DecompRunner {
 template <bool V, bool U, bool P>
 struct DynRunner {
   static void run(const Prepared& p, std::span<const value_t> x, std::span<value_t> y) {
-    spmv_csr_dynamic<V, U, P>(*p.source, x, y);
+    spmv_csr_dynamic<V, U, P>(p.view, x, y);
   }
+};
+
+template <bool V, bool U, bool P>
+struct LocalCsr {
+  static void run(const Prepared& p, RowRange r, std::span<const value_t> x,
+                  std::span<value_t> y) {
+    csr_rows_local<V, U, P>(p.view, x, y, r);
+  }
+};
+
+template <bool V, bool U, bool P>
+struct LocalCsrDot {
+  static double run(const Prepared& p, RowRange r, std::span<const value_t> x,
+                    std::span<value_t> y, std::span<const value_t> w) {
+    return csr_rows_local_dot<V, U, P>(p.view, x, y, w, r);
+  }
+};
+
+template <bool V>
+void local_delta(const Prepared& p, RowRange r, std::span<const value_t> x,
+                 std::span<value_t> y) {
+  delta_rows_local<V>(p.delta_view, x, y, r);
+}
+
+template <bool V>
+double local_delta_dot(const Prepared& p, RowRange r, std::span<const value_t> x,
+                       std::span<value_t> y, std::span<const value_t> w) {
+  return delta_rows_local_dot<V>(p.delta_view, x, y, w, r);
+}
+
+/// Copy `src` ranges into untouched `dst` storage from the threads that own
+/// the corresponding row ranges, placing pages NUMA-locally. `row_of` maps a
+/// RowRange to the [first, last) element range of the array being copied.
+template <class T, class RangeOf>
+void first_touch_copy(std::span<const T> src, NumaArray<T>& dst,
+                      std::span<const RowRange> parts, int threads, RangeOf range_of) {
+  dst = NumaArray<T>(src.size());
+#pragma omp parallel num_threads(threads)
+  {
+    const int nt = omp_get_num_threads();
+    const int nparts = static_cast<int>(parts.size());
+    for (int pi = omp_get_thread_num(); pi < nparts; pi += nt) {
+      const auto [first, last] = range_of(parts[static_cast<std::size_t>(pi)], pi == nparts - 1);
+      std::copy(src.begin() + first, src.begin() + last, dst.data() + first);
+    }
+  }
+}
+
+struct ElemRange {
+  std::ptrdiff_t first;
+  std::ptrdiff_t last;
 };
 
 }  // namespace
 
-PreparedSpmv::PreparedSpmv(const CsrMatrix& a, const sim::KernelConfig& cfg, int threads)
+PreparedSpmv::PreparedSpmv(const CsrMatrix& a, const sim::KernelConfig& cfg, int threads,
+                           bool first_touch)
     : config_(cfg) {
   if (threads <= 0) throw std::invalid_argument{"PreparedSpmv: threads <= 0"};
   Timer timer;
   auto prepared = std::make_shared<Prepared>();
   prepared->source = &a;
+  prepared->view = make_view(a);
+  prepared->region_parts = partition_balanced_nnz(a, threads);
 
   bool use_delta = cfg.delta;
   if (use_delta) {
     auto d = DeltaCsrMatrix::compress(a);
     if (d) {
       prepared->delta = std::move(*d);
+      prepared->delta_view = make_view(*prepared->delta);
       delta_applied_ = true;
     } else {
       use_delta = false;
@@ -115,15 +200,74 @@ PreparedSpmv::PreparedSpmv(const CsrMatrix& a, const sim::KernelConfig& cfg, int
                           : partition_balanced_nnz(*part_source, threads);
   }
 
+  // NUMA first-touch copies of the streaming arrays, initialized by the
+  // owning threads. Decomposed and dynamic-schedule configs have no stable
+  // per-thread row ownership and keep the source arrays.
+  if (first_touch && !cfg.decomposed && cfg.schedule != Schedule::kDynamicChunks) {
+    const auto parts = std::span<const RowRange>{prepared->region_parts};
+    if (use_delta) {
+      const DeltaCsrMatrix& d = *prepared->delta;
+      const auto rp = d.rowptr();
+      const auto rowptr_range = [&](RowRange r, bool last) {
+        return ElemRange{r.begin, last ? static_cast<std::ptrdiff_t>(rp.size()) : r.end};
+      };
+      const auto nnz_range = [&](RowRange r, bool) {
+        return ElemRange{rp[static_cast<std::size_t>(r.begin)],
+                         rp[static_cast<std::size_t>(r.end)]};
+      };
+      const auto row_range = [&](RowRange r, bool) { return ElemRange{r.begin, r.end}; };
+      first_touch_copy(rp, prepared->ft_rowptr, parts, threads, rowptr_range);
+      first_touch_copy(d.first_col(), prepared->ft_first_col, parts, threads, row_range);
+      first_touch_copy(d.values(), prepared->ft_values, parts, threads, nnz_range);
+      if (d.width() == DeltaWidth::k8) {
+        first_touch_copy(d.deltas8(), prepared->ft_deltas8, parts, threads, nnz_range);
+      } else {
+        first_touch_copy(d.deltas16(), prepared->ft_deltas16, parts, threads, nnz_range);
+      }
+      prepared->delta_view =
+          DeltaView{prepared->ft_rowptr.span(),  prepared->ft_first_col.span(),
+                    prepared->ft_deltas8.span(), prepared->ft_deltas16.span(),
+                    prepared->ft_values.span(),  d.width(),
+                    d.nrows()};
+    } else {
+      const auto rp = a.rowptr();
+      const auto rowptr_range = [&](RowRange r, bool last) {
+        return ElemRange{r.begin, last ? static_cast<std::ptrdiff_t>(rp.size()) : r.end};
+      };
+      const auto nnz_range = [&](RowRange r, bool) {
+        return ElemRange{rp[static_cast<std::size_t>(r.begin)],
+                         rp[static_cast<std::size_t>(r.end)]};
+      };
+      first_touch_copy(rp, prepared->ft_rowptr, parts, threads, rowptr_range);
+      first_touch_copy(a.colind(), prepared->ft_colind, parts, threads, nnz_range);
+      first_touch_copy(a.values(), prepared->ft_values, parts, threads, nnz_range);
+      prepared->view = CsrView{prepared->ft_rowptr.span(), prepared->ft_colind.span(),
+                               prepared->ft_values.span(), a.nrows()};
+    }
+    first_touch_applied_ = true;
+  }
+
+  // Region-reentrant dispatch: delta when applied, otherwise the plain-CSR
+  // row kernels with the config's scalar transformations (decomposed and
+  // dynamic configs fall back to these — row results are identical).
+  if (use_delta) {
+    prepared->local = cfg.vectorized ? &local_delta<true> : &local_delta<false>;
+    prepared->local_dot = cfg.vectorized ? &local_delta_dot<true> : &local_delta_dot<false>;
+  } else {
+    const bool vec = cfg.vectorized && !cfg.decomposed;
+    prepared->local = pick<LocalCsr>(vec, cfg.unrolled, cfg.prefetch);
+    prepared->local_dot = pick<LocalCsrDot>(vec, cfg.unrolled, cfg.prefetch);
+  }
+
   // Dispatch. Delta excludes decomposition/dynamic in the host registry (the
   // tuner never combines MB with IMB formats; see tuner/optimizations.cpp).
   if (use_delta) {
     const bool vec = cfg.vectorized;
     impl_ = [prepared, vec](std::span<const value_t> x, std::span<value_t> y) {
       if (vec) {
-        spmv_delta_partitioned<true>(*prepared->delta, x, y, prepared->parts);
+        spmv_delta_partitioned<true>(prepared->delta_view, x, y, prepared->parts);
       } else {
-        spmv_delta_partitioned<false>(*prepared->delta, x, y, prepared->parts);
+        spmv_delta_partitioned<false>(prepared->delta_view, x, y, prepared->parts);
       }
     };
   } else if (cfg.decomposed) {
@@ -142,11 +286,27 @@ PreparedSpmv::PreparedSpmv(const CsrMatrix& a, const sim::KernelConfig& cfg, int
       runner(*prepared, x, y);
     };
   }
+  prepared_ = std::move(prepared);
   prep_seconds_ = timer.seconds();
 }
 
 void PreparedSpmv::run(std::span<const value_t> x, std::span<value_t> y) const {
   impl_(x, y);
+}
+
+std::span<const RowRange> PreparedSpmv::region_parts() const {
+  return prepared_->region_parts;
+}
+
+void PreparedSpmv::run_local(int part, std::span<const value_t> x,
+                             std::span<value_t> y) const {
+  prepared_->local(*prepared_, prepared_->region_parts[static_cast<std::size_t>(part)], x, y);
+}
+
+double PreparedSpmv::run_local_dot(int part, std::span<const value_t> x, std::span<value_t> y,
+                                   std::span<const value_t> w) const {
+  return prepared_->local_dot(*prepared_,
+                              prepared_->region_parts[static_cast<std::size_t>(part)], x, y, w);
 }
 
 }  // namespace sparta::kernels

@@ -11,30 +11,71 @@
 
 #include "sim/kernel_model.hpp"
 #include "sparse/csr.hpp"
+#include "sparse/partition.hpp"
 
 namespace sparta::kernels {
 
+namespace detail_registry {
+struct Prepared;
+}  // namespace detail_registry
+
 /// A prepared host SpMV instance. Holds converted formats and partitions;
 /// the source matrix must outlive it.
+///
+/// Two execution surfaces are exposed:
+///  - the one-shot `run()` opens its own parallel region per call (the
+///    historical entry point, kept for the benches and tests);
+///  - the region-reentrant `run_local()` / `run_local_dot()` compute one
+///    owned RowRange with no pragmas, so a persistent parallel region (the
+///    solver engine, src/engine/) can drive whole solver iterations without
+///    fork/join. Ownership is the balanced-nnz partition returned by
+///    `region_parts()` — one range per requested thread, always built.
+///
+/// With `first_touch` set, the CSR (or delta) streams are copied into
+/// untouched storage and initialized range-by-range from the threads that
+/// own those ranges, so on first-touch NUMA systems every thread reads its
+/// share of rowptr/colind/values from local memory. Decomposed and
+/// dynamic-schedule configs have no stable row ownership and skip the copy
+/// (`first_touch_applied()` reports false); their region path falls back to
+/// the plain-CSR kernels with the same scalar transformations.
 class PreparedSpmv {
  public:
   /// Preprocess `a` for `cfg` using `threads` partitions.
   /// If cfg.delta is set but the matrix is incompressible, falls back to
   /// plain colind (delta_applied() reports false).
-  PreparedSpmv(const CsrMatrix& a, const sim::KernelConfig& cfg, int threads);
+  PreparedSpmv(const CsrMatrix& a, const sim::KernelConfig& cfg, int threads,
+               bool first_touch = false);
 
   /// Run y = A * x.
   void run(std::span<const value_t> x, std::span<value_t> y) const;
+
+  /// Per-thread row ownership of the region-reentrant path (balanced nnz,
+  /// one entry per requested thread; some ranges possibly empty).
+  [[nodiscard]] std::span<const RowRange> region_parts() const;
+
+  /// Compute rows region_parts()[part] of y = A * x. No pragmas: callable
+  /// from inside an existing parallel region. Reads all of `x`, writes only
+  /// the owned rows of `y`.
+  void run_local(int part, std::span<const value_t> x, std::span<value_t> y) const;
+
+  /// Same, fused with the dependent reduction: returns the partial dot
+  /// sum over owned rows i of w[i] * y[i], accumulated in the same pass that
+  /// writes y (the SpMV+BLAS-1 fusion point of the solver engine).
+  [[nodiscard]] double run_local_dot(int part, std::span<const value_t> x,
+                                     std::span<value_t> y, std::span<const value_t> w) const;
 
   /// Wall-clock seconds the preprocessing took.
   [[nodiscard]] double prep_seconds() const { return prep_seconds_; }
   [[nodiscard]] const sim::KernelConfig& config() const { return config_; }
   [[nodiscard]] bool delta_applied() const { return delta_applied_; }
+  [[nodiscard]] bool first_touch_applied() const { return first_touch_applied_; }
 
  private:
   sim::KernelConfig config_;
   double prep_seconds_ = 0.0;
   bool delta_applied_ = false;
+  bool first_touch_applied_ = false;
+  std::shared_ptr<detail_registry::Prepared> prepared_;
   std::function<void(std::span<const value_t>, std::span<value_t>)> impl_;
 };
 

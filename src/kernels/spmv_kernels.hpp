@@ -10,6 +10,13 @@
 // the *real* implementations: they run multithreaded on the host and every
 // one of them is validated against spmv_reference in the test suite. The
 // modeled platforms use their cost descriptors instead (sim/kernel_model).
+//
+// Two entry-point families exist per format:
+//  - `spmv_*` open their own OpenMP parallel region (one-shot calls);
+//  - `*_rows_local` compute a single RowRange with no pragmas, so a caller
+//    that already owns a persistent parallel region (the solver engine) can
+//    drive them once per owned range without fork/join. The `_dot` variants
+//    additionally fuse the dependent reduction w·y into the same row pass.
 #pragma once
 
 #include <omp.h>
@@ -27,6 +34,44 @@ namespace sparta::kernels {
 /// fixed distance the paper uses.
 inline constexpr offset_t kPrefetchDistance = 8;
 
+/// Temporal-locality hint passed to every __builtin_prefetch of the x
+/// vector. The gathered x entries of an ML-class matrix are used once per
+/// row pass and rarely revisited soon, so the low-locality hint (evictable,
+/// avoid polluting higher cache levels) is applied uniformly — the prologue
+/// and steady-state prefetches used to disagree (3 vs 1) for no modeled
+/// reason.
+inline constexpr int kPrefetchLocality = 1;
+
+/// Non-owning view of the three CSR streams. The engine/registry paths read
+/// matrices through views so that NUMA first-touch copies of the arrays can
+/// be substituted without duplicating kernel code.
+struct CsrView {
+  std::span<const offset_t> rowptr;
+  std::span<const index_t> colind;
+  std::span<const value_t> values;
+  index_t nrows = 0;
+};
+
+inline CsrView make_view(const CsrMatrix& a) {
+  return {a.rowptr(), a.colind(), a.values(), a.nrows()};
+}
+
+/// Non-owning view of the delta-compressed streams.
+struct DeltaView {
+  std::span<const offset_t> rowptr;
+  std::span<const index_t> first_col;
+  std::span<const std::uint8_t> deltas8;
+  std::span<const std::uint16_t> deltas16;
+  std::span<const value_t> values;
+  DeltaWidth width = DeltaWidth::k8;
+  index_t nrows = 0;
+};
+
+inline DeltaView make_view(const DeltaCsrMatrix& a) {
+  return {a.rowptr(), a.first_col(), a.deltas8(), a.deltas16(),
+          a.values(), a.width(),     a.nrows()};
+}
+
 namespace detail {
 
 /// Row loop body for plain CSR.
@@ -38,7 +83,8 @@ inline value_t csr_row(std::span<const index_t> colind, std::span<const value_t>
   if constexpr (Prefetch) {
     // One prefetch per element, fixed distance (paper SIII-E).
     for (offset_t p = begin; p < std::min(begin + kPrefetchDistance, end); ++p) {
-      __builtin_prefetch(&x[static_cast<std::size_t>(colind[static_cast<std::size_t>(p)])], 0, 3);
+      __builtin_prefetch(&x[static_cast<std::size_t>(colind[static_cast<std::size_t>(p)])], 0,
+                         kPrefetchLocality);
     }
   }
   if constexpr (Unroll) {
@@ -50,7 +96,7 @@ inline value_t csr_row(std::span<const index_t> colind, std::span<const value_t>
             __builtin_prefetch(
                 &x[static_cast<std::size_t>(
                     colind[static_cast<std::size_t>(j + kPrefetchDistance + u)])],
-                0, 1);
+                0, kPrefetchLocality);
           }
         }
       }
@@ -78,7 +124,7 @@ inline value_t csr_row(std::span<const index_t> colind, std::span<const value_t>
         if (j + kPrefetchDistance < end) {
           __builtin_prefetch(
               &x[static_cast<std::size_t>(colind[static_cast<std::size_t>(j + kPrefetchDistance)])],
-              0, 1);
+              0, kPrefetchLocality);
         }
       }
       acc += values[k] * x[static_cast<std::size_t>(colind[k])];
@@ -90,16 +136,18 @@ inline value_t csr_row(std::span<const index_t> colind, std::span<const value_t>
 /// Row loop body for delta-compressed CSR; Width is std::uint8_t or
 /// std::uint16_t. Prefetching is not combined with delta (the next column is
 /// only known after decode), mirroring the paper's pool where MB and ML
-/// optimizations target different matrices.
+/// optimizations target different matrices. The first element carries the
+/// absolute column and is peeled so the decode loop is branch-free.
 template <class Width, bool Vectorize>
 inline value_t delta_row(index_t first_col, std::span<const Width> deltas,
                          std::span<const value_t> values, std::span<const value_t> x,
                          offset_t begin, offset_t end) {
-  value_t acc = 0.0;
+  if (begin == end) return 0.0;
   index_t col = first_col;
-  for (offset_t j = begin; j < end; ++j) {
+  value_t acc = values[static_cast<std::size_t>(begin)] * x[static_cast<std::size_t>(col)];
+  for (offset_t j = begin + 1; j < end; ++j) {
     const auto k = static_cast<std::size_t>(j);
-    if (j > begin) col += static_cast<index_t>(deltas[k]);
+    col += static_cast<index_t>(deltas[k]);
     acc += values[k] * x[static_cast<std::size_t>(col)];
   }
   return acc;
@@ -107,59 +155,126 @@ inline value_t delta_row(index_t first_col, std::span<const Width> deltas,
 
 }  // namespace detail
 
+// ---------------------------------------------------------------------------
+// Region-reentrant row-range kernels (no pragmas; call from inside a
+// persistent parallel region, one RowRange per call).
+// ---------------------------------------------------------------------------
+
+/// Rows [r.begin, r.end) of y = A x.
+template <bool Vectorize, bool Unroll, bool Prefetch>
+inline void csr_rows_local(const CsrView& a, std::span<const value_t> x, std::span<value_t> y,
+                           RowRange r) {
+  for (index_t i = r.begin; i < r.end; ++i) {
+    y[static_cast<std::size_t>(i)] = detail::csr_row<Vectorize, Unroll, Prefetch>(
+        a.colind, a.values, x, a.rowptr[static_cast<std::size_t>(i)],
+        a.rowptr[static_cast<std::size_t>(i) + 1]);
+  }
+}
+
+/// Rows of y = A x fused with the dependent partial reduction: returns
+/// sum over i in [r.begin, r.end) of w[i] * y[i]. Each row result feeds the
+/// reduction in the same pass, so y is written and consumed while hot.
+template <bool Vectorize, bool Unroll, bool Prefetch>
+inline double csr_rows_local_dot(const CsrView& a, std::span<const value_t> x,
+                                 std::span<value_t> y, std::span<const value_t> w, RowRange r) {
+  double acc = 0.0;
+  for (index_t i = r.begin; i < r.end; ++i) {
+    const auto k = static_cast<std::size_t>(i);
+    const value_t yi = detail::csr_row<Vectorize, Unroll, Prefetch>(
+        a.colind, a.values, x, a.rowptr[k], a.rowptr[k + 1]);
+    y[k] = yi;
+    acc += w[k] * yi;
+  }
+  return acc;
+}
+
+/// Delta-compressed rows [r.begin, r.end) of y = A x.
+template <bool Vectorize>
+inline void delta_rows_local(const DeltaView& a, std::span<const value_t> x,
+                             std::span<value_t> y, RowRange r) {
+  for (index_t i = r.begin; i < r.end; ++i) {
+    const auto k = static_cast<std::size_t>(i);
+    const auto b = a.rowptr[k];
+    const auto e = a.rowptr[k + 1];
+    const index_t fc = a.first_col[k];
+    y[k] = a.width == DeltaWidth::k8
+               ? detail::delta_row<std::uint8_t, Vectorize>(fc, a.deltas8, a.values, x, b, e)
+               : detail::delta_row<std::uint16_t, Vectorize>(fc, a.deltas16, a.values, x, b, e);
+  }
+}
+
+/// Delta-compressed rows fused with the partial reduction w·y (see
+/// csr_rows_local_dot).
+template <bool Vectorize>
+inline double delta_rows_local_dot(const DeltaView& a, std::span<const value_t> x,
+                                   std::span<value_t> y, std::span<const value_t> w, RowRange r) {
+  double acc = 0.0;
+  for (index_t i = r.begin; i < r.end; ++i) {
+    const auto k = static_cast<std::size_t>(i);
+    const auto b = a.rowptr[k];
+    const auto e = a.rowptr[k + 1];
+    const index_t fc = a.first_col[k];
+    const value_t yi =
+        a.width == DeltaWidth::k8
+            ? detail::delta_row<std::uint8_t, Vectorize>(fc, a.deltas8, a.values, x, b, e)
+            : detail::delta_row<std::uint16_t, Vectorize>(fc, a.deltas16, a.values, x, b, e);
+    y[k] = yi;
+    acc += w[k] * yi;
+  }
+  return acc;
+}
+
+// ---------------------------------------------------------------------------
+// One-shot entry points (open their own parallel region).
+// ---------------------------------------------------------------------------
+
 /// Plain CSR over precomputed row partitions (one partition per thread).
+template <bool Vectorize, bool Unroll, bool Prefetch>
+void spmv_csr_partitioned(const CsrView& a, std::span<const value_t> x, std::span<value_t> y,
+                          std::span<const RowRange> parts) {
+#pragma omp parallel for schedule(static, 1)
+  for (std::ptrdiff_t p = 0; p < static_cast<std::ptrdiff_t>(parts.size()); ++p) {
+    csr_rows_local<Vectorize, Unroll, Prefetch>(a, x, y, parts[static_cast<std::size_t>(p)]);
+  }
+}
+
 template <bool Vectorize, bool Unroll, bool Prefetch>
 void spmv_csr_partitioned(const CsrMatrix& a, std::span<const value_t> x, std::span<value_t> y,
                           std::span<const RowRange> parts) {
-  const auto rowptr = a.rowptr();
-  const auto colind = a.colind();
-  const auto values = a.values();
-#pragma omp parallel for schedule(static, 1)
-  for (std::ptrdiff_t p = 0; p < static_cast<std::ptrdiff_t>(parts.size()); ++p) {
-    const RowRange r = parts[static_cast<std::size_t>(p)];
-    for (index_t i = r.begin; i < r.end; ++i) {
-      y[static_cast<std::size_t>(i)] = detail::csr_row<Vectorize, Unroll, Prefetch>(
-          colind, values, x, rowptr[static_cast<std::size_t>(i)],
-          rowptr[static_cast<std::size_t>(i) + 1]);
-    }
-  }
+  spmv_csr_partitioned<Vectorize, Unroll, Prefetch>(make_view(a), x, y, parts);
 }
 
 /// Plain CSR with OpenMP dynamic (auto-like) self-scheduling over rows.
 template <bool Vectorize, bool Unroll, bool Prefetch>
-void spmv_csr_dynamic(const CsrMatrix& a, std::span<const value_t> x, std::span<value_t> y) {
-  const auto rowptr = a.rowptr();
-  const auto colind = a.colind();
-  const auto values = a.values();
-  const index_t n = a.nrows();
+void spmv_csr_dynamic(const CsrView& a, std::span<const value_t> x, std::span<value_t> y) {
+  const index_t n = a.nrows;
 #pragma omp parallel for schedule(dynamic, 64)
   for (index_t i = 0; i < n; ++i) {
     y[static_cast<std::size_t>(i)] = detail::csr_row<Vectorize, Unroll, Prefetch>(
-        colind, values, x, rowptr[static_cast<std::size_t>(i)],
-        rowptr[static_cast<std::size_t>(i) + 1]);
+        a.colind, a.values, x, a.rowptr[static_cast<std::size_t>(i)],
+        a.rowptr[static_cast<std::size_t>(i) + 1]);
   }
+}
+
+template <bool Vectorize, bool Unroll, bool Prefetch>
+void spmv_csr_dynamic(const CsrMatrix& a, std::span<const value_t> x, std::span<value_t> y) {
+  spmv_csr_dynamic<Vectorize, Unroll, Prefetch>(make_view(a), x, y);
 }
 
 /// Delta-compressed CSR over row partitions.
 template <bool Vectorize>
-void spmv_delta_partitioned(const DeltaCsrMatrix& a, std::span<const value_t> x,
+void spmv_delta_partitioned(const DeltaView& a, std::span<const value_t> x,
                             std::span<value_t> y, std::span<const RowRange> parts) {
-  const auto rowptr = a.rowptr();
-  const auto first = a.first_col();
-  const auto values = a.values();
 #pragma omp parallel for schedule(static, 1)
   for (std::ptrdiff_t p = 0; p < static_cast<std::ptrdiff_t>(parts.size()); ++p) {
-    const RowRange r = parts[static_cast<std::size_t>(p)];
-    for (index_t i = r.begin; i < r.end; ++i) {
-      const auto b = rowptr[static_cast<std::size_t>(i)];
-      const auto e = rowptr[static_cast<std::size_t>(i) + 1];
-      const index_t fc = first[static_cast<std::size_t>(i)];
-      y[static_cast<std::size_t>(i)] =
-          a.width() == DeltaWidth::k8
-              ? detail::delta_row<std::uint8_t, Vectorize>(fc, a.deltas8(), values, x, b, e)
-              : detail::delta_row<std::uint16_t, Vectorize>(fc, a.deltas16(), values, x, b, e);
-    }
+    delta_rows_local<Vectorize>(a, x, y, parts[static_cast<std::size_t>(p)]);
   }
+}
+
+template <bool Vectorize>
+void spmv_delta_partitioned(const DeltaCsrMatrix& a, std::span<const value_t> x,
+                            std::span<value_t> y, std::span<const RowRange> parts) {
+  spmv_delta_partitioned<Vectorize>(make_view(a), x, y, parts);
 }
 
 }  // namespace sparta::kernels

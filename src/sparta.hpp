@@ -20,6 +20,7 @@
 #include "common/table.hpp"         // IWYU pragma: export
 #include "common/timer.hpp"         // IWYU pragma: export
 #include "common/types.hpp"         // IWYU pragma: export
+#include "engine/solver_engine.hpp" // IWYU pragma: export
 #include "features/features.hpp"    // IWYU pragma: export
 #include "gen/generators.hpp"       // IWYU pragma: export
 #include "gen/suite.hpp"            // IWYU pragma: export
