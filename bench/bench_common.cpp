@@ -6,6 +6,8 @@
 #include <iostream>
 #include <string>
 
+#include "obs/telemetry.hpp"
+
 namespace sparta::bench {
 
 namespace {
@@ -14,7 +16,8 @@ int g_threads = 0;  // 0 until init() sees --threads
 
 void init(int& argc, char** argv) {
   const auto usage_error = [&](const std::string& why) {
-    std::cerr << argv[0] << ": " << why << "\nusage: " << argv[0] << " [--threads N]\n";
+    std::cerr << argv[0] << ": " << why << "\nusage: " << argv[0]
+              << " [--threads N] [--telemetry]\n";
     std::exit(2);
   };
   int out = 1;
@@ -27,6 +30,14 @@ void init(int& argc, char** argv) {
                               std::string(argv[i]) + "'");
       g_threads = n;
       omp_set_num_threads(n);
+    } else if (arg == "--telemetry") {
+      obs::set_enabled(true);
+      // Construct the registry before registering the dump: atexit handlers
+      // run in reverse registration order, so the registry (whose destructor
+      // registers at construction) must predate the handler to outlive it.
+      (void)obs::Registry::global();
+      // Dump after the bench's own output, whatever its exit path.
+      std::atexit([] { obs::print_table(std::cerr, obs::Registry::global().snapshot()); });
     } else {
       argv[out++] = argv[i];
     }

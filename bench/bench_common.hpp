@@ -12,10 +12,12 @@
 
 namespace sparta::bench {
 
-/// Parse the shared bench flags and apply them. Currently `--threads N`
-/// pins the OpenMP thread count (overriding OMP_NUM_THREADS). Recognized
-/// flags are stripped from argc/argv so binaries with their own parsers
-/// (google-benchmark) can chain theirs afterwards. Call first in main().
+/// Parse the shared bench flags and apply them: `--threads N` pins the
+/// OpenMP thread count (overriding OMP_NUM_THREADS); `--telemetry` enables
+/// the obs registry (= SPARTA_TELEMETRY=1) and dumps its merged counters to
+/// stderr at exit. Recognized flags are stripped from argc/argv so binaries
+/// with their own parsers (google-benchmark) can chain theirs afterwards.
+/// Call first in main().
 void init(int& argc, char** argv);
 
 /// OpenMP thread count the bench kernels will use: the --threads value if

@@ -83,7 +83,7 @@ PairResult compare(const CsrMatrix& a, LegacyFn&& legacy, FusedFn&& fused, int t
   const auto b = rhs_for(a);
   aligned_vector<value_t> x_legacy(b.size(), 0.0), x_fused(b.size(), 0.0);
 
-  const kernels::PreparedSpmv prepared{a, sim::KernelConfig{}, threads};
+  const kernels::PreparedSpmv prepared{a, kernels::SpmvOptions{.threads = threads}};
   const solvers::SpmvFn mv = [&](std::span<const value_t> in, std::span<value_t> out) {
     prepared.run(in, out);
   };

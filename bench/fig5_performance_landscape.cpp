@@ -40,9 +40,9 @@ int main(int argc, char** argv) {
         base_rates;
     for (const auto& m : suite) {
       const auto e = tuner.evaluate(m.name, m.matrix);
-      const auto prof = tuner.plan_profile_guided(e);
-      const auto feat = tuner.plan_feature_guided(e, classifier);
-      const auto oracle = tuner.plan_oracle(e);
+      const auto prof = tuner.plan(e, {.policy = TunePolicy::kProfile});
+      const auto feat = tuner.plan(e, {.policy = TunePolicy::kFeature, .classifier = &classifier});
+      const auto oracle = tuner.plan(e, {.policy = TunePolicy::kOracle});
       const double vendor_rate = vendor::vendor_csr_gflops(m.matrix, machine);
       const double ie_rate =
           has_ie ? vendor::inspector_executor(m.matrix, machine, tuner.cost_model()).gflops

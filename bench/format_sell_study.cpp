@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
       const auto sell = SellMatrix::from_csr(m.matrix, machine.simd_doubles(), 256);
       const auto sell_run = sim::simulate_spmv_sell(sell, machine);
       const auto e = tuner.evaluate(m.name, m.matrix);
-      const auto prof = tuner.plan_profile_guided(e);
+      const auto prof = tuner.plan(e, {.policy = TunePolicy::kProfile});
       table.add_row({m.name, Table::num(sell.padding_ratio()) + "x",
                      Table::num(e.bounds.p_csr), Table::num(sell_run.gflops),
                      Table::num(prof.gflops)});

@@ -23,7 +23,7 @@ using namespace sparta;
 
 double measure_gflops(const CsrMatrix& m, const sim::KernelConfig& cfg, int threads,
                       int iterations) {
-  const kernels::PreparedSpmv spmv{m, cfg, threads};
+  const kernels::PreparedSpmv spmv{m, kernels::SpmvOptions{.config = cfg, .threads = threads}};
   aligned_vector<value_t> x(static_cast<std::size_t>(m.ncols()), 1.0);
   aligned_vector<value_t> y(static_cast<std::size_t>(m.nrows()));
   spmv.run(x, y);  // warm-up

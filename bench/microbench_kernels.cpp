@@ -44,7 +44,7 @@ aligned_vector<value_t> input_vector(const CsrMatrix& m) {
 }
 
 void run_config(benchmark::State& state, const CsrMatrix& m, const sim::KernelConfig& cfg) {
-  const kernels::PreparedSpmv prepared{m, cfg, 4};
+  const kernels::PreparedSpmv prepared{m, kernels::SpmvOptions{.config = cfg, .threads = 4}};
   const auto x = input_vector(m);
   aligned_vector<value_t> y(static_cast<std::size_t>(m.nrows()));
   for (auto _ : state) {

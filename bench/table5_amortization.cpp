@@ -60,10 +60,10 @@ int main(int argc, char** argv) {
     const double vendor_rate = vendor::vendor_csr_gflops(m.matrix, machine);
     const double t_vendor = e.seconds_at(vendor_rate);
 
-    const auto single = tuner.plan_trivial(e, false);
-    const auto combined = tuner.plan_trivial(e, true);
-    const auto prof = tuner.plan_profile_guided(e);
-    const auto feat = tuner.plan_feature_guided(e, classifier);
+    const auto single = tuner.plan(e, {.policy = TunePolicy::kTrivialSingle});
+    const auto combined = tuner.plan(e, {.policy = TunePolicy::kTrivialCombined});
+    const auto prof = tuner.plan(e, {.policy = TunePolicy::kProfile});
+    const auto feat = tuner.plan(e, {.policy = TunePolicy::kFeature, .classifier = &classifier});
     const auto ie = vendor::inspector_executor(m.matrix, machine, tuner.cost_model());
 
     rows[0].iters.push_back(n_iters(single.t_pre_seconds, t_vendor, single.t_spmv_seconds));

@@ -19,7 +19,7 @@ int main() {
   const int threads = host_machine().cores;
 
   // Baseline: reference-partitioned scalar CSR.
-  const kernels::PreparedSpmv baseline{a, sim::KernelConfig{}, threads};
+  const kernels::PreparedSpmv baseline{a, kernels::SpmvOptions{.threads = threads}};
   const solvers::SpmvFn baseline_fn = [&](std::span<const value_t> in,
                                           std::span<value_t> out) {
     baseline.run(in, out);
@@ -36,10 +36,11 @@ int main() {
   // Tuned: ask the autotuner (on the host profile) for a plan, then solve
   // with the optimized kernel.
   const Autotuner tuner{host_machine(true)};
-  const auto plan = tuner.tune_profile_guided(a);
+  const auto plan = tuner.tune(a);
   std::cout << "autotuner: classes " << to_string(plan.classes) << ", kernel "
             << plan.config.describe() << "\n";
-  const kernels::PreparedSpmv tuned{a, plan.config, threads};
+  const kernels::PreparedSpmv tuned{a, kernels::SpmvOptions{.config = plan.config,
+                                                            .threads = threads}};
   const solvers::SpmvFn tuned_fn = [&](std::span<const value_t> in, std::span<value_t> out) {
     tuned.run(in, out);
   };

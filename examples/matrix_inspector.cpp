@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
   for (const auto& machine : paper_platforms()) {
     const Autotuner tuner{machine};
     const auto e = tuner.evaluate(source, matrix);
-    const auto plan = tuner.plan_profile_guided(e);
+    const auto plan = tuner.plan(e);
     bounds.add_row({machine.name, Table::num(e.bounds.p_csr), Table::num(e.bounds.p_mb),
                     Table::num(e.bounds.p_ml), Table::num(e.bounds.p_imb),
                     Table::num(e.bounds.p_cmp), Table::num(e.bounds.p_peak),

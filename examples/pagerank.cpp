@@ -34,10 +34,11 @@ int main() {
 
   // Autotune the SpMV for this matrix (host profile) and prepare the kernel.
   const Autotuner tuner{host_machine(true)};
-  const auto plan = tuner.tune_profile_guided(pt);
+  const auto plan = tuner.tune(pt);
   std::cout << "autotuner: classes " << to_string(plan.classes) << " -> kernel "
             << plan.config.describe() << "\n";
-  const kernels::PreparedSpmv spmv{pt, plan.config, host_machine().cores};
+  const kernels::PreparedSpmv spmv{
+      pt, kernels::SpmvOptions{.config = plan.config, .threads = host_machine().cores}};
 
   // Power iteration with dangling-mass redistribution.
   const auto n = static_cast<std::size_t>(kNodes);

@@ -20,7 +20,7 @@ int main() {
     std::vector<std::string> row{name};
     for (const auto& machine : paper_platforms()) {
       const Autotuner tuner{machine};
-      const auto plan = tuner.tune_profile_guided(matrix);
+      const auto plan = tuner.tune(matrix);
       row.push_back(to_string(plan.classes) + " -> " + to_string(plan.optimizations) + " (" +
                     Table::num(plan.gflops / tuner.simulate_gflops(matrix, sim::KernelConfig{}),
                                2) +

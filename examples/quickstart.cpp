@@ -23,9 +23,11 @@ int main(int argc, char** argv) {
   const MachineSpec target = knl();
   const Autotuner tuner{target};
 
-  // 3. Profile-guided tuning: runs the bound micro-benchmarks, classifies
-  //    the matrix (Fig. 4 of the paper) and composes the optimizations.
-  const OptimizationPlan plan = tuner.tune_profile_guided(matrix);
+  // 3. Tune: the default TuneOptions policy is profile-guided — run the
+  //    bound micro-benchmarks, classify the matrix (Fig. 4 of the paper)
+  //    and compose the optimizations. Other policies (feature-guided,
+  //    oracle, trivial sweeps) are one TuneOptions field away.
+  const OptimizationPlan plan = tuner.tune(matrix);
   std::cout << "detected bottlenecks on " << target.name << ": " << to_string(plan.classes)
             << "\n"
             << "selected optimizations:  " << to_string(plan.optimizations) << "\n"
@@ -36,8 +38,8 @@ int main(int argc, char** argv) {
             << " baseline)\n";
 
   // 4. Prepare the real host kernel for the selected variant and run it.
-  const int threads = host_machine().cores;
-  const kernels::PreparedSpmv spmv{matrix, plan.config, threads};
+  const kernels::PreparedSpmv spmv{
+      matrix, kernels::SpmvOptions{.config = plan.config, .threads = host_machine().cores}};
   aligned_vector<value_t> x(static_cast<std::size_t>(matrix.ncols()), 1.0);
   aligned_vector<value_t> y(static_cast<std::size_t>(matrix.nrows()));
   spmv.run(x, y);

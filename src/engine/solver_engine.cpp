@@ -7,6 +7,7 @@
 
 #include "common/numa.hpp"
 #include "common/timer.hpp"
+#include "obs/telemetry.hpp"
 
 namespace sparta::engine {
 
@@ -39,7 +40,9 @@ SolverEngine::SolverEngine(const CsrMatrix& a, const sim::KernelConfig& cfg,
     : a_(&a),
       opts_(opts),
       threads_(opts.threads > 0 ? opts.threads : omp_get_max_threads()),
-      prepared_(a, cfg, threads_, opts.first_touch) {
+      prepared_(a, kernels::SpmvOptions{.config = cfg,
+                                        .threads = threads_,
+                                        .first_touch = opts.first_touch}) {
   if (opts_.jacobi) {
     const auto n = static_cast<std::size_t>(a.nrows());
     inv_diag_.assign(n, 1.0);
@@ -92,6 +95,11 @@ solvers::SolveResult SolverEngine::cg(std::span<const value_t> b,
     bool stop = false, converged = false;
   } st;
   double spmv_seconds = 0.0;
+  int fused_passes = 0;
+  // Per-iteration series cost one push_back per iteration inside a `single`
+  // block — collected only on request.
+  const bool track = obs::enabled();
+  Timer iter_timer;  // shared; reset/read inside barrier-ordered singles
 
 #pragma omp parallel num_threads(threads_)
   {
@@ -151,6 +159,7 @@ solvers::SolveResult SolverEngine::cg(std::span<const value_t> b,
           st.converged = true;
           st.stop = true;
         }
+        if (track && !st.stop) iter_timer.reset();
       }
       if (st.stop) break;
 
@@ -160,7 +169,10 @@ solvers::SolveResult SolverEngine::cg(std::span<const value_t> b,
       for_owned([&](int pi, RowRange) { pap_p += prepared_.run_local_dot(pi, p, ap, p); });
       slots[static_cast<std::size_t>(tid)].a = pap_p;
 #pragma omp barrier
-      if (tid == 0) spmv_seconds += pass.seconds();
+      if (tid == 0) {
+        spmv_seconds += pass.seconds();
+        ++fused_passes;
+      }
 #pragma omp single
       {
         const double pap = sum_a(slots, nt);
@@ -193,6 +205,10 @@ solvers::SolveResult SolverEngine::cg(std::span<const value_t> b,
         st.rz = rz_next;
         st.rr = sum_b(slots, nt);
         st.iters = it + 1;
+        if (track) {
+          result.residual_history.push_back(std::sqrt(st.rr));
+          result.iter_seconds.push_back(iter_timer.seconds());
+        }
       }
 
       // p = z + beta p; the barrier publishes p before the next SpMV gathers
@@ -212,6 +228,14 @@ solvers::SolveResult SolverEngine::cg(std::span<const value_t> b,
   result.residual_norm = std::sqrt(st.rr);
   result.spmv_seconds = spmv_seconds;
   result.seconds = total.seconds();
+  auto& reg = obs::Registry::global();
+  reg.counter("engine.cg.solves").add();
+  reg.counter("engine.cg.iterations").add(st.iters);
+  reg.counter("engine.fused_spmv_dot.passes").add(fused_passes);
+  if (track) {
+    const obs::Histogram h = reg.histogram("engine.cg.iter_micros");
+    for (double s : result.iter_seconds) h.record(s * 1e6);
+  }
   return result;
 }
 
@@ -251,6 +275,9 @@ solvers::SolveResult SolverEngine::bicgstab(std::span<const value_t> b,
     bool stop = false, converged = false, early = false;
   } st;
   double spmv_seconds = 0.0;
+  int fused_passes = 0;
+  const bool track = obs::enabled();
+  Timer iter_timer;  // shared; reset/read inside barrier-ordered singles
 
 #pragma omp parallel num_threads(threads_)
   {
@@ -313,6 +340,7 @@ solvers::SolveResult SolverEngine::bicgstab(std::span<const value_t> b,
         } else if (st.rho == 0.0) {
           st.stop = true;  // breakdown
         }
+        if (track && !st.stop) iter_timer.reset();
       }
       if (st.stop) break;
 
@@ -322,7 +350,10 @@ solvers::SolveResult SolverEngine::bicgstab(std::span<const value_t> b,
       for_owned([&](int pi, RowRange) { r0v_p += prepared_.run_local_dot(pi, p, v, r0); });
       slots[static_cast<std::size_t>(tid)].a = r0v_p;
 #pragma omp barrier
-      if (tid == 0) spmv_seconds += pass.seconds();
+      if (tid == 0) {
+        spmv_seconds += pass.seconds();
+        ++fused_passes;
+      }
 #pragma omp single
       {
         const double r0v = sum_a(slots, nt);
@@ -364,6 +395,10 @@ solvers::SolveResult SolverEngine::bicgstab(std::span<const value_t> b,
           st.iters = it + 1;
           st.rr = st.ss;
           st.converged = true;
+          if (track) {
+            result.residual_history.push_back(std::sqrt(st.rr));
+            result.iter_seconds.push_back(iter_timer.seconds());
+          }
         }
         break;
       }
@@ -380,7 +415,10 @@ solvers::SolveResult SolverEngine::bicgstab(std::span<const value_t> b,
       });
       slots[static_cast<std::size_t>(tid)] = {ts_p, tt_p};
 #pragma omp barrier
-      if (tid == 0) spmv_seconds += pass.seconds();
+      if (tid == 0) {
+        spmv_seconds += pass.seconds();
+        ++fused_passes;
+      }
 #pragma omp single
       {
         const double ts = sum_a(slots, nt);
@@ -414,6 +452,10 @@ solvers::SolveResult SolverEngine::bicgstab(std::span<const value_t> b,
         st.rho = rho_next;
         st.rr = sum_b(slots, nt);
         st.iters = it + 1;
+        if (track) {
+          result.residual_history.push_back(std::sqrt(st.rr));
+          result.iter_seconds.push_back(iter_timer.seconds());
+        }
       }
 
       // p = r + beta (p - omega v); barrier publishes p before the next SpMV.
@@ -432,6 +474,14 @@ solvers::SolveResult SolverEngine::bicgstab(std::span<const value_t> b,
   result.residual_norm = std::sqrt(st.rr);
   result.spmv_seconds = spmv_seconds;
   result.seconds = total.seconds();
+  auto& reg = obs::Registry::global();
+  reg.counter("engine.bicgstab.solves").add();
+  reg.counter("engine.bicgstab.iterations").add(st.iters);
+  reg.counter("engine.fused_spmv_dot.passes").add(fused_passes);
+  if (track) {
+    const obs::Histogram h = reg.histogram("engine.bicgstab.iter_micros");
+    for (double s : result.iter_seconds) h.record(s * 1e6);
+  }
   return result;
 }
 

@@ -162,8 +162,19 @@ struct ElemRange {
 
 PreparedSpmv::PreparedSpmv(const CsrMatrix& a, const sim::KernelConfig& cfg, int threads,
                            bool first_touch)
-    : config_(cfg) {
-  if (threads <= 0) throw std::invalid_argument{"PreparedSpmv: threads <= 0"};
+    : PreparedSpmv(a, [&] {
+        // The positional ctor's historical contract: 0 threads is an error,
+        // not "use all" (pinned by tests).
+        if (threads <= 0) throw std::invalid_argument{"PreparedSpmv: threads <= 0"};
+        return SpmvOptions{.config = cfg, .threads = threads, .first_touch = first_touch};
+      }()) {}
+
+PreparedSpmv::PreparedSpmv(const CsrMatrix& a, const SpmvOptions& opts) : config_(opts.config) {
+  if (opts.threads < 0) throw std::invalid_argument{"PreparedSpmv: threads < 0"};
+  const int threads = opts.threads > 0 ? opts.threads : omp_get_max_threads();
+  threads_ = threads;
+  const sim::KernelConfig& cfg = config_;
+  const bool first_touch = opts.first_touch;
   Timer timer;
   auto prepared = std::make_shared<Prepared>();
   prepared->source = &a;
@@ -288,9 +299,30 @@ PreparedSpmv::PreparedSpmv(const CsrMatrix& a, const sim::KernelConfig& cfg, int
   }
   prepared_ = std::move(prepared);
   prep_seconds_ = timer.seconds();
+
+  // Streaming-byte estimate for one run(): the matrix arrays in the format
+  // the kernel actually reads, plus the dense vectors (x read, y written).
+  const auto dnnz = static_cast<double>(a.nnz());
+  const auto dnrows = static_cast<double>(a.nrows());
+  double index_bytes = dnnz * static_cast<double>(sizeof(index_t));
+  if (delta_applied_) {
+    index_bytes = dnnz * (prepared_->delta->width() == DeltaWidth::k8 ? 1.0 : 2.0) +
+                  dnrows * static_cast<double>(sizeof(index_t));  // first_col
+  }
+  bytes_per_run_ = (dnrows + 1.0) * static_cast<double>(sizeof(offset_t)) + index_bytes +
+                   dnnz * static_cast<double>(sizeof(value_t)) +
+                   static_cast<double>(a.ncols() + a.nrows()) * static_cast<double>(sizeof(value_t));
+
+  auto& reg = obs::Registry::global();
+  reg.counter("kernels.prepare.calls").add();
+  reg.histogram("kernels.prepare.micros").record(prep_seconds_ * 1e6);
+  run_calls_ = reg.counter("kernels.run.calls");
+  run_bytes_ = reg.counter("kernels.run.bytes");
 }
 
 void PreparedSpmv::run(std::span<const value_t> x, std::span<value_t> y) const {
+  run_calls_.add();
+  run_bytes_.add(bytes_per_run_);
   impl_(x, y);
 }
 

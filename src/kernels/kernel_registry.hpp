@@ -9,6 +9,7 @@
 #include <memory>
 #include <span>
 
+#include "obs/telemetry.hpp"
 #include "sim/kernel_model.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/partition.hpp"
@@ -18,6 +19,16 @@ namespace sparta::kernels {
 namespace detail_registry {
 struct Prepared;
 }  // namespace detail_registry
+
+/// Everything that parameterizes the preparation of one kernel instance.
+struct SpmvOptions {
+  /// The composed kernel variant (tuner output). Default = baseline CSR.
+  sim::KernelConfig config{};
+  /// Partition/thread count; 0 means omp_get_max_threads(). Negative throws.
+  int threads = 0;
+  /// NUMA first-touch copies of the streaming arrays (see class comment).
+  bool first_touch = false;
+};
 
 /// A prepared host SpMV instance. Holds converted formats and partitions;
 /// the source matrix must outlive it.
@@ -40,9 +51,12 @@ struct Prepared;
 /// the plain-CSR kernels with the same scalar transformations.
 class PreparedSpmv {
  public:
-  /// Preprocess `a` for `cfg` using `threads` partitions.
-  /// If cfg.delta is set but the matrix is incompressible, falls back to
-  /// plain colind (delta_applied() reports false).
+  /// Preprocess `a` per `opts`. If opts.config.delta is set but the matrix
+  /// is incompressible, falls back to plain colind (delta_applied() reports
+  /// false).
+  explicit PreparedSpmv(const CsrMatrix& a, const SpmvOptions& opts = {});
+
+  [[deprecated("use PreparedSpmv(a, SpmvOptions{.config = cfg, .threads = t, ...})")]]
   PreparedSpmv(const CsrMatrix& a, const sim::KernelConfig& cfg, int threads,
                bool first_touch = false);
 
@@ -67,16 +81,26 @@ class PreparedSpmv {
   /// Wall-clock seconds the preprocessing took.
   [[nodiscard]] double prep_seconds() const { return prep_seconds_; }
   [[nodiscard]] const sim::KernelConfig& config() const { return config_; }
+  /// The resolved thread/partition count (never 0).
+  [[nodiscard]] int threads() const { return threads_; }
   [[nodiscard]] bool delta_applied() const { return delta_applied_; }
   [[nodiscard]] bool first_touch_applied() const { return first_touch_applied_; }
+  /// Estimated bytes streamed from memory by one run() (matrix arrays in the
+  /// prepared format + x read + y written) — feeds the kernels.run.bytes
+  /// telemetry counter.
+  [[nodiscard]] double bytes_per_run() const { return bytes_per_run_; }
 
  private:
   sim::KernelConfig config_;
+  int threads_ = 0;
   double prep_seconds_ = 0.0;
   bool delta_applied_ = false;
   bool first_touch_applied_ = false;
+  double bytes_per_run_ = 0.0;
   std::shared_ptr<detail_registry::Prepared> prepared_;
   std::function<void(std::span<const value_t>, std::span<value_t>)> impl_;
+  obs::Counter run_calls_;
+  obs::Counter run_bytes_;
 };
 
 }  // namespace sparta::kernels

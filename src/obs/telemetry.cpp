@@ -1,0 +1,246 @@
+#include "obs/telemetry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <ostream>
+#include <stdexcept>
+
+#include "common/table.hpp"
+#include "obs/json.hpp"
+
+namespace sparta::obs {
+
+std::string_view to_string(Kind k) {
+  switch (k) {
+    case Kind::kCounter:
+      return "counter";
+    case Kind::kGauge:
+      return "gauge";
+    case Kind::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+double HistogramStats::quantile(double q) const {
+  if (count <= 0.0 || buckets.empty()) return 0.0;
+  const double target = q * count;
+  double cum = 0.0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    cum += buckets[i];
+    if (cum >= target) {
+      // Representative value: the geometric midpoint of the bucket,
+      // clamped into the observed range.
+      const double mid = std::ldexp(1.5, static_cast<int>(i) - kHistBias);
+      return std::clamp(mid, min, max);
+    }
+  }
+  return max;
+}
+
+void write_jsonl(std::ostream& os, const std::vector<MetricSample>& samples) {
+  for (const auto& s : samples) {
+    std::string line = "{\"metric\":";
+    json::append_quoted(line, s.name);
+    line += ",\"kind\":";
+    json::append_quoted(line, to_string(s.kind));
+    if (s.kind == Kind::kHistogram) {
+      line += ",\"count\":";
+      json::append_number(line, s.hist.count);
+      line += ",\"sum\":";
+      json::append_number(line, s.hist.sum);
+      line += ",\"min\":";
+      json::append_number(line, s.hist.min);
+      line += ",\"max\":";
+      json::append_number(line, s.hist.max);
+      line += ",\"buckets\":[";
+      for (std::size_t i = 0; i < s.hist.buckets.size(); ++i) {
+        if (i != 0) line.push_back(',');
+        json::append_number(line, s.hist.buckets[i]);
+      }
+      line += "]";
+    } else {
+      line += ",\"value\":";
+      json::append_number(line, s.value);
+    }
+    line += "}\n";
+    os << line;
+  }
+}
+
+void print_table(std::ostream& os, const std::vector<MetricSample>& samples) {
+  Table t{{"metric", "kind", "value/count", "mean", "p50", "p95", "max"}};
+  for (const auto& s : samples) {
+    if (s.kind == Kind::kHistogram) {
+      t.add_row({s.name, std::string{to_string(s.kind)}, Table::num(s.hist.count, 0),
+                 Table::num(s.hist.mean(), 3), Table::num(s.hist.quantile(0.5), 3),
+                 Table::num(s.hist.quantile(0.95), 3), Table::num(s.hist.max, 3)});
+    } else {
+      t.add_row({s.name, std::string{to_string(s.kind)}, Table::num(s.value, 3), "-", "-", "-",
+                 "-"});
+    }
+  }
+  t.print(os);
+}
+
+#if SPARTA_TELEMETRY_ENABLED
+
+namespace {
+
+bool env_default() {
+  const char* e = std::getenv("SPARTA_TELEMETRY");
+  if (e == nullptr) return false;
+  const std::string_view v{e};
+  return !(v.empty() || v == "0" || v == "off" || v == "false");
+}
+
+bool& enabled_flag() {
+  static bool flag = env_default();
+  return flag;
+}
+
+}  // namespace
+
+bool enabled() { return enabled_flag(); }
+
+void set_enabled(bool on) { enabled_flag() = on; }
+
+namespace {
+
+std::uint32_t slot_mask() {
+  const int want = std::max(1, omp_get_max_threads());
+  std::uint32_t n = 1;
+  while (n < static_cast<std::uint32_t>(want)) n <<= 1;
+  return n - 1;
+}
+
+}  // namespace
+
+Registry::Registry() : mask_(slot_mask()) {}
+
+Registry& Registry::global() {
+  static Registry reg;
+  return reg;
+}
+
+Registry::Entry& Registry::find_or_add(std::string_view name, Kind kind) {
+  for (auto& e : entries_) {
+    if (e->name == name) {
+      if (e->kind != kind) {
+        throw std::invalid_argument{"obs::Registry: metric '" + std::string{name} +
+                                    "' already registered as " +
+                                    std::string{to_string(e->kind)}};
+      }
+      return *e;
+    }
+  }
+  auto e = std::make_unique<Entry>();
+  e->name = std::string{name};
+  e->kind = kind;
+  const std::size_t n = static_cast<std::size_t>(mask_) + 1;
+  if (kind == Kind::kHistogram) {
+    e->hists = std::make_unique<detail::HistSlot[]>(n);
+    slot_bytes_ += n * sizeof(detail::HistSlot);
+  } else {
+    e->scalars = std::make_unique<detail::ScalarSlot[]>(n);
+    slot_bytes_ += n * sizeof(detail::ScalarSlot);
+  }
+  entries_.push_back(std::move(e));
+  return *entries_.back();
+}
+
+Counter Registry::counter(std::string_view name) {
+  if (!enabled()) return {};
+  const std::lock_guard<std::mutex> lock{mu_};
+  return Counter{find_or_add(name, Kind::kCounter).scalars.get(), mask_};
+}
+
+Gauge Registry::gauge(std::string_view name) {
+  if (!enabled()) return {};
+  const std::lock_guard<std::mutex> lock{mu_};
+  return Gauge{find_or_add(name, Kind::kGauge).scalars.get(), mask_, &gauge_seq_};
+}
+
+Histogram Registry::histogram(std::string_view name) {
+  if (!enabled()) return {};
+  const std::lock_guard<std::mutex> lock{mu_};
+  return Histogram{find_or_add(name, Kind::kHistogram).hists.get(), mask_};
+}
+
+std::vector<MetricSample> Registry::snapshot() const {
+  const std::lock_guard<std::mutex> lock{mu_};
+  std::vector<MetricSample> out;
+  out.reserve(entries_.size());
+  const std::size_t n = static_cast<std::size_t>(mask_) + 1;
+  for (const auto& e : entries_) {
+    MetricSample s;
+    s.name = e->name;
+    s.kind = e->kind;
+    if (e->kind == Kind::kHistogram) {
+      s.hist.buckets.assign(kHistBuckets, 0.0);
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto& slot = e->hists[i];
+        if (slot.count <= 0.0) continue;
+        s.hist.count += slot.count;
+        s.hist.sum += slot.sum;
+        s.hist.min = s.hist.count == slot.count ? slot.min : std::min(s.hist.min, slot.min);
+        s.hist.max = std::max(s.hist.max, slot.max);
+        for (int b = 0; b < kHistBuckets; ++b) {
+          s.hist.buckets[static_cast<std::size_t>(b)] += slot.buckets[static_cast<std::size_t>(b)];
+        }
+      }
+      if (s.hist.count <= 0.0) {
+        s.hist.min = 0.0;
+        s.hist.max = 0.0;
+      }
+    } else if (e->kind == Kind::kCounter) {
+      for (std::size_t i = 0; i < n; ++i) s.value += e->scalars[i].value;
+    } else {  // gauge: last writer wins
+      std::uint64_t best = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (e->scalars[i].seq > best) {
+          best = e->scalars[i].seq;
+          s.value = e->scalars[i].value;
+        }
+      }
+    }
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSample& a, const MetricSample& b) { return a.name < b.name; });
+  return out;
+}
+
+void Registry::reset() {
+  const std::lock_guard<std::mutex> lock{mu_};
+  const std::size_t n = static_cast<std::size_t>(mask_) + 1;
+  for (auto& e : entries_) {
+    if (e->kind == Kind::kHistogram) {
+      for (std::size_t i = 0; i < n; ++i) e->hists[i] = detail::HistSlot{};
+    } else {
+      for (std::size_t i = 0; i < n; ++i) e->scalars[i] = detail::ScalarSlot{};
+    }
+  }
+  gauge_seq_.store(0, std::memory_order_relaxed);
+}
+
+std::size_t Registry::slot_bytes() const {
+  const std::lock_guard<std::mutex> lock{mu_};
+  return slot_bytes_;
+}
+
+#else  // SPARTA_TELEMETRY_ENABLED == 0
+
+bool enabled() { return false; }
+
+void set_enabled(bool) {}
+
+Registry& Registry::global() {
+  static Registry reg;
+  return reg;
+}
+
+#endif  // SPARTA_TELEMETRY_ENABLED
+
+}  // namespace sparta::obs

@@ -1,0 +1,280 @@
+// sparta::obs — low-overhead, thread-safe telemetry.
+//
+// A Registry holds named counters, gauges and histograms. Each metric owns
+// one cache-line-padded slot per OpenMP thread; the hot-path record calls
+// (`Counter::add`, `Histogram::record`) index the caller's slot by thread id
+// and perform a plain (non-atomic) update — no contention, no fences, no
+// allocation. Slots are merged under the registry lock only when a snapshot
+// is read. `Gauge::set` is last-writer-wins across threads and pays one
+// relaxed fetch_add to order writers; treat it as a cold-path call.
+//
+// Two off switches, both leaving call sites untouched:
+//  - runtime: telemetry is DISABLED by default; enable with the
+//    SPARTA_TELEMETRY environment variable (any value except "", "0",
+//    "off", "false") or obs::set_enabled(true). Handles created while
+//    disabled are permanently inert (a single null-pointer test per record
+//    call, zero allocation) — enable telemetry before creating handles.
+//  - compile time: configure with -DSPARTA_TELEMETRY=OFF (which defines
+//    SPARTA_TELEMETRY_ENABLED=0) and every type below collapses to an empty
+//    no-op whose emptiness is enforced by static_asserts — the hot path
+//    compiles to nothing.
+//
+// Thread-id mapping uses omp_get_thread_num() masked to a power-of-two slot
+// count sized for omp_get_max_threads() at Registry construction; threads
+// beyond that (e.g. nested parallelism) share slots and may lose updates —
+// acceptable for telemetry, never for correctness-bearing data.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "common/types.hpp"
+
+#ifndef SPARTA_TELEMETRY_ENABLED
+#define SPARTA_TELEMETRY_ENABLED 1
+#endif
+
+#if SPARTA_TELEMETRY_ENABLED
+#include <omp.h>
+
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <mutex>
+#endif
+
+namespace sparta::obs {
+
+/// True when the telemetry hot path is compiled in (SPARTA_TELEMETRY=ON).
+inline constexpr bool kCompiledIn = SPARTA_TELEMETRY_ENABLED != 0;
+
+enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+std::string_view to_string(Kind k);
+
+inline constexpr int kHistBuckets = 40;
+/// Bucket i covers values with binary exponent i - kHistBias; bucket 0 also
+/// absorbs everything <= 2^-kHistBias (including zero and negatives).
+inline constexpr int kHistBias = 8;
+
+/// Merged histogram state as read from a snapshot. Buckets are logarithmic:
+/// bucket i counts values v with ilogb(v) == i - kHistBias (clamped), so
+/// quantiles are exponent-resolution estimates.
+struct HistogramStats {
+  double count = 0.0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::vector<double> buckets;
+
+  [[nodiscard]] double mean() const { return count > 0.0 ? sum / count : 0.0; }
+  /// Approximate q-quantile (q in [0,1]) from the log buckets.
+  [[nodiscard]] double quantile(double q) const;
+};
+
+/// One merged metric as read from Registry::snapshot().
+struct MetricSample {
+  std::string name;
+  Kind kind = Kind::kCounter;
+  /// Counter: total. Gauge: last value set (0 if never set).
+  double value = 0.0;
+  /// Populated for kHistogram only.
+  HistogramStats hist;
+};
+
+/// Render samples as JSON-Lines (one object per metric per line).
+void write_jsonl(std::ostream& os, const std::vector<MetricSample>& samples);
+
+/// Render samples as a human-readable table.
+void print_table(std::ostream& os, const std::vector<MetricSample>& samples);
+
+/// Runtime toggle. Defaults to the SPARTA_TELEMETRY environment variable;
+/// always false when compiled out.
+bool enabled();
+void set_enabled(bool on);
+
+#if SPARTA_TELEMETRY_ENABLED
+
+namespace detail {
+
+struct alignas(kCacheLineBytes) ScalarSlot {
+  double value = 0.0;
+  /// Gauges only: global sequence of the last set(); 0 = never written.
+  std::uint64_t seq = 0;
+};
+
+struct alignas(kCacheLineBytes) HistSlot {
+  double count = 0.0;
+  double sum = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  std::array<double, kHistBuckets> buckets{};
+};
+
+inline std::uint32_t slot_index(std::uint32_t mask) {
+  return static_cast<std::uint32_t>(omp_get_thread_num()) & mask;
+}
+
+inline int bucket_of(double v) {
+  if (!(v > 0.0)) return 0;
+  const int b = std::ilogb(v) + kHistBias;
+  return b < 0 ? 0 : (b >= kHistBuckets ? kHistBuckets - 1 : b);
+}
+
+}  // namespace detail
+
+class Registry;
+
+/// Monotonic sum. Handles are trivially copyable; a default-constructed or
+/// disabled-registry handle is inert.
+class Counter {
+ public:
+  Counter() = default;
+
+  void add(double v = 1.0) const noexcept {
+    if (slots_ == nullptr) return;
+    slots_[detail::slot_index(mask_)].value += v;
+  }
+
+ private:
+  friend class Registry;
+  Counter(detail::ScalarSlot* slots, std::uint32_t mask) : slots_(slots), mask_(mask) {}
+  detail::ScalarSlot* slots_ = nullptr;
+  std::uint32_t mask_ = 0;
+};
+
+/// Last-writer-wins point-in-time value. set() pays one relaxed atomic
+/// increment (to order writers across threads) — cold path only.
+class Gauge {
+ public:
+  Gauge() = default;
+
+  void set(double v) const noexcept {
+    if (slots_ == nullptr) return;
+    auto& s = slots_[detail::slot_index(mask_)];
+    s.value = v;
+    s.seq = 1 + seq_->fetch_add(1, std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Registry;
+  Gauge(detail::ScalarSlot* slots, std::uint32_t mask, std::atomic<std::uint64_t>* seq)
+      : slots_(slots), mask_(mask), seq_(seq) {}
+  detail::ScalarSlot* slots_ = nullptr;
+  std::uint32_t mask_ = 0;
+  std::atomic<std::uint64_t>* seq_ = nullptr;
+};
+
+/// Log-bucketed distribution (count/sum/min/max + exponent buckets).
+class Histogram {
+ public:
+  Histogram() = default;
+
+  void record(double v) const noexcept {
+    if (slots_ == nullptr) return;
+    auto& s = slots_[detail::slot_index(mask_)];
+    s.count += 1.0;
+    s.sum += v;
+    if (v < s.min) s.min = v;
+    if (v > s.max) s.max = v;
+    s.buckets[static_cast<std::size_t>(detail::bucket_of(v))] += 1.0;
+  }
+
+ private:
+  friend class Registry;
+  Histogram(detail::HistSlot* slots, std::uint32_t mask) : slots_(slots), mask_(mask) {}
+  detail::HistSlot* slots_ = nullptr;
+  std::uint32_t mask_ = 0;
+};
+
+/// Named-metric registry. Handle creation locks a mutex and (once per name)
+/// allocates the per-thread slots — do it during setup, not in hot loops.
+/// If telemetry is disabled at handle-creation time the returned handle is
+/// inert and nothing is allocated or recorded.
+class Registry {
+ public:
+  /// Slot count = omp_get_max_threads() rounded up to a power of two.
+  Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide default registry.
+  static Registry& global();
+
+  /// Find-or-create. Throws std::invalid_argument if `name` already exists
+  /// with a different kind.
+  Counter counter(std::string_view name);
+  Gauge gauge(std::string_view name);
+  Histogram histogram(std::string_view name);
+
+  /// Merge all per-thread slots into one sample per metric, sorted by name.
+  [[nodiscard]] std::vector<MetricSample> snapshot() const;
+
+  /// Zero every slot (metric names and handles stay valid).
+  void reset();
+
+  /// Bytes currently allocated for per-thread slots (0 while disabled —
+  /// the disabled-mode zero-allocation guarantee).
+  [[nodiscard]] std::size_t slot_bytes() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    Kind kind;
+    std::unique_ptr<detail::ScalarSlot[]> scalars;  // counter/gauge
+    std::unique_ptr<detail::HistSlot[]> hists;      // histogram
+  };
+
+  Entry& find_or_add(std::string_view name, Kind kind);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Entry>> entries_;  // stable addresses
+  std::uint32_t mask_ = 0;                       // nslots - 1
+  std::size_t slot_bytes_ = 0;
+  std::atomic<std::uint64_t> gauge_seq_{0};
+};
+
+#else  // SPARTA_TELEMETRY_ENABLED == 0: compile-time-checked no-op path.
+
+class Counter {
+ public:
+  constexpr void add(double = 1.0) const noexcept {}
+};
+
+class Gauge {
+ public:
+  constexpr void set(double) const noexcept {}
+};
+
+class Histogram {
+ public:
+  constexpr void record(double) const noexcept {}
+};
+
+class Registry {
+ public:
+  constexpr Registry() = default;
+  static Registry& global();
+  constexpr Counter counter(std::string_view) { return {}; }
+  constexpr Gauge gauge(std::string_view) { return {}; }
+  constexpr Histogram histogram(std::string_view) { return {}; }
+  [[nodiscard]] std::vector<MetricSample> snapshot() const { return {}; }
+  constexpr void reset() {}
+  [[nodiscard]] constexpr std::size_t slot_bytes() const { return 0; }
+};
+
+// The contract of the no-op path: stateless handles, an empty registry, and
+// record calls that the optimizer can delete outright.
+static_assert(std::is_empty_v<Counter> && std::is_empty_v<Gauge> && std::is_empty_v<Histogram>,
+              "disabled telemetry handles must carry no state");
+static_assert(std::is_empty_v<Registry>, "disabled registry must carry no state");
+
+#endif  // SPARTA_TELEMETRY_ENABLED
+
+}  // namespace sparta::obs

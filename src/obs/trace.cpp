@@ -1,0 +1,158 @@
+#include "obs/trace.hpp"
+
+#include "obs/json.hpp"
+
+namespace sparta::obs {
+
+namespace {
+
+void append_named_values(std::string& out, std::string_view key,
+                         const std::vector<NamedValue>& values) {
+  json::append_quoted(out, key);
+  out += ":{";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    json::append_quoted(out, values[i].first);
+    out.push_back(':');
+    json::append_number(out, values[i].second);
+  }
+  out += "}";
+}
+
+void append_strings(std::string& out, std::string_view key,
+                    const std::vector<std::string>& values) {
+  json::append_quoted(out, key);
+  out += ":[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    json::append_quoted(out, values[i]);
+  }
+  out += "]";
+}
+
+std::vector<NamedValue> read_named_values(const json::Value& obj, std::string_view key) {
+  std::vector<NamedValue> out;
+  if (const json::Value* v = obj.find(key)) {
+    for (const auto& [name, val] : v->object()) out.emplace_back(name, val.number());
+  }
+  return out;
+}
+
+std::vector<std::string> read_strings(const json::Value& obj, std::string_view key) {
+  std::vector<std::string> out;
+  if (const json::Value* v = obj.find(key)) {
+    for (const auto& e : v->array()) out.push_back(e.str());
+  }
+  return out;
+}
+
+double read_number(const json::Value& obj, std::string_view key) {
+  const json::Value* v = obj.find(key);
+  return v != nullptr ? v->number() : 0.0;
+}
+
+std::string read_string(const json::Value& obj, std::string_view key) {
+  const json::Value* v = obj.find(key);
+  return v != nullptr ? v->str() : std::string{};
+}
+
+}  // namespace
+
+double TuneTrace::phase_micros(std::string_view name) const {
+  for (const auto& p : phases) {
+    if (p.name == name) return p.micros;
+  }
+  return 0.0;
+}
+
+double TuneTrace::total_phase_micros() const {
+  double sum = 0.0;
+  for (const auto& p : phases) sum += p.micros;
+  return sum;
+}
+
+double TuneTrace::value_or_zero(std::string_view name) const {
+  for (const auto* vec : {&extra, &bounds, &features}) {
+    for (const auto& [k, v] : *vec) {
+      if (k == name) return v;
+    }
+  }
+  return 0.0;
+}
+
+std::string TuneTrace::to_jsonl() const {
+  std::string out = "{\"record\":\"tune_trace\",";
+  json::append_quoted(out, "matrix");
+  out.push_back(':');
+  json::append_quoted(out, matrix);
+  out.push_back(',');
+  json::append_quoted(out, "strategy");
+  out.push_back(':');
+  json::append_quoted(out, strategy);
+  out += ",\"nrows\":";
+  json::append_number(out, static_cast<double>(nrows));
+  out += ",\"nnz\":";
+  json::append_number(out, static_cast<double>(nnz));
+  out.push_back(',');
+  append_named_values(out, "features", features);
+  out.push_back(',');
+  append_named_values(out, "bounds", bounds);
+  out.push_back(',');
+  append_strings(out, "classes", classes);
+  out += ",\"class_mask\":";
+  json::append_number(out, static_cast<double>(class_mask));
+  out.push_back(',');
+  append_strings(out, "optimizations", optimizations);
+  out.push_back(',');
+  json::append_quoted(out, "config");
+  out.push_back(':');
+  json::append_quoted(out, config);
+  out += ",\"gflops\":";
+  json::append_number(out, gflops);
+  out += ",\"t_spmv_seconds\":";
+  json::append_number(out, t_spmv_seconds);
+  out += ",\"t_pre_seconds\":";
+  json::append_number(out, t_pre_seconds);
+  out.push_back(',');
+  json::append_quoted(out, "phases");
+  out += ":[";
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    out += "{\"phase\":";
+    json::append_quoted(out, phases[i].name);
+    out += ",\"micros\":";
+    json::append_number(out, phases[i].micros);
+    out.push_back('}');
+  }
+  out += "],";
+  append_named_values(out, "extra", extra);
+  out.push_back('}');
+  return out;
+}
+
+TuneTrace TuneTrace::from_jsonl(std::string_view line) {
+  const json::Value obj = json::Value::parse(line);
+  TuneTrace t;
+  t.matrix = read_string(obj, "matrix");
+  t.strategy = read_string(obj, "strategy");
+  t.nrows = static_cast<std::int64_t>(read_number(obj, "nrows"));
+  t.nnz = static_cast<std::int64_t>(read_number(obj, "nnz"));
+  t.features = read_named_values(obj, "features");
+  t.bounds = read_named_values(obj, "bounds");
+  t.classes = read_strings(obj, "classes");
+  t.class_mask = static_cast<std::uint32_t>(read_number(obj, "class_mask"));
+  t.optimizations = read_strings(obj, "optimizations");
+  t.config = read_string(obj, "config");
+  t.gflops = read_number(obj, "gflops");
+  t.t_spmv_seconds = read_number(obj, "t_spmv_seconds");
+  t.t_pre_seconds = read_number(obj, "t_pre_seconds");
+  if (const json::Value* phases = obj.find("phases")) {
+    for (const auto& p : phases->array()) {
+      t.phases.push_back({p.at("phase").str(), p.at("micros").number()});
+    }
+  }
+  t.extra = read_named_values(obj, "extra");
+  return t;
+}
+
+}  // namespace sparta::obs

@@ -1,0 +1,84 @@
+// Structured decision traces — the "why" record of one tuning run.
+//
+// A TuneTrace captures everything the paper's decision procedure looked at
+// for one matrix: the structural features it computed, the per-class bound
+// ratios, the bottleneck classes it detected, the kernel configuration it
+// chose, the modeled/measured costs, and the wall-clock microseconds each
+// pipeline phase took. Traces serialize to JSON-Lines (one object per line)
+// and parse back exactly, so the amortization analysis (paper Table V,
+// bench/table5_amortization) can be re-derived offline from a trace file
+// alone: N_iters,min = t_pre_seconds / (t_vendor_seconds - t_spmv_seconds).
+//
+// This is cold-path data (built once per tuning run); it is always compiled
+// in, independent of the SPARTA_TELEMETRY hot-path switch.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/timer.hpp"
+
+namespace sparta::obs {
+
+/// One timed pipeline phase.
+struct PhaseCost {
+  std::string name;
+  double micros = 0.0;
+
+  friend bool operator==(const PhaseCost&, const PhaseCost&) = default;
+};
+
+/// Named scalar (features, bounds, tool-specific extras).
+using NamedValue = std::pair<std::string, double>;
+
+struct TuneTrace {
+  std::string matrix;    // label (file name, suite name, ...)
+  std::string strategy;  // "profile", "feature", "oracle", ...
+  std::int64_t nrows = 0;
+  std::int64_t nnz = 0;
+  std::vector<NamedValue> features;  // paper Table I values, as computed
+  std::vector<NamedValue> bounds;    // P_* rates and bound/baseline ratios
+  std::vector<std::string> classes;  // detected bottlenecks ("MB", "ML", ...)
+  std::uint32_t class_mask = 0;      // same, as a BottleneckSet mask
+  std::vector<std::string> optimizations;
+  std::string config;  // KernelConfig::describe()
+  double gflops = 0.0;
+  double t_spmv_seconds = 0.0;
+  double t_pre_seconds = 0.0;
+  std::vector<PhaseCost> phases;    // per-phase tuning cost, microseconds
+  std::vector<NamedValue> extra;    // tool-specific (e.g. t_vendor_seconds)
+
+  /// Microseconds of the named phase; 0 when absent.
+  [[nodiscard]] double phase_micros(std::string_view name) const;
+  [[nodiscard]] double total_phase_micros() const;
+  /// Value from `extra` (then `bounds`, then `features`); 0 when absent.
+  [[nodiscard]] double value_or_zero(std::string_view name) const;
+
+  /// One JSON object, no trailing newline.
+  [[nodiscard]] std::string to_jsonl() const;
+  /// Inverse of to_jsonl(); throws std::runtime_error on malformed input.
+  static TuneTrace from_jsonl(std::string_view line);
+
+  friend bool operator==(const TuneTrace&, const TuneTrace&) = default;
+};
+
+/// RAII phase stopwatch: appends {name, elapsed micros} to `out` on
+/// destruction. `out` must outlive the ScopedPhase.
+class ScopedPhase {
+ public:
+  ScopedPhase(std::vector<PhaseCost>& out, std::string name)
+      : out_(&out), name_(std::move(name)) {}
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+  ~ScopedPhase() { out_->push_back({std::move(name_), timer_.seconds() * 1e6}); }
+
+ private:
+  std::vector<PhaseCost>* out_;
+  std::string name_;
+  Timer timer_;
+};
+
+}  // namespace sparta::obs

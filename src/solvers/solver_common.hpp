@@ -6,6 +6,7 @@
 
 #include <functional>
 #include <span>
+#include <vector>
 
 #include "common/types.hpp"
 #include "sparse/csr.hpp"
@@ -27,6 +28,11 @@ struct SolveResult {
   /// amortization analysis, which assumes t_other is SpMV-independent).
   double seconds = 0.0;
   double spmv_seconds = 0.0;
+  /// Per-iteration series (||r|| after each iteration; wall seconds per
+  /// iteration). Collected only while telemetry is enabled (obs::enabled())
+  /// — empty otherwise, so the hot solver loop never allocates by default.
+  std::vector<double> residual_history;
+  std::vector<double> iter_seconds;
 };
 
 // Small dense-vector helpers used by the solvers (serial; the vectors are

@@ -9,10 +9,13 @@
 //
 //   auto matrix = sparta::mm::read_csr_file("matrix.mtx");
 //   sparta::Autotuner tuner{sparta::knl()};
-//   auto plan = tuner.tune_profile_guided(matrix);
+//   auto plan = tuner.tune(matrix);  // TuneOptions selects the strategy
 //   // plan.classes  — detected bottlenecks, plan.config — kernel variant
-//   sparta::kernels::PreparedSpmv spmv{matrix, plan.config, nthreads};
+//   sparta::kernels::PreparedSpmv spmv{matrix, {.config = plan.config}};
 //   spmv.run(x, y);
+//
+// Telemetry (sparta::obs) is off by default; set SPARTA_TELEMETRY=1 (or call
+// obs::set_enabled(true)) to collect counters and tuning traces.
 #pragma once
 
 #include "common/prng.hpp"          // IWYU pragma: export
@@ -27,6 +30,8 @@
 #include "kernels/kernel_registry.hpp"  // IWYU pragma: export
 #include "machine/machine_spec.hpp" // IWYU pragma: export
 #include "ml/cross_validation.hpp"  // IWYU pragma: export
+#include "obs/telemetry.hpp"        // IWYU pragma: export
+#include "obs/trace.hpp"            // IWYU pragma: export
 #include "sim/simulator.hpp"        // IWYU pragma: export
 #include "solvers/cg.hpp"           // IWYU pragma: export
 #include "solvers/gmres.hpp"        // IWYU pragma: export

@@ -3,6 +3,7 @@
 #include <omp.h>
 
 #include <algorithm>
+#include <optional>
 
 #include "common/statistics.hpp"
 #include "common/timer.hpp"
@@ -90,27 +91,64 @@ OptimizationPlan tune_host(const CsrMatrix& m, const HostProfileOptions& options
   const int threads = resolve_threads(options);
   OptimizationPlan plan;
   plan.strategy = "profile-host";
+  std::vector<obs::PhaseCost> phases;
 
   Timer preprocessing;
-  const PerfBounds bounds = measure_bounds_host(m, options);
-  plan.classes = classify_profile(bounds, thresholds);
-  const FeatureVector features = extract_features(m);
-  plan.optimizations = select_optimizations(plan.classes, features, imb);
-  plan.config = config_for(plan.optimizations);
+  PerfBounds bounds;
+  {
+    const obs::ScopedPhase phase{phases, "bounds"};
+    bounds = measure_bounds_host(m, options);
+  }
+  FeatureVector features;
+  {
+    const obs::ScopedPhase phase{phases, "features"};
+    plan.classes = classify_profile(bounds, thresholds);
+    features = extract_features(m);
+    plan.optimizations = select_optimizations(plan.classes, features, imb);
+    plan.config = config_for(plan.optimizations);
+  }
 
   // Prepare (format conversion etc.) — part of the preprocessing bill.
-  const kernels::PreparedSpmv prepared{m, plan.config, threads};
+  std::optional<kernels::PreparedSpmv> prepared;
+  {
+    const obs::ScopedPhase phase{phases, "prepare"};
+    prepared.emplace(m, kernels::SpmvOptions{.config = plan.config, .threads = threads});
+  }
   plan.t_pre_seconds = preprocessing.seconds();
 
   // Measure the optimized kernel.
-  aligned_vector<value_t> x(static_cast<std::size_t>(m.ncols()), 1.0);
-  aligned_vector<value_t> y(static_cast<std::size_t>(m.nrows()));
-  prepared.run(x, y);  // warm-up
-  plan.t_spmv_seconds =
-      time_kernel([&] { prepared.run(x, y); }, options.iterations);
+  {
+    const obs::ScopedPhase phase{phases, "measure"};
+    aligned_vector<value_t> x(static_cast<std::size_t>(m.ncols()), 1.0);
+    aligned_vector<value_t> y(static_cast<std::size_t>(m.nrows()));
+    prepared->run(x, y);  // warm-up
+    plan.t_spmv_seconds =
+        time_kernel([&] { prepared->run(x, y); }, options.iterations);
+  }
   plan.gflops = plan.t_spmv_seconds > 0.0
                     ? 2.0 * static_cast<double>(m.nnz()) / plan.t_spmv_seconds * 1e-9
                     : 0.0;
+
+  if (options.collect_trace) {
+    auto t = std::make_shared<obs::TuneTrace>();
+    t->matrix = options.name;
+    t->strategy = plan.strategy;
+    t->nrows = m.nrows();
+    t->nnz = m.nnz();
+    t->features = named_features(features);
+    t->bounds = named_bounds(bounds);
+    t->classes = named_classes(plan.classes);
+    t->class_mask = plan.classes.mask();
+    t->optimizations.reserve(plan.optimizations.size());
+    for (Optimization o : plan.optimizations) t->optimizations.push_back(to_string(o));
+    t->config = plan.config.describe();
+    t->gflops = plan.gflops;
+    t->t_spmv_seconds = plan.t_spmv_seconds;
+    t->t_pre_seconds = plan.t_pre_seconds;
+    t->phases = std::move(phases);
+    t->extra.emplace_back("prep_seconds", prepared->prep_seconds());
+    plan.trace = std::move(t);
+  }
   return plan;
 }
 

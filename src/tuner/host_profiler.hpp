@@ -23,6 +23,11 @@ struct HostProfileOptions {
   /// Reuse a previous STREAM probe instead of re-measuring (probe costs
   /// tens of ms; pass the result when profiling many matrices).
   const StreamResult* stream = nullptr;
+  /// Matrix label recorded in the trace.
+  std::string name{};
+  /// Attach an obs::TuneTrace (measured bounds, classes, per-phase wall
+  /// microseconds) to the returned plan.
+  bool collect_trace = obs::enabled();
 };
 
 /// Measure all per-class bounds on the host.

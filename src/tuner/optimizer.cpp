@@ -5,6 +5,57 @@
 
 namespace sparta {
 
+std::vector<obs::NamedValue> named_features(const FeatureVector& fv) {
+  std::vector<obs::NamedValue> out;
+  out.reserve(kNumFeatures);
+  for (int i = 0; i < kNumFeatures; ++i) {
+    const auto f = static_cast<Feature>(i);
+    out.emplace_back(std::string{feature_name(f)}, fv[f]);
+  }
+  return out;
+}
+
+std::vector<obs::NamedValue> named_bounds(const PerfBounds& b) {
+  std::vector<obs::NamedValue> out{
+      {"P_CSR", b.p_csr},   {"P_MB", b.p_mb},     {"P_ML", b.p_ml},
+      {"P_IMB", b.p_imb},   {"P_CMP", b.p_cmp},   {"P_peak", b.p_peak},
+      {"t_csr_seconds", b.t_csr_seconds},
+  };
+  if (b.p_csr > 0.0) {
+    // The ratios the Fig. 4 rules actually compare against the thresholds.
+    out.emplace_back("P_MB/P_CSR", b.p_mb / b.p_csr);
+    out.emplace_back("P_ML/P_CSR", b.p_ml / b.p_csr);
+    out.emplace_back("P_IMB/P_CSR", b.p_imb / b.p_csr);
+    out.emplace_back("P_CMP/P_CSR", b.p_cmp / b.p_csr);
+  }
+  return out;
+}
+
+std::vector<std::string> named_classes(BottleneckSet s) {
+  std::vector<std::string> out;
+  for (int i = 0; i < kNumBottlenecks; ++i) {
+    const auto b = static_cast<Bottleneck>(i);
+    if (s.contains(b)) out.push_back(to_string(b));
+  }
+  return out;
+}
+
+std::string to_string(TunePolicy policy) {
+  switch (policy) {
+    case TunePolicy::kProfile:
+      return "profile";
+    case TunePolicy::kFeature:
+      return "feature";
+    case TunePolicy::kOracle:
+      return "oracle";
+    case TunePolicy::kTrivialSingle:
+      return "trivial-single";
+    case TunePolicy::kTrivialCombined:
+      return "trivial-combined";
+  }
+  return "?";
+}
+
 Autotuner::Autotuner(MachineSpec machine, ProfileThresholds thresholds, CostModelParams cost,
                      ImbPolicy imb)
     : machine_(std::move(machine)), thresholds_(thresholds), cost_(cost), imb_(imb) {}
@@ -33,34 +84,48 @@ Autotuner::Evaluation Autotuner::evaluate(const std::string& name, const CsrMatr
   e.name = name;
   e.nrows = m.nrows();
   e.nnz = m.nnz();
-  e.bounds = measure_bounds(m, machine_);
-  e.features = extract_features(m, extraction_config());
+  {
+    const obs::ScopedPhase phase{e.phases, "bounds"};
+    e.bounds = measure_bounds(m, machine_);
+  }
+  {
+    const obs::ScopedPhase phase{e.phases, "features"};
+    e.features = extract_features(m, extraction_config());
+  }
+  {
+    const obs::ScopedPhase phase{e.phases, "simulate"};
 
-  auto rate_of = [&](const sim::KernelConfig& cfg) {
-    for (const auto& [c, g] : e.perf) {
-      if (c == cfg) return g;
+    auto rate_of = [&](const sim::KernelConfig& cfg) {
+      for (const auto& [c, g] : e.perf) {
+        if (c == cfg) return g;
+      }
+      const double g = simulate_gflops(m, cfg);
+      e.perf.emplace_back(cfg, g);
+      return g;
+    };
+
+    // Baseline is part of the cache too (mask 0 / empty sweep entry).
+    rate_of(sim::baseline_config());
+
+    // All 15 sweep candidates.
+    const auto& combos = combined_optimization_sets();
+    e.combo_gflops.reserve(combos.size());
+    for (const auto& combo : combos) {
+      e.combo_gflops.push_back(rate_of(config_for(combo)));
     }
-    const double g = simulate_gflops(m, cfg);
-    e.perf.emplace_back(cfg, g);
-    return g;
-  };
 
-  // Baseline is part of the cache too (mask 0 / empty sweep entry).
-  rate_of(sim::baseline_config());
-
-  // All 15 sweep candidates.
-  const auto& combos = combined_optimization_sets();
-  e.combo_gflops.reserve(combos.size());
-  for (const auto& combo : combos) {
-    e.combo_gflops.push_back(rate_of(config_for(combo)));
+    // Every class-mask selection the classifiers could emit.
+    for (std::uint32_t mask = 0; mask < 16; ++mask) {
+      const auto classes = BottleneckSet::from_mask(mask);
+      const auto ops = select_optimizations(classes, e.features, imb_);
+      e.class_mask_gflops[mask] = rate_of(config_for(ops));
+    }
   }
-
-  // Every class-mask selection the classifiers could emit.
-  for (std::uint32_t mask = 0; mask < 16; ++mask) {
-    const auto classes = BottleneckSet::from_mask(mask);
-    const auto ops = select_optimizations(classes, e.features, imb_);
-    e.class_mask_gflops[mask] = rate_of(config_for(ops));
-  }
+  auto& reg = obs::Registry::global();
+  reg.counter("tuner.evaluate.calls").add();
+  double total_micros = 0.0;
+  for (const auto& p : e.phases) total_micros += p.micros;
+  reg.histogram("tuner.evaluate.micros").record(total_micros);
   return e;
 }
 
@@ -105,7 +170,7 @@ OptimizationPlan Autotuner::plan_from_classes(const Evaluation& e, BottleneckSet
   return plan;
 }
 
-OptimizationPlan Autotuner::plan_profile_guided(const Evaluation& e) const {
+OptimizationPlan Autotuner::plan_profile_impl(const Evaluation& e) const {
   const auto classes = classify_profile(e.bounds, thresholds_);
   // Selection cost: the profiling phase times the baseline and the two
   // micro-benchmarks, timing_iters runs each (P_MB/P_peak are analytic and
@@ -117,8 +182,8 @@ OptimizationPlan Autotuner::plan_profile_guided(const Evaluation& e) const {
   return plan_from_classes(e, classes, "profile", selection);
 }
 
-OptimizationPlan Autotuner::plan_feature_guided(const Evaluation& e,
-                                                const FeatureClassifier& fc) const {
+OptimizationPlan Autotuner::plan_feature_impl(const Evaluation& e,
+                                              const FeatureClassifier& fc) const {
   const auto classes = fc.classify(e.features);
   // Selection cost: feature extraction (tree query is O(log n), negligible).
   const bool needs_nnz_pass =
@@ -131,7 +196,7 @@ OptimizationPlan Autotuner::plan_feature_guided(const Evaluation& e,
   return plan_from_classes(e, classes, "feature", selection);
 }
 
-OptimizationPlan Autotuner::plan_oracle(const Evaluation& e) const {
+OptimizationPlan Autotuner::plan_oracle_impl(const Evaluation& e) const {
   OptimizationPlan plan;
   plan.strategy = "oracle";
   plan.gflops = e.bounds.p_csr;
@@ -149,7 +214,7 @@ OptimizationPlan Autotuner::plan_oracle(const Evaluation& e) const {
   return plan;
 }
 
-OptimizationPlan Autotuner::plan_trivial(const Evaluation& e, bool combined) const {
+OptimizationPlan Autotuner::plan_trivial_impl(const Evaluation& e, bool combined) const {
   OptimizationPlan plan;
   plan.strategy = combined ? "trivial-combined" : "trivial-single";
   plan.gflops = e.bounds.p_csr;
@@ -172,13 +237,88 @@ OptimizationPlan Autotuner::plan_trivial(const Evaluation& e, bool combined) con
   return plan;
 }
 
+OptimizationPlan Autotuner::plan(const Evaluation& e, const TuneOptions& opts) const {
+  std::vector<obs::PhaseCost> plan_phases;
+  OptimizationPlan p;
+  {
+    const obs::ScopedPhase phase{plan_phases, "plan"};
+    switch (opts.policy) {
+      case TunePolicy::kProfile:
+        p = plan_profile_impl(e);
+        break;
+      case TunePolicy::kFeature:
+        if (opts.classifier == nullptr) {
+          throw std::invalid_argument{
+              "Autotuner::plan: TunePolicy::kFeature requires TuneOptions::classifier"};
+        }
+        p = plan_feature_impl(e, *opts.classifier);
+        break;
+      case TunePolicy::kOracle:
+        p = plan_oracle_impl(e);
+        break;
+      case TunePolicy::kTrivialSingle:
+        p = plan_trivial_impl(e, /*combined=*/false);
+        break;
+      case TunePolicy::kTrivialCombined:
+        p = plan_trivial_impl(e, /*combined=*/true);
+        break;
+    }
+  }
+  auto& reg = obs::Registry::global();
+  reg.counter("tuner.plan.calls").add();
+  reg.counter("tuner.plan." + p.strategy).add();
+  if (opts.collect_trace) {
+    auto t = std::make_shared<obs::TuneTrace>();
+    t->matrix = opts.name.empty() ? e.name : opts.name;
+    t->strategy = p.strategy;
+    t->nrows = e.nrows;
+    t->nnz = e.nnz;
+    t->features = named_features(e.features);
+    t->bounds = named_bounds(e.bounds);
+    t->classes = named_classes(p.classes);
+    t->class_mask = p.classes.mask();
+    t->optimizations.reserve(p.optimizations.size());
+    for (Optimization o : p.optimizations) t->optimizations.push_back(to_string(o));
+    t->config = p.config.describe();
+    t->gflops = p.gflops;
+    t->t_spmv_seconds = p.t_spmv_seconds;
+    t->t_pre_seconds = p.t_pre_seconds;
+    t->phases = e.phases;
+    t->phases.insert(t->phases.end(), plan_phases.begin(), plan_phases.end());
+    p.trace = std::move(t);
+  }
+  return p;
+}
+
+OptimizationPlan Autotuner::tune(const CsrMatrix& m, const TuneOptions& opts) const {
+  return plan(evaluate(opts.name, m), opts);
+}
+
+OptimizationPlan Autotuner::plan_profile_guided(const Evaluation& e) const {
+  return plan(e, TuneOptions{.policy = TunePolicy::kProfile});
+}
+
+OptimizationPlan Autotuner::plan_feature_guided(const Evaluation& e,
+                                                const FeatureClassifier& fc) const {
+  return plan(e, TuneOptions{.policy = TunePolicy::kFeature, .classifier = &fc});
+}
+
+OptimizationPlan Autotuner::plan_oracle(const Evaluation& e) const {
+  return plan(e, TuneOptions{.policy = TunePolicy::kOracle});
+}
+
+OptimizationPlan Autotuner::plan_trivial(const Evaluation& e, bool combined) const {
+  return plan(e, TuneOptions{.policy = combined ? TunePolicy::kTrivialCombined
+                                                : TunePolicy::kTrivialSingle});
+}
+
 OptimizationPlan Autotuner::tune_profile_guided(const CsrMatrix& m) const {
-  return plan_profile_guided(evaluate("", m));
+  return tune(m, TuneOptions{.policy = TunePolicy::kProfile});
 }
 
 OptimizationPlan Autotuner::tune_feature_guided(const CsrMatrix& m,
                                                 const FeatureClassifier& fc) const {
-  return plan_feature_guided(evaluate("", m), fc);
+  return tune(m, TuneOptions{.policy = TunePolicy::kFeature, .classifier = &fc});
 }
 
 TrainingSample Autotuner::label(const Evaluation& e) const {

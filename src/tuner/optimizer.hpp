@@ -1,7 +1,8 @@
 // The optimizer front-ends — the system the paper evaluates.
 //
-// An Autotuner owns a target platform and produces OptimizationPlans via
-// four strategies:
+// An Autotuner owns a target platform and produces OptimizationPlans via a
+// single entry point, `tune(matrix, TuneOptions)`, whose policy selects the
+// strategy:
 //   profile-guided  — run the bound micro-benchmarks, classify (Fig. 4),
 //                     apply the mapped optimizations jointly
 //   feature-guided  — extract features, query the pre-trained tree
@@ -11,15 +12,21 @@
 // Every plan carries both the optimized SpMV time and the preprocessing
 // cost t_pre charged by the amortization analysis
 //   N_iters,min = t_pre / (t_vendor - t_optimizer)        (paper §IV-D).
+// When trace collection is on (TuneOptions::collect_trace, defaulting to
+// obs::enabled()), the plan additionally carries an obs::TuneTrace — the
+// full decision record (features, bound ratios, classes, per-phase cost).
 #pragma once
 
 #include <array>
+#include <memory>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "machine/machine_spec.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 #include "tuner/bounds.hpp"
 #include "tuner/feature_classifier.hpp"
@@ -61,6 +68,38 @@ struct OptimizationPlan {
   double gflops = 0.0;                      // optimized SpMV rate
   double t_spmv_seconds = 0.0;              // optimized per-iteration time
   double t_pre_seconds = 0.0;               // optimizer overhead (selection+setup)
+  /// Full decision record; null unless trace collection was requested.
+  std::shared_ptr<const obs::TuneTrace> trace;
+};
+
+/// Strategy selector for Autotuner::tune / Autotuner::plan.
+enum class TunePolicy {
+  kProfile,          // bound micro-benchmarks + rule classifier (Fig. 4)
+  kFeature,          // structural features + pre-trained tree (needs classifier)
+  kOracle,           // best of the 15 candidate sets, zero charged overhead
+  kTrivialSingle,    // sweep the 5 single-optimization sets, pay every trial
+  kTrivialCombined,  // sweep all 15 candidate sets, pay every trial
+};
+
+/// The strategy string a policy produces ("profile", "feature", ...).
+std::string to_string(TunePolicy policy);
+
+// Trace payload helpers (shared by the modeled and host tuning paths).
+std::vector<obs::NamedValue> named_features(const FeatureVector& fv);
+std::vector<obs::NamedValue> named_bounds(const PerfBounds& b);
+std::vector<std::string> named_classes(BottleneckSet s);
+
+/// Everything that parameterizes one tune()/plan() call.
+struct TuneOptions {
+  TunePolicy policy = TunePolicy::kProfile;
+  /// Required for kFeature; ignored otherwise. Not owned.
+  const FeatureClassifier* classifier = nullptr;
+  /// Matrix label recorded in the trace.
+  std::string name{};
+  /// Attach an obs::TuneTrace to the returned plan. Defaults to the
+  /// runtime telemetry toggle; can be forced on even when telemetry is
+  /// disabled (trace building is cold-path and always compiled in).
+  bool collect_trace = obs::enabled();
 };
 
 class Autotuner {
@@ -84,6 +123,9 @@ class Autotuner {
     std::array<double, 16> class_mask_gflops{};
     /// GFLOP/s of each combined_optimization_sets() entry, in order.
     std::vector<double> combo_gflops;
+    /// Wall-clock cost of the evaluation phases (bounds/features/simulate),
+    /// carried into the trace of any plan derived from this evaluation.
+    std::vector<obs::PhaseCost> phases;
 
     /// Rate for a config simulated during evaluate(); throws if absent.
     [[nodiscard]] double gflops_for(const sim::KernelConfig& cfg) const;
@@ -93,16 +135,26 @@ class Autotuner {
 
   [[nodiscard]] Evaluation evaluate(const std::string& name, const CsrMatrix& m) const;
 
-  // --- Planning from a precomputed evaluation (pure lookups) -------------
+  // --- The unified entry points -------------------------------------------
+  /// Evaluate + plan in one call.
+  [[nodiscard]] OptimizationPlan tune(const CsrMatrix& m, const TuneOptions& opts = {}) const;
+  /// Plan from a precomputed evaluation (pure lookups).
+  [[nodiscard]] OptimizationPlan plan(const Evaluation& e, const TuneOptions& opts = {}) const;
+
+  // --- Deprecated per-strategy methods (thin wrappers over plan/tune) -----
+  [[deprecated("use plan(e, TuneOptions{.policy = TunePolicy::kProfile})")]]
   [[nodiscard]] OptimizationPlan plan_profile_guided(const Evaluation& e) const;
+  [[deprecated("use plan(e, TuneOptions{.policy = TunePolicy::kFeature, .classifier = &fc})")]]
   [[nodiscard]] OptimizationPlan plan_feature_guided(const Evaluation& e,
                                                      const FeatureClassifier& fc) const;
+  [[deprecated("use plan(e, TuneOptions{.policy = TunePolicy::kOracle})")]]
   [[nodiscard]] OptimizationPlan plan_oracle(const Evaluation& e) const;
   /// trivial-single (combined = false) or trivial-combined (true).
+  [[deprecated("use plan(e, TuneOptions{.policy = TunePolicy::kTrivialSingle/kTrivialCombined})")]]
   [[nodiscard]] OptimizationPlan plan_trivial(const Evaluation& e, bool combined) const;
-
-  // --- Convenience: evaluate + plan in one call ---------------------------
+  [[deprecated("use tune(m)")]]
   [[nodiscard]] OptimizationPlan tune_profile_guided(const CsrMatrix& m) const;
+  [[deprecated("use tune(m, TuneOptions{.policy = TunePolicy::kFeature, .classifier = &fc})")]]
   [[nodiscard]] OptimizationPlan tune_feature_guided(const CsrMatrix& m,
                                                      const FeatureClassifier& fc) const;
 
@@ -126,6 +178,11 @@ class Autotuner {
   [[nodiscard]] OptimizationPlan plan_from_classes(const Evaluation& e, BottleneckSet classes,
                                                    std::string strategy,
                                                    double selection_seconds) const;
+  [[nodiscard]] OptimizationPlan plan_profile_impl(const Evaluation& e) const;
+  [[nodiscard]] OptimizationPlan plan_feature_impl(const Evaluation& e,
+                                                   const FeatureClassifier& fc) const;
+  [[nodiscard]] OptimizationPlan plan_oracle_impl(const Evaluation& e) const;
+  [[nodiscard]] OptimizationPlan plan_trivial_impl(const Evaluation& e, bool combined) const;
 
   MachineSpec machine_;
   ProfileThresholds thresholds_;

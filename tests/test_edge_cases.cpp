@@ -54,7 +54,7 @@ TEST(EdgeCases, OneByOneEverywhere) {
   spmv_reference(m, x, y);
   EXPECT_DOUBLE_EQ(y[0], 6.0);
 
-  const kernels::PreparedSpmv spmv{m, sim::KernelConfig{}, 1};
+  const kernels::PreparedSpmv spmv{m, kernels::SpmvOptions{.threads = 1}};
   y[0] = 0.0;
   spmv.run(x, y);
   EXPECT_DOUBLE_EQ(y[0], 6.0);
@@ -82,7 +82,8 @@ TEST(EdgeCases, SingleLongRowKernels) {
   spmv_reference(m, x, want);
 
   for (const auto& combo : combined_optimization_sets()) {
-    const kernels::PreparedSpmv spmv{m, config_for(combo), 4};
+    const kernels::PreparedSpmv spmv{
+        m, kernels::SpmvOptions{.config = config_for(combo), .threads = 4}};
     y[0] = -1.0;
     spmv.run(x, y);
     EXPECT_NEAR(y[0], want[0], 1e-9) << to_string(combo);
@@ -130,9 +131,9 @@ TEST(EdgeCases, TunerOnTinyMatrix) {
   const Autotuner tuner{broadwell()};
   const auto e = tuner.evaluate("tiny", m);
   EXPECT_GT(e.bounds.p_csr, 0.0);
-  const auto plan = tuner.plan_profile_guided(e);
+  const auto plan = tuner.plan(e);
   // Whatever is detected, the plan must be executable on the host.
-  const kernels::PreparedSpmv spmv{m, plan.config, 2};
+  const kernels::PreparedSpmv spmv{m, kernels::SpmvOptions{.config = plan.config, .threads = 2}};
   aligned_vector<value_t> x(32, 1.0), y(32);
   spmv.run(x, y);
   for (value_t v : y) EXPECT_DOUBLE_EQ(v, 1.0);
@@ -145,7 +146,7 @@ TEST(EdgeCases, AllRowsEmptyExceptOne) {
   const auto parts = partition_balanced_nnz(m, 8);
   validate_partition(parts, 1000);
   aligned_vector<value_t> x(1000, 1.0), y(1000, -1.0);
-  kernels::PreparedSpmv{m, sim::KernelConfig{}, 8}.run(x, y);
+  kernels::PreparedSpmv{m, kernels::SpmvOptions{.threads = 8}}.run(x, y);
   EXPECT_DOUBLE_EQ(y[500], 7.0);
   EXPECT_DOUBLE_EQ(y[0], 0.0);  // empty rows must be zeroed, not stale
 }

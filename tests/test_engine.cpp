@@ -79,7 +79,8 @@ TEST(RegionApi, RunLocalMatchesReferenceAcrossConfigs) {
 
   for (const auto& cfg : configs) {
     for (const bool first_touch : {false, true}) {
-      const kernels::PreparedSpmv prepared{a, cfg, 4, first_touch};
+      const kernels::PreparedSpmv prepared{
+          a, kernels::SpmvOptions{.config = cfg, .threads = 4, .first_touch = first_touch}};
       ASSERT_EQ(prepared.region_parts().size(), 4u);
       aligned_vector<value_t> y(expect.size(), -1.0);
       run_all_parts(prepared, x, y);
@@ -99,7 +100,8 @@ TEST(RegionApi, RunLocalDotFusesReduction) {
   double expect_dot = 0.0;
   for (std::size_t i = 0; i < expect.size(); ++i) expect_dot += w[i] * expect[i];
 
-  const kernels::PreparedSpmv prepared{a, sim::KernelConfig{}, 3, true};
+  const kernels::PreparedSpmv prepared{
+      a, kernels::SpmvOptions{.threads = 3, .first_touch = true}};
   aligned_vector<value_t> y(expect.size(), 0.0);
   double dot = 0.0;
   for (int p = 0; p < static_cast<int>(prepared.region_parts().size()); ++p) {
@@ -123,7 +125,8 @@ TEST(RegionApi, SingleRowMatrixWithAllNnz) {
   aligned_vector<value_t> expect(1);
   spmv_reference(a, x, expect);
 
-  const kernels::PreparedSpmv prepared{a, sim::KernelConfig{}, 4, true};
+  const kernels::PreparedSpmv prepared{
+      a, kernels::SpmvOptions{.threads = 4, .first_touch = true}};
   validate_partition(
       {prepared.region_parts().begin(), prepared.region_parts().end()}, a.nrows());
   aligned_vector<value_t> y(1, 0.0);

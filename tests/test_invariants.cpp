@@ -51,18 +51,18 @@ TEST_P(SuitePlatformInvariants, BoundsOrdering) {
 TEST_P(SuitePlatformInvariants, OracleDominates) {
   const auto t = tuner();
   const auto& e = eval();
-  const auto oracle = t.plan_oracle(e);
+  const auto oracle = t.plan(e, {.policy = TunePolicy::kOracle});
   EXPECT_GE(oracle.gflops, e.bounds.p_csr * 0.999);
-  EXPECT_GE(oracle.gflops, t.plan_profile_guided(e).gflops * 0.999);
-  EXPECT_GE(oracle.gflops, t.plan_trivial(e, false).gflops * 0.999);
+  EXPECT_GE(oracle.gflops, t.plan(e).gflops * 0.999);
+  EXPECT_GE(oracle.gflops, t.plan(e, {.policy = TunePolicy::kTrivialSingle}).gflops * 0.999);
   // trivial-combined sweeps the same candidates as the oracle.
-  EXPECT_NEAR(oracle.gflops, t.plan_trivial(e, true).gflops, 1e-9);
+  EXPECT_NEAR(oracle.gflops, t.plan(e, {.policy = TunePolicy::kTrivialCombined}).gflops, 1e-9);
 }
 
 TEST_P(SuitePlatformInvariants, ProfilePlanConsistent) {
   const auto t = tuner();
   const auto& e = eval();
-  const auto plan = t.plan_profile_guided(e);
+  const auto plan = t.plan(e);
   // Selected optimizations match the detected classes one-to-one.
   for (Optimization o : plan.optimizations) {
     EXPECT_TRUE(plan.classes.contains(target_class(o)));
@@ -82,9 +82,9 @@ TEST_P(SuitePlatformInvariants, OverheadOrdering) {
   const auto& e = eval();
   // trivial-combined always costs more than trivial-single (superset of
   // trials), and both cost more than the profile-guided selection.
-  const double prof = t.plan_profile_guided(e).t_pre_seconds;
-  const double single = t.plan_trivial(e, false).t_pre_seconds;
-  const double combined = t.plan_trivial(e, true).t_pre_seconds;
+  const double prof = t.plan(e).t_pre_seconds;
+  const double single = t.plan(e, {.policy = TunePolicy::kTrivialSingle}).t_pre_seconds;
+  const double combined = t.plan(e, {.policy = TunePolicy::kTrivialCombined}).t_pre_seconds;
   EXPECT_LT(prof, single);
   EXPECT_LT(single, combined);
 }

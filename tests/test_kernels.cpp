@@ -211,7 +211,7 @@ TEST_P(RegistryDispatch, PreparedKernelMatchesReference) {
   const CsrMatrix m = gen::circuit_like(1500, 4, 3, 800, 320);
   const auto& combo = combined_optimization_sets()[GetParam()];
   const auto cfg = config_for(combo);
-  const kernels::PreparedSpmv prepared{m, cfg, 4};
+  const kernels::PreparedSpmv prepared{m, kernels::SpmvOptions{.config = cfg, .threads = 4}};
   EXPECT_GE(prepared.prep_seconds(), 0.0);
 
   const auto x = random_vector(static_cast<std::size_t>(m.ncols()), 321);
@@ -238,7 +238,7 @@ TEST(Registry, DeltaFallbackOnIncompressibleMatrix) {
   const CsrMatrix m = CsrMatrix::from_coo(coo);
   sim::KernelConfig cfg;
   cfg.delta = true;
-  const kernels::PreparedSpmv prepared{m, cfg, 2};
+  const kernels::PreparedSpmv prepared{m, kernels::SpmvOptions{.config = cfg, .threads = 2}};
   EXPECT_FALSE(prepared.delta_applied());
   const auto x = random_vector(static_cast<std::size_t>(m.ncols()), 322);
   aligned_vector<value_t> want(3), y(3);
@@ -247,16 +247,19 @@ TEST(Registry, DeltaFallbackOnIncompressibleMatrix) {
   expect_near(y, want, 1e-12);
 }
 
-TEST(Registry, RejectsNonPositiveThreads) {
+TEST(Registry, RejectsNegativeThreads) {
   const CsrMatrix m = gen::diagonal(10);
-  EXPECT_THROW(kernels::PreparedSpmv(m, sim::KernelConfig{}, 0), std::invalid_argument);
+  EXPECT_THROW(kernels::PreparedSpmv(m, kernels::SpmvOptions{.threads = -1}),
+               std::invalid_argument);
+  // threads = 0 means "all available" in the options API.
+  EXPECT_GT(kernels::PreparedSpmv(m, kernels::SpmvOptions{}).threads(), 0);
 }
 
 TEST(Registry, StaticRowsScheduleSupported) {
   const CsrMatrix m = gen::banded(800, 50, 6, 323);
   sim::KernelConfig cfg;
   cfg.schedule = sim::Schedule::kStaticRows;
-  const kernels::PreparedSpmv prepared{m, cfg, 4};
+  const kernels::PreparedSpmv prepared{m, kernels::SpmvOptions{.config = cfg, .threads = 4}};
   const auto x = random_vector(static_cast<std::size_t>(m.ncols()), 324);
   aligned_vector<value_t> want(static_cast<std::size_t>(m.nrows()));
   aligned_vector<value_t> y(static_cast<std::size_t>(m.nrows()));

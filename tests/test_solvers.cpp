@@ -120,7 +120,7 @@ TEST(Cg, AcceptsCustomSpmv) {
   const CsrMatrix a = gen::stencil5(16, 16);
   const auto b = random_vector(static_cast<std::size_t>(a.nrows()), 506);
   aligned_vector<value_t> x(b.size(), 0.0);
-  const kernels::PreparedSpmv prepared{a, sim::KernelConfig{}, 4};
+  const kernels::PreparedSpmv prepared{a, kernels::SpmvOptions{.threads = 4}};
   int calls = 0;
   const solvers::SpmvFn fn = [&](std::span<const value_t> in, std::span<value_t> out) {
     ++calls;

@@ -128,7 +128,7 @@ TEST_F(AutotunerFixture, EvaluationRejectsUnknownConfig) {
 }
 
 TEST_F(AutotunerFixture, ProfilePlanDetectsMlOnScattered) {
-  const auto plan = tuner().plan_profile_guided(scattered_eval());
+  const auto plan = tuner().plan(scattered_eval());
   EXPECT_TRUE(plan.classes.contains(Bottleneck::kML));
   EXPECT_GT(plan.gflops, scattered_eval().bounds.p_csr);
   EXPECT_GT(plan.t_pre_seconds, 0.0);
@@ -136,7 +136,7 @@ TEST_F(AutotunerFixture, ProfilePlanDetectsMlOnScattered) {
 }
 
 TEST_F(AutotunerFixture, ProfilePlanDetectsImbOnSkewed) {
-  const auto plan = tuner().plan_profile_guided(skewed_eval());
+  const auto plan = tuner().plan(skewed_eval());
   EXPECT_TRUE(plan.classes.contains(Bottleneck::kIMB));
   EXPECT_NE(std::find(plan.optimizations.begin(), plan.optimizations.end(),
                       Optimization::kDecompose),
@@ -145,18 +145,19 @@ TEST_F(AutotunerFixture, ProfilePlanDetectsImbOnSkewed) {
 
 TEST_F(AutotunerFixture, OracleDominatesEveryStrategy) {
   for (const auto* e : {&scattered_eval(), &skewed_eval()}) {
-    const auto oracle = tuner().plan_oracle(*e);
-    EXPECT_GE(oracle.gflops, tuner().plan_profile_guided(*e).gflops * 0.999);
+    const auto oracle = tuner().plan(*e, {.policy = TunePolicy::kOracle});
+    EXPECT_GE(oracle.gflops, tuner().plan(*e).gflops * 0.999);
     EXPECT_GE(oracle.gflops, e->bounds.p_csr * 0.999);
-    EXPECT_GE(oracle.gflops, tuner().plan_trivial(*e, false).gflops * 0.999);
+    EXPECT_GE(oracle.gflops,
+              tuner().plan(*e, {.policy = TunePolicy::kTrivialSingle}).gflops * 0.999);
     EXPECT_DOUBLE_EQ(oracle.t_pre_seconds, 0.0);
   }
 }
 
 TEST_F(AutotunerFixture, TrivialCombinedMatchesOraclePerformance) {
   // Same candidate set; only the overhead differs.
-  const auto trivial = tuner().plan_trivial(scattered_eval(), true);
-  const auto oracle = tuner().plan_oracle(scattered_eval());
+  const auto trivial = tuner().plan(scattered_eval(), {.policy = TunePolicy::kTrivialCombined});
+  const auto oracle = tuner().plan(scattered_eval(), {.policy = TunePolicy::kOracle});
   EXPECT_DOUBLE_EQ(trivial.gflops, oracle.gflops);
   EXPECT_GT(trivial.t_pre_seconds, 0.0);
 }
@@ -169,10 +170,11 @@ TEST_F(AutotunerFixture, OverheadOrdering) {
       tuner().label(tuner().evaluate("fem", gen::fem_like(8000, 8, 8, 800, 137))),
       tuner().label(tuner().evaluate("band", gen::banded(20000, 200, 8, 138)))};
   const auto fc = FeatureClassifier::train(samples);
-  const double t_feat = tuner().plan_feature_guided(e, fc).t_pre_seconds;
-  const double t_prof = tuner().plan_profile_guided(e).t_pre_seconds;
-  const double t_single = tuner().plan_trivial(e, false).t_pre_seconds;
-  const double t_comb = tuner().plan_trivial(e, true).t_pre_seconds;
+  const double t_feat =
+      tuner().plan(e, {.policy = TunePolicy::kFeature, .classifier = &fc}).t_pre_seconds;
+  const double t_prof = tuner().plan(e).t_pre_seconds;
+  const double t_single = tuner().plan(e, {.policy = TunePolicy::kTrivialSingle}).t_pre_seconds;
+  const double t_comb = tuner().plan(e, {.policy = TunePolicy::kTrivialCombined}).t_pre_seconds;
   EXPECT_LT(t_feat, t_prof);
   EXPECT_LT(t_prof, t_single);
   EXPECT_LT(t_single, t_comb);
@@ -180,7 +182,7 @@ TEST_F(AutotunerFixture, OverheadOrdering) {
 
 TEST_F(AutotunerFixture, TuneConvenienceWrappers) {
   const CsrMatrix m = gen::random_uniform(8000, 12, 139);
-  const auto plan = tuner().tune_profile_guided(m);
+  const auto plan = tuner().tune(m);
   EXPECT_GT(plan.gflops, 0.0);
   EXPECT_GT(plan.t_spmv_seconds, 0.0);
 }
