@@ -1,0 +1,66 @@
+#include "check/contract.hpp"
+
+#if SPARTA_CHECK_LEVEL >= 1
+#include <atomic>
+#endif
+
+namespace sparta::check {
+
+std::string_view to_string(Level l) {
+  switch (l) {
+    case Level::kOff:
+      return "off";
+    case Level::kCheap:
+      return "cheap";
+    case Level::kFull:
+      return "full";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string format_violation(const char* kind, const char* expr, const char* msg,
+                             const char* file, long line) {
+  std::string s{kind};
+  s += " failed: ";
+  s += msg;
+  s += " [";
+  s += expr;
+  s += "] at ";
+  s += file;
+  s += ":";
+  s += std::to_string(line);
+  return s;
+}
+
+}  // namespace
+
+ContractViolation::ContractViolation(const char* kind, const char* expr, const char* msg,
+                                     const char* file, long line)
+    : std::logic_error(format_violation(kind, expr, msg, file, line)) {}
+
+void fail(const char* kind, const char* expr, const char* msg, const char* file, long line) {
+  throw ContractViolation{kind, expr, msg, file, line};
+}
+
+#if SPARTA_CHECK_LEVEL >= 1
+
+namespace {
+std::atomic<std::uint64_t> g_evaluations{0};
+}  // namespace
+
+namespace detail {
+bool count_evaluation() noexcept {
+  g_evaluations.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+}  // namespace detail
+
+std::uint64_t evaluations() noexcept {
+  return g_evaluations.load(std::memory_order_relaxed);
+}
+
+#endif  // SPARTA_CHECK_LEVEL >= 1
+
+}  // namespace sparta::check

@@ -1,0 +1,517 @@
+#include "check/validate.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace sparta::check {
+
+ValidationError::ValidationError(std::string violation, const std::string& detail)
+    : std::invalid_argument(violation + ": " + detail), violation_(std::move(violation)) {}
+
+namespace {
+
+[[noreturn]] void fail_v(std::string violation, const std::string& detail) {
+  throw ValidationError{std::move(violation), detail};
+}
+
+/// rowptr must be {0, ...} non-decreasing with size() == nrows + 1; returns
+/// nothing but throws `<prefix>.rowptr.{size,front,monotonic}`.
+void check_rowptr(std::span<const offset_t> rowptr, index_t nrows, const std::string& prefix) {
+  if (rowptr.size() != static_cast<std::size_t>(nrows) + 1) {
+    fail_v(prefix + ".rowptr.size",
+           "rowptr has " + std::to_string(rowptr.size()) + " entries, want nrows+1 = " +
+               std::to_string(nrows + 1));
+  }
+  if (rowptr.front() != 0) {
+    fail_v(prefix + ".rowptr.front", "rowptr[0] = " + std::to_string(rowptr.front()));
+  }
+  for (std::size_t i = 1; i < rowptr.size(); ++i) {
+    if (rowptr[i] < rowptr[i - 1]) {
+      fail_v(prefix + ".rowptr.monotonic",
+             "rowptr decreases at entry " + std::to_string(i));
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// CSR
+// ---------------------------------------------------------------------------
+
+void validate_csr(const CsrArrays& a, Level effort) {
+  if (effort == Level::kOff) return;
+  if (a.nrows < 0 || a.ncols < 0) {
+    fail_v("csr.dims", std::to_string(a.nrows) + " x " + std::to_string(a.ncols));
+  }
+  check_rowptr(a.rowptr, a.nrows, "csr");
+  if (static_cast<std::size_t>(a.rowptr.back()) != a.colind.size() ||
+      a.colind.size() != a.values_size) {
+    fail_v("csr.nnz.consistency",
+           "rowptr.back() = " + std::to_string(a.rowptr.back()) + ", colind " +
+               std::to_string(a.colind.size()) + " entries, values " +
+               std::to_string(a.values_size) + " entries");
+  }
+  if (effort < Level::kFull) return;
+  for (index_t r = 0; r < a.nrows; ++r) {
+    const auto b = static_cast<std::size_t>(a.rowptr[static_cast<std::size_t>(r)]);
+    const auto e = static_cast<std::size_t>(a.rowptr[static_cast<std::size_t>(r) + 1]);
+    for (std::size_t j = b; j < e; ++j) {
+      if (a.colind[j] < 0 || a.colind[j] >= a.ncols) {
+        fail_v("csr.colind.bounds", "row " + std::to_string(r) + " has column " +
+                                        std::to_string(a.colind[j]));
+      }
+      if (j > b && a.colind[j] <= a.colind[j - 1]) {
+        fail_v("csr.colind.sorted",
+               "row " + std::to_string(r) + " columns not strictly increasing");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Delta-compressed CSR
+// ---------------------------------------------------------------------------
+
+void validate_delta(const DeltaArrays& a, Level effort) {
+  if (effort == Level::kOff) return;
+  if (a.nrows < 0 || a.ncols < 0) {
+    fail_v("delta.dims", std::to_string(a.nrows) + " x " + std::to_string(a.ncols));
+  }
+  check_rowptr(a.rowptr, a.nrows, "delta");
+  const auto nnz = static_cast<std::size_t>(a.rowptr.back());
+  if (a.first_col.size() != static_cast<std::size_t>(a.nrows)) {
+    fail_v("delta.first_col.size", std::to_string(a.first_col.size()) + " entries, want " +
+                                       std::to_string(a.nrows));
+  }
+  // Width purity: exactly the stream matching `width` carries the nnz
+  // entries; the other must be empty — 8- and 16-bit deltas never mix.
+  const std::size_t active = a.width == DeltaWidth::k8 ? a.deltas8.size() : a.deltas16.size();
+  const std::size_t inactive = a.width == DeltaWidth::k8 ? a.deltas16.size() : a.deltas8.size();
+  if (inactive != 0) {
+    fail_v("delta.width.purity", "both 8- and 16-bit delta streams populated");
+  }
+  if (active != nnz) {
+    fail_v("delta.stream.size", "delta stream has " + std::to_string(active) +
+                                    " entries, want nnz = " + std::to_string(nnz));
+  }
+  if (a.values_size != nnz) {
+    fail_v("delta.values.size", "values have " + std::to_string(a.values_size) +
+                                    " entries, want nnz = " + std::to_string(nnz));
+  }
+  if (effort < Level::kFull) return;
+  for (index_t r = 0; r < a.nrows; ++r) {
+    const auto b = static_cast<std::size_t>(a.rowptr[static_cast<std::size_t>(r)]);
+    const auto e = static_cast<std::size_t>(a.rowptr[static_cast<std::size_t>(r) + 1]);
+    if (b == e) continue;
+    index_t col = a.first_col[static_cast<std::size_t>(r)];
+    if (col < 0 || col >= a.ncols) {
+      fail_v("delta.first_col.bounds",
+             "row " + std::to_string(r) + " starts at column " + std::to_string(col));
+    }
+    // The first element's stream slot is unused (its column is absolute);
+    // every later delta must be >= 1 (columns strictly increase) and the
+    // reconstructed column must stay in range.
+    for (std::size_t j = b + 1; j < e; ++j) {
+      const index_t d = a.width == DeltaWidth::k8 ? static_cast<index_t>(a.deltas8[j])
+                                                  : static_cast<index_t>(a.deltas16[j]);
+      if (d < 1) {
+        fail_v("delta.deltas.positive", "row " + std::to_string(r) + " has delta " +
+                                            std::to_string(d) + " at nnz " + std::to_string(j));
+      }
+      col += d;
+      if (col >= a.ncols) {
+        fail_v("delta.col.bounds", "row " + std::to_string(r) +
+                                       " reconstructs column " + std::to_string(col));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SELL-C-sigma
+// ---------------------------------------------------------------------------
+
+void validate_sell(const SellArrays& a, Level effort) {
+  if (effort == Level::kOff) return;
+  if (a.nrows < 0 || a.ncols < 0 || a.nnz < 0) {
+    fail_v("sell.dims", std::to_string(a.nrows) + " x " + std::to_string(a.ncols) + ", nnz " +
+                            std::to_string(a.nnz));
+  }
+  if (a.chunk <= 0) fail_v("sell.chunk.positive", "chunk = " + std::to_string(a.chunk));
+  const auto n = static_cast<std::size_t>(a.nrows);
+  if (a.perm.size() != n) {
+    fail_v("sell.perm.size", std::to_string(a.perm.size()) + " entries, want nrows");
+  }
+  if (a.row_len.size() != n) {
+    fail_v("sell.row_len.size", std::to_string(a.row_len.size()) + " entries, want nrows");
+  }
+  const auto nchunks = static_cast<std::size_t>((a.nrows + a.chunk - 1) / a.chunk);
+  if (a.chunk_len.size() != nchunks || a.chunk_off.size() != nchunks) {
+    fail_v("sell.chunks.count", "chunk_len/chunk_off sized " +
+                                    std::to_string(a.chunk_len.size()) + "/" +
+                                    std::to_string(a.chunk_off.size()) + ", want " +
+                                    std::to_string(nchunks));
+  }
+  // Chunk layout: offsets are the running sum of chunk_len * chunk and the
+  // padded arrays end exactly at the last chunk's end.
+  offset_t off = 0;
+  for (std::size_t k = 0; k < nchunks; ++k) {
+    if (a.chunk_len[k] < 0) fail_v("sell.chunk_len.negative", "chunk " + std::to_string(k));
+    if (a.chunk_off[k] != off) {
+      fail_v("sell.chunk_off.layout",
+             "chunk " + std::to_string(k) + " offset " + std::to_string(a.chunk_off[k]) +
+                 ", want running sum " + std::to_string(off));
+    }
+    off += static_cast<offset_t>(a.chunk_len[k]) * a.chunk;
+  }
+  if (a.colind.size() != static_cast<std::size_t>(off) || a.colind.size() != a.values.size()) {
+    fail_v("sell.storage.size", "colind/values sized " + std::to_string(a.colind.size()) + "/" +
+                                    std::to_string(a.values.size()) + ", want padded nnz " +
+                                    std::to_string(off));
+  }
+  // Row lengths fit their chunk's padded width, and the widths are tight
+  // (some lane attains each width — padding is bounded by the longest row).
+  offset_t len_sum = 0;
+  for (std::size_t p = 0; p < n; ++p) {
+    if (a.row_len[p] < 0) fail_v("sell.row_len.negative", "position " + std::to_string(p));
+    len_sum += a.row_len[p];
+    if (a.row_len[p] > a.chunk_len[p / static_cast<std::size_t>(a.chunk)]) {
+      fail_v("sell.chunk_len.fit", "position " + std::to_string(p) + " length " +
+                                       std::to_string(a.row_len[p]) + " exceeds chunk width");
+    }
+  }
+  if (len_sum != a.nnz) {
+    fail_v("sell.nnz.sum", "row lengths sum to " + std::to_string(len_sum) + ", want nnz = " +
+                               std::to_string(a.nnz));
+  }
+  for (std::size_t k = 0; k < nchunks; ++k) {
+    if (a.chunk_len[k] == 0) continue;
+    index_t widest = 0;
+    for (index_t lane = 0; lane < a.chunk; ++lane) {
+      const auto p = k * static_cast<std::size_t>(a.chunk) + static_cast<std::size_t>(lane);
+      if (p < n) widest = std::max(widest, a.row_len[p]);
+    }
+    if (widest != a.chunk_len[k]) {
+      fail_v("sell.chunk_len.tight", "chunk " + std::to_string(k) + " padded to " +
+                                         std::to_string(a.chunk_len[k]) +
+                                         " but longest row has " + std::to_string(widest));
+    }
+  }
+  if (effort < Level::kFull) return;
+  // Permutation bijectivity: perm maps sorted positions onto [0, nrows)
+  // exactly once — a corrupted permutation silently drops/duplicates rows.
+  std::vector<bool> seen(n, false);
+  for (std::size_t p = 0; p < n; ++p) {
+    const index_t row = a.perm[p];
+    if (row < 0 || row >= a.nrows) {
+      fail_v("sell.perm.bounds", "position " + std::to_string(p) + " maps to row " +
+                                     std::to_string(row));
+    }
+    if (seen[static_cast<std::size_t>(row)]) {
+      fail_v("sell.perm.bijection", "row " + std::to_string(row) + " appears twice");
+    }
+    seen[static_cast<std::size_t>(row)] = true;
+  }
+  // Column bounds on live lanes; padding lanes must carry colind 0 / value 0.
+  for (std::size_t k = 0; k < nchunks; ++k) {
+    for (index_t lane = 0; lane < a.chunk; ++lane) {
+      const auto p = k * static_cast<std::size_t>(a.chunk) + static_cast<std::size_t>(lane);
+      const index_t len = p < n ? a.row_len[p] : 0;
+      for (index_t j = 0; j < a.chunk_len[k]; ++j) {
+        const auto src = static_cast<std::size_t>(a.chunk_off[k]) +
+                         static_cast<std::size_t>(j) * static_cast<std::size_t>(a.chunk) +
+                         static_cast<std::size_t>(lane);
+        if (j < len) {
+          if (a.colind[src] < 0 || a.colind[src] >= a.ncols) {
+            fail_v("sell.colind.bounds", "chunk " + std::to_string(k) + " lane " +
+                                             std::to_string(lane) + " has column " +
+                                             std::to_string(a.colind[src]));
+          }
+        } else if (a.colind[src] != 0 || a.values[src] != 0.0) {
+          fail_v("sell.padding.zero", "chunk " + std::to_string(k) + " lane " +
+                                          std::to_string(lane) + " padding slot " +
+                                          std::to_string(j) + " not zeroed");
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BCSR
+// ---------------------------------------------------------------------------
+
+void validate_bcsr(const BcsrArrays& a, Level effort) {
+  if (effort == Level::kOff) return;
+  if (a.nrows < 0 || a.ncols < 0 || a.nnz < 0) {
+    fail_v("bcsr.dims", std::to_string(a.nrows) + " x " + std::to_string(a.ncols) + ", nnz " +
+                            std::to_string(a.nnz));
+  }
+  if (a.r <= 0 || a.c <= 0) {
+    fail_v("bcsr.block_dims", std::to_string(a.r) + " x " + std::to_string(a.c));
+  }
+  const index_t nblock_rows = (a.nrows + a.r - 1) / a.r;
+  check_rowptr(a.block_rowptr, nblock_rows, "bcsr.block");
+  const auto nblocks = static_cast<std::size_t>(a.block_rowptr.back());
+  if (a.block_colind.size() != nblocks) {
+    fail_v("bcsr.colind.size", std::to_string(a.block_colind.size()) + " entries, want " +
+                                   std::to_string(nblocks));
+  }
+  const std::size_t slots =
+      nblocks * static_cast<std::size_t>(a.r) * static_cast<std::size_t>(a.c);
+  if (a.values.size() != slots) {
+    fail_v("bcsr.values.size", std::to_string(a.values.size()) + " entries, want blocks*r*c = " +
+                                   std::to_string(slots));
+  }
+  if (static_cast<std::size_t>(a.nnz) > slots) {
+    fail_v("bcsr.nnz.accounting", "nnz " + std::to_string(a.nnz) + " exceeds stored slots " +
+                                      std::to_string(slots));
+  }
+  if (effort < Level::kFull) return;
+  const index_t nblock_cols = a.c > 0 ? (a.ncols + a.c - 1) / a.c : 0;
+  for (index_t br = 0; br < nblock_rows; ++br) {
+    for (offset_t k = a.block_rowptr[static_cast<std::size_t>(br)];
+         k < a.block_rowptr[static_cast<std::size_t>(br) + 1]; ++k) {
+      const index_t bc = a.block_colind[static_cast<std::size_t>(k)];
+      if (bc < 0 || bc >= nblock_cols) {
+        fail_v("bcsr.colind.bounds",
+               "block row " + std::to_string(br) + " has block column " + std::to_string(bc));
+      }
+      if (k > a.block_rowptr[static_cast<std::size_t>(br)] &&
+          bc <= a.block_colind[static_cast<std::size_t>(k) - 1]) {
+        fail_v("bcsr.colind.sorted",
+               "block row " + std::to_string(br) + " block columns not strictly increasing");
+      }
+      // Slots that fall outside the matrix (edge blocks) must be padding
+      // zeros — a nonzero there would be phantom data to_csr() drops or,
+      // worse, a kernel reads.
+      for (index_t i = 0; i < a.r; ++i) {
+        for (index_t j = 0; j < a.c; ++j) {
+          const bool outside = br * a.r + i >= a.nrows || bc * a.c + j >= a.ncols;
+          if (!outside) continue;
+          const auto slot = static_cast<std::size_t>(k) * static_cast<std::size_t>(a.r) *
+                                static_cast<std::size_t>(a.c) +
+                            static_cast<std::size_t>(i) * static_cast<std::size_t>(a.c) +
+                            static_cast<std::size_t>(j);
+          if (a.values[slot] != 0.0) {
+            fail_v("bcsr.padding.zero", "block " + std::to_string(k) +
+                                            " has nonzero payload outside the matrix");
+          }
+        }
+      }
+    }
+  }
+  // Every stored nonzero must account for a source nonzero.
+  offset_t stored_nonzeros = 0;
+  for (value_t v : a.values) {
+    if (v != 0.0) ++stored_nonzeros;
+  }
+  if (stored_nonzeros > a.nnz) {
+    fail_v("bcsr.nnz.accounting", std::to_string(stored_nonzeros) +
+                                      " nonzero payload entries exceed source nnz " +
+                                      std::to_string(a.nnz));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Long-row decomposition
+// ---------------------------------------------------------------------------
+
+void validate_decomposed(const DecomposedArrays& a, Level effort) {
+  if (effort == Level::kOff) return;
+  if (a.short_part == nullptr) fail_v("decomp.short.missing", "no short part");
+  if (a.threshold <= 0) fail_v("decomp.threshold", std::to_string(a.threshold));
+  const index_t nrows = a.short_part->nrows();
+  if (a.long_rowptr.size() != a.long_rows.size() + 1) {
+    fail_v("decomp.long_rowptr.size", std::to_string(a.long_rowptr.size()) + " entries, want " +
+                                          std::to_string(a.long_rows.size() + 1));
+  }
+  if (a.long_rowptr.front() != 0) {
+    fail_v("decomp.long_rowptr.front", std::to_string(a.long_rowptr.front()));
+  }
+  for (std::size_t k = 0; k < a.long_rows.size(); ++k) {
+    const index_t row = a.long_rows[k];
+    if (row < 0 || row >= nrows) {
+      fail_v("decomp.long_rows.bounds", "long row " + std::to_string(row));
+    }
+    if (k > 0 && row <= a.long_rows[k - 1]) {
+      fail_v("decomp.long_rows.sorted", "long rows not strictly ascending at entry " +
+                                            std::to_string(k));
+    }
+    if (a.long_rowptr[k + 1] < a.long_rowptr[k]) {
+      fail_v("decomp.long_rowptr.monotonic", "decreases at entry " + std::to_string(k + 1));
+    }
+    // A long row must actually be long — and its row in the short part must
+    // have been emptied, else its nonzeros are counted twice.
+    if (a.long_rowptr[k + 1] - a.long_rowptr[k] <= a.threshold) {
+      fail_v("decomp.long.threshold",
+             "long row " + std::to_string(row) + " has only " +
+                 std::to_string(a.long_rowptr[k + 1] - a.long_rowptr[k]) + " nonzeros");
+    }
+    if (a.short_part->row_nnz(row) != 0) {
+      fail_v("decomp.short.emptied",
+             "row " + std::to_string(row) + " present in both parts");
+    }
+  }
+  if (static_cast<std::size_t>(a.long_rowptr.back()) != a.long_colind.size() ||
+      a.long_colind.size() != a.long_values_size) {
+    fail_v("decomp.nnz.consistency",
+           "long_rowptr.back() = " + std::to_string(a.long_rowptr.back()) + ", colind " +
+               std::to_string(a.long_colind.size()) + " entries, values " +
+               std::to_string(a.long_values_size) + " entries");
+  }
+  if (effort < Level::kFull) return;
+  const index_t ncols = a.short_part->ncols();
+  for (std::size_t k = 0; k < a.long_rows.size(); ++k) {
+    const auto b = static_cast<std::size_t>(a.long_rowptr[k]);
+    const auto e = static_cast<std::size_t>(a.long_rowptr[k + 1]);
+    for (std::size_t j = b; j < e; ++j) {
+      if (a.long_colind[j] < 0 || a.long_colind[j] >= ncols) {
+        fail_v("decomp.colind.bounds", "long row " + std::to_string(a.long_rows[k]) +
+                                           " has column " + std::to_string(a.long_colind[j]));
+      }
+      if (j > b && a.long_colind[j] <= a.long_colind[j - 1]) {
+        fail_v("decomp.colind.sorted", "long row " + std::to_string(a.long_rows[k]) +
+                                           " columns not strictly increasing");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Row partitions
+// ---------------------------------------------------------------------------
+
+void validate_partition(std::span<const RowRange> parts, index_t nrows, Level effort) {
+  if (effort == Level::kOff) return;
+  if (nrows < 0) fail_v("partition.nrows", std::to_string(nrows));
+  if (parts.empty()) fail_v("partition.empty", "no ranges");
+  if (parts.front().begin != 0) {
+    fail_v("partition.start", "first range begins at " + std::to_string(parts.front().begin));
+  }
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (parts[i].begin > parts[i].end) {
+      fail_v("partition.inverted", "range " + std::to_string(i) + " is [" +
+                                       std::to_string(parts[i].begin) + ", " +
+                                       std::to_string(parts[i].end) + ")");
+    }
+    if (i > 0 && parts[i].begin != parts[i - 1].end) {
+      fail_v("partition.contiguity", "gap or overlap between ranges " + std::to_string(i - 1) +
+                                         " and " + std::to_string(i));
+    }
+  }
+  if (parts.back().end != nrows) {
+    fail_v("partition.end",
+           "last range ends at " + std::to_string(parts.back().end) + ", want nrows = " +
+               std::to_string(nrows));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Object-level adapters
+// ---------------------------------------------------------------------------
+
+void validate(const CsrMatrix& m, Level effort) {
+  validate_csr({m.nrows(), m.ncols(), m.rowptr(), m.colind(), m.values().size()}, effort);
+}
+
+void validate(const DeltaCsrMatrix& m, Level effort) {
+  validate_delta({m.nrows(), m.ncols(), m.width(), m.rowptr(), m.first_col(), m.deltas8(),
+                  m.deltas16(), m.values().size()},
+                 effort);
+}
+
+void validate(const SellMatrix& m, Level effort) {
+  SellArrays a;
+  a.nrows = m.nrows();
+  a.ncols = m.ncols();
+  a.chunk = m.chunk_rows();
+  a.nnz = m.nnz();
+  a.colind = m.colind();
+  a.values = m.values();
+  // The accessors expose the descriptors element-wise; gather them into
+  // contiguous spans for the arrays-level validator.
+  const auto nchunks = static_cast<std::size_t>(m.nchunks());
+  const auto n = static_cast<std::size_t>(m.nrows());
+  std::vector<index_t> perm(n), row_len(n), chunk_len(nchunks);
+  std::vector<offset_t> chunk_off(nchunks);
+  for (std::size_t p = 0; p < n; ++p) {
+    perm[p] = m.row_of(static_cast<index_t>(p));
+    row_len[p] = m.row_len(static_cast<index_t>(p));
+  }
+  for (std::size_t k = 0; k < nchunks; ++k) {
+    chunk_len[k] = m.chunk_len(static_cast<index_t>(k));
+    chunk_off[k] = m.chunk_offset(static_cast<index_t>(k));
+  }
+  a.perm = perm;
+  a.row_len = row_len;
+  a.chunk_len = chunk_len;
+  a.chunk_off = chunk_off;
+  validate_sell(a, effort);
+}
+
+void validate(const BcsrMatrix& m, Level effort) {
+  validate_bcsr({m.nrows(), m.ncols(), m.block_rows(), m.block_cols(), m.nnz(),
+                 m.block_rowptr(), m.block_colind(), m.values()},
+                effort);
+}
+
+void validate(const DecomposedCsrMatrix& m, Level effort) {
+  validate_decomposed({&m.short_part(), m.threshold(), m.long_rows(), m.long_rowptr(),
+                       m.long_colind(), m.long_values().size()},
+                      effort);
+}
+
+void validate(const DecomposedCsrMatrix& m, const CsrMatrix& source, Level effort) {
+  if (effort == Level::kOff) return;
+  validate(m, effort);
+  if (m.nrows() != source.nrows() || m.ncols() != source.ncols()) {
+    fail_v("decomp.source.dims", "decomposition is " + std::to_string(m.nrows()) + " x " +
+                                     std::to_string(m.ncols()) + ", source " +
+                                     std::to_string(source.nrows()) + " x " +
+                                     std::to_string(source.ncols()));
+  }
+  // The split must partition the nonzeros exactly: nothing dropped, nothing
+  // double-counted.
+  if (m.nnz() != source.nnz()) {
+    fail_v("decomp.nnz.conservation", "short + long = " + std::to_string(m.nnz()) +
+                                          " nonzeros, source has " +
+                                          std::to_string(source.nnz()));
+  }
+  if (effort < Level::kFull) return;
+  // Row-exact conservation: every long row's stream equals the source row,
+  // and every other row survives untouched in the short part.
+  const auto long_rows = m.long_rows();
+  const auto long_rowptr = m.long_rowptr();
+  const auto long_colind = m.long_colind();
+  std::size_t next_long = 0;
+  for (index_t r = 0; r < source.nrows(); ++r) {
+    const auto src_cols = source.row_cols(r);
+    if (next_long < long_rows.size() && long_rows[next_long] == r) {
+      const auto b = static_cast<std::size_t>(long_rowptr[next_long]);
+      const auto e = static_cast<std::size_t>(long_rowptr[next_long + 1]);
+      const bool equal = e - b == src_cols.size() &&
+                         std::equal(src_cols.begin(), src_cols.end(), long_colind.begin() +
+                                                                          static_cast<std::ptrdiff_t>(b));
+      if (!equal) {
+        fail_v("decomp.source.rows",
+               "long row " + std::to_string(r) + " differs from the source row");
+      }
+      ++next_long;
+    } else {
+      const auto short_cols = m.short_part().row_cols(r);
+      if (short_cols.size() != src_cols.size() ||
+          !std::equal(src_cols.begin(), src_cols.end(), short_cols.begin())) {
+        fail_v("decomp.source.rows",
+               "short row " + std::to_string(r) + " differs from the source row");
+      }
+    }
+  }
+}
+
+void validate(std::span<const RowRange> parts, index_t nrows, Level effort) {
+  validate_partition(parts, nrows, effort);
+}
+
+}  // namespace sparta::check

@@ -1,0 +1,20 @@
+// Plan-level contract checks — the tuner half of sparta::check.
+//
+// An OptimizationPlan couples three representations of the same decision
+// (the optimization list, the composed KernelConfig, and the class set) plus
+// the timing model outputs. A plan whose config disagrees with its
+// optimization list silently runs the wrong kernel; these checks pin the
+// coupling. Kept apart from validate.hpp so the sparse formats do not pull
+// tuner headers into their translation units.
+#pragma once
+
+#include "check/contract.hpp"
+#include "tuner/optimizer.hpp"
+
+namespace sparta::check {
+
+/// Consistency of one tuner decision. kCheap and kFull are identical here —
+/// every check is O(#optimizations).
+void validate(const OptimizationPlan& plan, Level effort = Level::kFull);
+
+}  // namespace sparta::check

@@ -6,6 +6,8 @@
 #include <optional>
 #include <stdexcept>
 
+#include "check/contract.hpp"
+#include "check/validate.hpp"
 #include "common/numa.hpp"
 #include "common/timer.hpp"
 #include "kernels/spmv_kernels.hpp"
@@ -296,6 +298,14 @@ PreparedSpmv::PreparedSpmv(const CsrMatrix& a, const SpmvOptions& opts) : config
     impl_ = [prepared, runner](std::span<const value_t> x, std::span<value_t> y) {
       runner(*prepared, x, y);
     };
+  }
+  // Post-preparation structural contracts: the thread-ownership partition
+  // must cover the matrix exactly (a gap loses rows silently inside the
+  // persistent region), and the one-shot partition must cover whatever
+  // matrix its kernels iterate (the short part under decomposition).
+  SPARTA_CHECK_STRUCTURE(std::span<const RowRange>{prepared->region_parts}, a.nrows());
+  if (!prepared->parts.empty()) {
+    SPARTA_CHECK_STRUCTURE(std::span<const RowRange>{prepared->parts}, part_source->nrows());
   }
   prepared_ = std::move(prepared);
   prep_seconds_ = timer.seconds();

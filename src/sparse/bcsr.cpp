@@ -3,6 +3,9 @@
 #include <map>
 #include <stdexcept>
 
+#include "check/contract.hpp"
+#include "check/validate.hpp"
+
 namespace sparta {
 
 BcsrMatrix BcsrMatrix::from_csr(const CsrMatrix& m, index_t r, index_t c) {
@@ -43,6 +46,7 @@ BcsrMatrix BcsrMatrix::from_csr(const CsrMatrix& m, index_t r, index_t c) {
     b.block_rowptr_[static_cast<std::size_t>(br) + 1] =
         static_cast<offset_t>(b.block_colind_.size());
   }
+  SPARTA_CHECK_STRUCTURE(b);
   return b;
 }
 

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "check/validate.hpp"
+
 namespace sparta {
 
 CsrMatrix::CsrMatrix(index_t nrows, index_t ncols, aligned_vector<offset_t> rowptr,
@@ -63,32 +65,12 @@ std::size_t CsrMatrix::spmv_working_set_bytes() const {
 }
 
 void CsrMatrix::validate() const {
-  if (nrows_ < 0 || ncols_ < 0) throw std::invalid_argument{"csr: negative dimension"};
-  if (rowptr_.size() != static_cast<std::size_t>(nrows_) + 1) {
-    throw std::invalid_argument{"csr: rowptr size != nrows+1"};
-  }
-  if (rowptr_.front() != 0) throw std::invalid_argument{"csr: rowptr[0] != 0"};
-  for (std::size_t i = 1; i < rowptr_.size(); ++i) {
-    if (rowptr_[i] < rowptr_[i - 1]) {
-      throw std::invalid_argument{"csr: rowptr not non-decreasing at row " + std::to_string(i)};
-    }
-  }
-  if (static_cast<std::size_t>(rowptr_.back()) != colind_.size() ||
-      colind_.size() != values_.size()) {
-    throw std::invalid_argument{"csr: nnz arrays inconsistent with rowptr"};
-  }
-  for (index_t r = 0; r < nrows_; ++r) {
-    const auto cols = row_cols(r);
-    for (std::size_t j = 0; j < cols.size(); ++j) {
-      if (cols[j] < 0 || cols[j] >= ncols_) {
-        throw std::invalid_argument{"csr: column index out of range in row " + std::to_string(r)};
-      }
-      if (j > 0 && cols[j] <= cols[j - 1]) {
-        throw std::invalid_argument{"csr: columns not strictly increasing in row " +
-                                    std::to_string(r)};
-      }
-    }
-  }
+  // Full structural check, unconditionally (the historical contract of this
+  // entry point — callers rely on malformed arrays throwing in any build).
+  // The check-level machinery gates only the *wired* validations of the
+  // derived formats; see src/check/.
+  check::validate_csr({nrows_, ncols_, rowptr_, colind_, values_.size()},
+                      check::Level::kFull);
 }
 
 CsrMatrix CsrMatrix::transpose() const {

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "check/contract.hpp"
+#include "check/validate.hpp"
+
 namespace sparta {
 
 index_t DecomposedCsrMatrix::default_threshold(const CsrMatrix& csr) {
@@ -40,6 +43,9 @@ DecomposedCsrMatrix DecomposedCsrMatrix::decompose(const CsrMatrix& csr, index_t
   out.short_part_ =
       CsrMatrix{csr.nrows(), csr.ncols(), std::move(srowptr), std::move(scolind),
                 std::move(svalues)};
+  // nnz conservation against the source: the split must partition the
+  // nonzeros exactly (nothing dropped, nothing double-counted).
+  SPARTA_CHECK_STRUCTURE(out, csr);
   return out;
 }
 

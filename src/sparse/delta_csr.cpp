@@ -1,5 +1,8 @@
 #include "sparse/delta_csr.hpp"
 
+#include "check/contract.hpp"
+#include "check/validate.hpp"
+
 namespace sparta {
 
 std::optional<DeltaWidth> DeltaCsrMatrix::pick_width(const CsrMatrix& csr) {
@@ -47,6 +50,7 @@ std::optional<DeltaCsrMatrix> DeltaCsrMatrix::compress(const CsrMatrix& csr) {
       }
     }
   }
+  SPARTA_CHECK_STRUCTURE(out);
   return out;
 }
 

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "check/contract.hpp"
+#include "check/validate.hpp"
+
 namespace sparta {
 
 std::vector<RowRange> partition_balanced_nnz(const CsrMatrix& m, int nparts) {
@@ -27,6 +30,7 @@ std::vector<RowRange> partition_balanced_nnz(const CsrMatrix& m, int nparts) {
     row = end;
   }
   parts.back().end = m.nrows();
+  SPARTA_CHECK_STRUCTURE(std::span<const RowRange>{parts}, m.nrows());
   return parts;
 }
 
@@ -42,6 +46,7 @@ std::vector<RowRange> partition_equal_rows(index_t nrows, int nparts) {
     parts.push_back({row, row + len});
     row += len;
   }
+  SPARTA_CHECK_STRUCTURE(std::span<const RowRange>{parts}, nrows);
   return parts;
 }
 
@@ -51,15 +56,10 @@ offset_t range_nnz(const CsrMatrix& m, RowRange r) {
 }
 
 void validate_partition(const std::vector<RowRange>& parts, index_t nrows) {
-  if (parts.empty()) throw std::invalid_argument{"partition: empty"};
-  if (parts.front().begin != 0) throw std::invalid_argument{"partition: does not start at 0"};
-  for (std::size_t i = 0; i < parts.size(); ++i) {
-    if (parts[i].begin > parts[i].end) throw std::invalid_argument{"partition: inverted range"};
-    if (i > 0 && parts[i].begin != parts[i - 1].end) {
-      throw std::invalid_argument{"partition: gap or overlap"};
-    }
-  }
-  if (parts.back().end != nrows) throw std::invalid_argument{"partition: does not end at nrows"};
+  // Unconditional full check (historical contract of this entry point); the
+  // named-violation implementation lives with the other structural
+  // validators in src/check/.
+  check::validate_partition(parts, nrows, check::Level::kFull);
 }
 
 }  // namespace sparta

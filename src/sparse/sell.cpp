@@ -4,6 +4,9 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "check/contract.hpp"
+#include "check/validate.hpp"
+
 namespace sparta {
 
 SellMatrix SellMatrix::from_csr(const CsrMatrix& m, index_t chunk, index_t sigma) {
@@ -70,6 +73,7 @@ SellMatrix SellMatrix::from_csr(const CsrMatrix& m, index_t chunk, index_t sigma
       }
     }
   }
+  SPARTA_CHECK_STRUCTURE(s);
   return s;
 }
 

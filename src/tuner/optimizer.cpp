@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "check/contract.hpp"
+#include "check/validate_tuner.hpp"
+
 namespace sparta {
 
 std::vector<obs::NamedValue> named_features(const FeatureVector& fv) {
@@ -287,6 +290,9 @@ OptimizationPlan Autotuner::plan(const Evaluation& e, const TuneOptions& opts) c
     t->phases.insert(t->phases.end(), plan_phases.begin(), plan_phases.end());
     p.trace = std::move(t);
   }
+  // Decision-consistency contract: the composed config must match the
+  // optimization list, and the timing-model outputs must be sane.
+  SPARTA_CHECK_STRUCTURE(p);
   return p;
 }
 

@@ -137,7 +137,9 @@ TEST(PartitionedMl, DetectsAtLeastAsOftenAsGlobal) {
     const bool global_ml = classify_profile(bounds).contains(Bottleneck::kML);
     const bool part_ml =
         classify_profile_partitioned(bounds, ml).contains(Bottleneck::kML);
-    if (global_ml) EXPECT_TRUE(part_ml) << "regular fraction " << 0.25 * static_cast<double>(s);
+    if (global_ml) {
+      EXPECT_TRUE(part_ml) << "regular fraction " << 0.25 * static_cast<double>(s);
+    }
   }
 }
 
@@ -151,7 +153,9 @@ TEST(PartitionedMl, ExtendedClassifierAddsMl) {
   // The extension only ever adds ML; everything else is untouched.
   for (int b = 0; b < kNumBottlenecks; ++b) {
     const auto bb = static_cast<Bottleneck>(b);
-    if (bb != Bottleneck::kML) EXPECT_EQ(ext_cls.contains(bb), base_cls.contains(bb));
+    if (bb != Bottleneck::kML) {
+      EXPECT_EQ(ext_cls.contains(bb), base_cls.contains(bb));
+    }
   }
 }
 

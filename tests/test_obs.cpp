@@ -272,23 +272,26 @@ class ApiEquivalence : public ::testing::Test {
 #pragma GCC diagnostic push
 #pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
+// These tests exist to pin wrapper equivalence, so calling the deprecated
+// entry points is the point — suppress the repo lint on each call site.
+
 TEST_F(ApiEquivalence, DeprecatedPlanWrappersMatchUnifiedPlan) {
-  expect_same(tuner().plan_profile_guided(eval()), tuner().plan(eval()));
-  expect_same(tuner().plan_feature_guided(eval(), classifier()),
+  expect_same(tuner().plan_profile_guided(eval()), tuner().plan(eval()));  // sparta-lint: allow(deprecated-call)
+  expect_same(tuner().plan_feature_guided(eval(), classifier()),  // sparta-lint: allow(deprecated-call)
               tuner().plan(eval(), {.policy = TunePolicy::kFeature,
                                     .classifier = &classifier()}));
-  expect_same(tuner().plan_oracle(eval()),
+  expect_same(tuner().plan_oracle(eval()),  // sparta-lint: allow(deprecated-call)
               tuner().plan(eval(), {.policy = TunePolicy::kOracle}));
-  expect_same(tuner().plan_trivial(eval(), false),
+  expect_same(tuner().plan_trivial(eval(), false),  // sparta-lint: allow(deprecated-call)
               tuner().plan(eval(), {.policy = TunePolicy::kTrivialSingle}));
-  expect_same(tuner().plan_trivial(eval(), true),
+  expect_same(tuner().plan_trivial(eval(), true),  // sparta-lint: allow(deprecated-call)
               tuner().plan(eval(), {.policy = TunePolicy::kTrivialCombined}));
 }
 
 TEST_F(ApiEquivalence, DeprecatedTuneWrappersMatchUnifiedTune) {
   const CsrMatrix m = gen::random_uniform(6000, 10, 234);
-  expect_same(tuner().tune_profile_guided(m), tuner().tune(m));
-  expect_same(tuner().tune_feature_guided(m, classifier()),
+  expect_same(tuner().tune_profile_guided(m), tuner().tune(m));  // sparta-lint: allow(deprecated-call)
+  expect_same(tuner().tune_feature_guided(m, classifier()),  // sparta-lint: allow(deprecated-call)
               tuner().tune(m, {.policy = TunePolicy::kFeature, .classifier = &classifier()}));
 }
 

@@ -124,7 +124,7 @@ TEST_F(AutotunerFixture, EvaluationRejectsUnknownConfig) {
   sim::KernelConfig odd;
   odd.x_access = sim::XAccess::kRegularized;
   odd.prefetch = true;
-  EXPECT_THROW(scattered_eval().gflops_for(odd), std::out_of_range);
+  EXPECT_THROW((void)scattered_eval().gflops_for(odd), std::out_of_range);
 }
 
 TEST_F(AutotunerFixture, ProfilePlanDetectsMlOnScattered) {

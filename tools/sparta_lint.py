@@ -1,0 +1,211 @@
+#!/usr/bin/env python3
+"""sparta_lint — repo-specific static checks that generic tools can't express.
+
+Rules (each suppressible on a line, or the line above it, with
+``// sparta-lint: allow(<rule>)``):
+
+  omp-critical     `#pragma omp critical` / `#pragma omp atomic` in
+                   src/kernels/ or src/engine/. The hot paths run inside one
+                   persistent parallel region; serializing constructs there
+                   destroy the engine's scaling. Use the cache-line-padded
+                   per-thread accumulator pattern instead.
+
+  shared-counter   `std::atomic` declared in src/kernels/ or src/engine/
+                   without cache-line alignment (`alignas`). An unpadded
+                   shared counter false-shares its line across every thread
+                   of the region. Telemetry belongs in sparta::obs, which
+                   already pads per-thread slots.
+
+  deprecated-call  Calls to the [[deprecated]] tuner/kernel entry points
+                   (plan_profile_guided, tune_feature_guided, ... — replaced
+                   by Autotuner::tune/plan(TuneOptions) in PR 2). New code
+                   must use the unified surface; the wrappers exist only so
+                   old call sites fail soft.
+
+  raw-assert       `assert(...)` in src/. Raw asserts vanish under NDEBUG
+                   and abort without context otherwise; use SPARTA_REQUIRE /
+                   SPARTA_ASSERT (src/check/contract.hpp), which are
+                   level-gated and throw descriptive ContractViolations.
+
+Exit status: 0 clean, 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+SOURCE_EXTS = {".cpp", ".hpp", ".h"}
+
+# rule -> (directories it applies to, relative to the repo root)
+HOT_DIRS = ("src/kernels", "src/engine")
+SRC_DIRS = ("src",)
+ALL_DIRS = ("src", "bench", "examples", "tools", "tests")
+
+DEPRECATED_ENTRY_POINTS = (
+    "plan_profile_guided",
+    "plan_feature_guided",
+    "plan_oracle",
+    "plan_trivial",
+    "tune_profile_guided",
+    "tune_feature_guided",
+)
+
+# The deprecated wrappers are declared and defined here; those mentions are
+# the wrappers themselves, not call sites.
+DEPRECATED_DEFINITION_FILES = {"src/tuner/optimizer.hpp", "src/tuner/optimizer.cpp"}
+
+ALLOW_RE = re.compile(r"sparta-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+
+OMP_SERIAL_RE = re.compile(r"#\s*pragma\s+omp\s+(critical|atomic)\b")
+ATOMIC_RE = re.compile(r"\bstd::atomic\b")
+ALIGNAS_RE = re.compile(r"\balignas\s*\(")
+# A call site: the identifier followed by '(' — optionally through . -> or ::
+ASSERT_RE = re.compile(r"(?<![A-Za-z0-9_])assert\s*\(")
+
+
+def strip_comments_and_strings(lines: list[str]) -> list[str]:
+    """Blank out comments and string/char literals, preserving line count.
+
+    A real lexer is overkill: this handles //, /* */ across lines, and
+    double/single-quoted literals with escapes, which is all the codebase
+    uses. The *original* lines keep carrying the suppression comments.
+    """
+    out = []
+    in_block = False
+    for line in lines:
+        buf = []
+        i = 0
+        n = len(line)
+        while i < n:
+            if in_block:
+                end = line.find("*/", i)
+                if end == -1:
+                    i = n
+                else:
+                    buf.append(" " * (end + 2 - i))
+                    i = end + 2
+                    in_block = False
+                continue
+            ch = line[i]
+            nxt = line[i + 1] if i + 1 < n else ""
+            if ch == "/" and nxt == "/":
+                break
+            if ch == "/" and nxt == "*":
+                in_block = True
+                i += 2
+                buf.append("  ")
+                continue
+            if ch in "\"'":
+                quote = ch
+                j = i + 1
+                while j < n:
+                    if line[j] == "\\":
+                        j += 2
+                        continue
+                    if line[j] == quote:
+                        break
+                    j += 1
+                buf.append(quote + " " * max(0, j - i - 1) + (quote if j < n else ""))
+                i = j + 1
+                continue
+            buf.append(ch)
+            i += 1
+        out.append("".join(buf))
+    return out
+
+
+class Linter:
+    def __init__(self, root: Path):
+        self.root = root
+        self.findings: list[tuple[str, int, str, str]] = []
+
+    def allowed(self, rule: str, raw_lines: list[str], idx: int) -> bool:
+        for probe in (idx, idx - 1):
+            if 0 <= probe < len(raw_lines):
+                m = ALLOW_RE.search(raw_lines[probe])
+                if m and rule in {r.strip() for r in m.group(1).split(",")}:
+                    return True
+        return False
+
+    def report(self, rule: str, rel: str, lineno: int, message: str) -> None:
+        self.findings.append((rel, lineno, rule, message))
+
+    def lint_file(self, path: Path) -> None:
+        rel = path.relative_to(self.root).as_posix()
+        raw = path.read_text(encoding="utf-8").splitlines()
+        code = strip_comments_and_strings(raw)
+        in_hot = rel.startswith(tuple(d + "/" for d in HOT_DIRS))
+        in_src = rel.startswith("src/")
+
+        for idx, line in enumerate(code):
+            lineno = idx + 1
+            if in_hot:
+                m = OMP_SERIAL_RE.search(line)
+                if m and not self.allowed("omp-critical", raw, idx):
+                    self.report(
+                        "omp-critical", rel, lineno,
+                        f"'omp {m.group(1)}' in a hot-path directory; use the "
+                        "padded per-thread accumulator pattern",
+                    )
+                if ATOMIC_RE.search(line) and not ALIGNAS_RE.search(line) \
+                        and not (idx > 0 and ALIGNAS_RE.search(code[idx - 1])) \
+                        and not self.allowed("shared-counter", raw, idx):
+                    self.report(
+                        "shared-counter", rel, lineno,
+                        "unpadded std::atomic in a hot-path directory; pad with "
+                        "alignas(kCacheLineBytes) or use sparta::obs",
+                    )
+            if rel not in DEPRECATED_DEFINITION_FILES:
+                for name in DEPRECATED_ENTRY_POINTS:
+                    if re.search(rf"\b{name}\s*\(", line) and \
+                            not self.allowed("deprecated-call", raw, idx):
+                        self.report(
+                            "deprecated-call", rel, lineno,
+                            f"call to deprecated '{name}'; use "
+                            "Autotuner::tune/plan(TuneOptions)",
+                        )
+            if in_src:
+                m = ASSERT_RE.search(line)
+                if m and "static_assert" not in line[max(0, m.start() - 7):m.end()] \
+                        and not self.allowed("raw-assert", raw, idx):
+                    self.report(
+                        "raw-assert", rel, lineno,
+                        "raw assert in src/; use SPARTA_REQUIRE / SPARTA_ASSERT "
+                        "(src/check/contract.hpp)",
+                    )
+
+    def run(self) -> int:
+        files = []
+        for d in ALL_DIRS:
+            base = self.root / d
+            if not base.is_dir():
+                continue
+            files.extend(p for p in sorted(base.rglob("*")) if p.suffix in SOURCE_EXTS)
+        for f in files:
+            self.lint_file(f)
+        for rel, lineno, rule, message in self.findings:
+            print(f"{rel}:{lineno}: [{rule}] {message}")
+        print(
+            f"sparta_lint: {len(files)} files, {len(self.findings)} finding(s)",
+            file=sys.stderr,
+        )
+        return 1 if self.findings else 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("root", nargs="?", default=".", help="repository root")
+    args = ap.parse_args()
+    root = Path(args.root).resolve()
+    if not (root / "src").is_dir():
+        print(f"sparta_lint: {root} does not look like the repo root", file=sys.stderr)
+        return 2
+    return Linter(root).run()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
