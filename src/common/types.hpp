@@ -23,6 +23,24 @@ using value_t = double;
 /// Hardware cache-line size assumed for alignment purposes on the host.
 inline constexpr std::size_t kCacheLineBytes = 64;
 
+}  // namespace sparta
+
+/// No-alias qualifier for raw-pointer kernel parameters. The SpMV inner
+/// loops stream three disjoint arrays (rowptr/colind/values) and gather from
+/// a fourth (x); telling the compiler they never alias removes the runtime
+/// overlap checks that otherwise gate vectorization. Kernel entry points in
+/// src/kernels/ and src/engine/ that take raw pointers must carry this
+/// (enforced by sparta_analyze rule restrict.missing).
+#if defined(__GNUC__) || defined(__clang__)
+#define SPARTA_RESTRICT __restrict__
+#elif defined(_MSC_VER)
+#define SPARTA_RESTRICT __restrict
+#else
+#define SPARTA_RESTRICT
+#endif
+
+namespace sparta {
+
 /// Minimal C++17-style allocator returning cache-line-aligned storage.
 /// SpMV streams large arrays; aligning them to cache-line boundaries keeps
 /// vector loads split-free and makes traffic accounting exact.

@@ -96,12 +96,20 @@ solvers::SolveResult SolverEngine::cg(std::span<const value_t> b,
   } st;
   double spmv_seconds = 0.0;
   int fused_passes = 0;
-  // Per-iteration series cost one push_back per iteration inside a `single`
-  // block — collected only on request.
+  // Per-iteration series are preallocated to max_it here and trimmed after
+  // the region, so the iteration singles write by index and the hot loop
+  // never allocates — collected only on request.
   const bool track = obs::enabled();
+  if (track) {
+    result.residual_history.resize(static_cast<std::size_t>(max_it));
+    result.iter_seconds.resize(static_cast<std::size_t>(max_it));
+  }
   Timer iter_timer;  // shared; reset/read inside barrier-ordered singles
+  const kernels::PreparedSpmv& spmv = prepared_;
 
-#pragma omp parallel num_threads(threads_)
+#pragma omp parallel default(none) num_threads(threads_)                                   \
+    shared(parts, nparts, jacobi, tol, max_it, inv_diag, b, x, r, p, ap, z, slots, st,     \
+           track, iter_timer, spmv_seconds, fused_passes, result, spmv)
   {
     const int nt = omp_get_num_threads();
     const int tid = omp_get_thread_num();
@@ -132,7 +140,7 @@ solvers::SolveResult SolverEngine::cg(std::span<const value_t> b,
     }
 
     // r = b - A x; z = M^-1 r; p = z; partial rz, rr.
-    for_owned([&](int pi, RowRange) { prepared_.run_local(pi, x, ap); });
+    for_owned([&](int pi, RowRange) { spmv.run_local(pi, x, ap); });
     double rz_p = 0.0, rr_p = 0.0;
     for_owned([&](int, RowRange rng) {
       for (index_t i = rng.begin; i < rng.end; ++i) {
@@ -166,7 +174,7 @@ solvers::SolveResult SolverEngine::cg(std::span<const value_t> b,
       // Fused ap = A p with the dependent reduction p·ap.
       if (tid == 0) pass.reset();
       double pap_p = 0.0;
-      for_owned([&](int pi, RowRange) { pap_p += prepared_.run_local_dot(pi, p, ap, p); });
+      for_owned([&](int pi, RowRange) { pap_p += spmv.run_local_dot(pi, p, ap, p); });
       slots[static_cast<std::size_t>(tid)].a = pap_p;
 #pragma omp barrier
       if (tid == 0) {
@@ -206,8 +214,8 @@ solvers::SolveResult SolverEngine::cg(std::span<const value_t> b,
         st.rr = sum_b(slots, nt);
         st.iters = it + 1;
         if (track) {
-          result.residual_history.push_back(std::sqrt(st.rr));
-          result.iter_seconds.push_back(iter_timer.seconds());
+          result.residual_history[static_cast<std::size_t>(it)] = std::sqrt(st.rr);
+          result.iter_seconds[static_cast<std::size_t>(it)] = iter_timer.seconds();
         }
       }
 
@@ -223,6 +231,10 @@ solvers::SolveResult SolverEngine::cg(std::span<const value_t> b,
     }
   }
 
+  if (track) {
+    result.residual_history.resize(static_cast<std::size_t>(st.iters));
+    result.iter_seconds.resize(static_cast<std::size_t>(st.iters));
+  }
   result.iterations = st.iters;
   result.converged = st.converged;
   result.residual_norm = std::sqrt(st.rr);
@@ -277,9 +289,18 @@ solvers::SolveResult SolverEngine::bicgstab(std::span<const value_t> b,
   double spmv_seconds = 0.0;
   int fused_passes = 0;
   const bool track = obs::enabled();
+  if (track) {
+    // Preallocated outside the region, trimmed after it: the iteration
+    // singles write by index so the hot loop never allocates.
+    result.residual_history.resize(static_cast<std::size_t>(max_it));
+    result.iter_seconds.resize(static_cast<std::size_t>(max_it));
+  }
   Timer iter_timer;  // shared; reset/read inside barrier-ordered singles
+  const kernels::PreparedSpmv& spmv = prepared_;
 
-#pragma omp parallel num_threads(threads_)
+#pragma omp parallel default(none) num_threads(threads_)                                   \
+    shared(parts, nparts, tol, max_it, b, x, r, r0, p, v, s, t, slots, st, track,          \
+           iter_timer, spmv_seconds, fused_passes, result, spmv)
   {
     const int nt = omp_get_num_threads();
     const int tid = omp_get_thread_num();
@@ -312,7 +333,7 @@ solvers::SolveResult SolverEngine::bicgstab(std::span<const value_t> b,
     }
 
     // r = b - A x; r0 = p = r (shadow residual); rho = r0·r = r·r.
-    for_owned([&](int pi, RowRange) { prepared_.run_local(pi, x, v); });
+    for_owned([&](int pi, RowRange) { spmv.run_local(pi, x, v); });
     double rho_p = 0.0;
     for_owned([&](int, RowRange rng) {
       for (index_t i = rng.begin; i < rng.end; ++i) {
@@ -347,7 +368,7 @@ solvers::SolveResult SolverEngine::bicgstab(std::span<const value_t> b,
       // Fused v = A p with r0·v.
       if (tid == 0) pass.reset();
       double r0v_p = 0.0;
-      for_owned([&](int pi, RowRange) { r0v_p += prepared_.run_local_dot(pi, p, v, r0); });
+      for_owned([&](int pi, RowRange) { r0v_p += spmv.run_local_dot(pi, p, v, r0); });
       slots[static_cast<std::size_t>(tid)].a = r0v_p;
 #pragma omp barrier
       if (tid == 0) {
@@ -396,8 +417,8 @@ solvers::SolveResult SolverEngine::bicgstab(std::span<const value_t> b,
           st.rr = st.ss;
           st.converged = true;
           if (track) {
-            result.residual_history.push_back(std::sqrt(st.rr));
-            result.iter_seconds.push_back(iter_timer.seconds());
+            result.residual_history[static_cast<std::size_t>(it)] = std::sqrt(st.rr);
+            result.iter_seconds[static_cast<std::size_t>(it)] = iter_timer.seconds();
           }
         }
         break;
@@ -406,7 +427,7 @@ solvers::SolveResult SolverEngine::bicgstab(std::span<const value_t> b,
       // Fused t = A s with t·s, plus the owned-rows t·t in the same phase.
       if (tid == 0) pass.reset();
       double ts_p = 0.0, tt_p = 0.0;
-      for_owned([&](int pi, RowRange) { ts_p += prepared_.run_local_dot(pi, s, t, s); });
+      for_owned([&](int pi, RowRange) { ts_p += spmv.run_local_dot(pi, s, t, s); });
       for_owned([&](int, RowRange rng) {
         for (index_t i = rng.begin; i < rng.end; ++i) {
           const auto k = static_cast<std::size_t>(i);
@@ -453,8 +474,8 @@ solvers::SolveResult SolverEngine::bicgstab(std::span<const value_t> b,
         st.rr = sum_b(slots, nt);
         st.iters = it + 1;
         if (track) {
-          result.residual_history.push_back(std::sqrt(st.rr));
-          result.iter_seconds.push_back(iter_timer.seconds());
+          result.residual_history[static_cast<std::size_t>(it)] = std::sqrt(st.rr);
+          result.iter_seconds[static_cast<std::size_t>(it)] = iter_timer.seconds();
         }
       }
 
@@ -469,6 +490,10 @@ solvers::SolveResult SolverEngine::bicgstab(std::span<const value_t> b,
     }
   }
 
+  if (track) {
+    result.residual_history.resize(static_cast<std::size_t>(st.iters));
+    result.iter_seconds.resize(static_cast<std::size_t>(st.iters));
+  }
   result.iterations = st.iters;
   result.converged = st.converged;
   result.residual_norm = std::sqrt(st.rr);

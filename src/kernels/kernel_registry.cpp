@@ -64,7 +64,8 @@ void run_decomposed(const Prepared& p, std::span<const value_t> x, std::span<val
     value_t total = 0.0;
     const auto b = rowptr[k];
     const auto e = rowptr[k + 1];
-#pragma omp parallel for reduction(+ : total) schedule(static)
+#pragma omp parallel for default(none) shared(values, colind, x, b, e) \
+    reduction(+ : total) schedule(static)
     for (offset_t j = b; j < e; ++j) {
       const auto idx = static_cast<std::size_t>(j);
       total += values[idx] * x[static_cast<std::size_t>(colind[idx])];
@@ -144,7 +145,7 @@ template <class T, class RangeOf>
 void first_touch_copy(std::span<const T> src, NumaArray<T>& dst,
                       std::span<const RowRange> parts, int threads, RangeOf range_of) {
   dst = NumaArray<T>(src.size());
-#pragma omp parallel num_threads(threads)
+#pragma omp parallel default(none) shared(src, dst, parts, range_of) num_threads(threads)
   {
     const int nt = omp_get_num_threads();
     const int nparts = static_cast<int>(parts.size());
@@ -162,7 +163,7 @@ struct ElemRange {
 
 }  // namespace
 
-PreparedSpmv::PreparedSpmv(const CsrMatrix& a, const sim::KernelConfig& cfg, int threads,
+PreparedSpmv::PreparedSpmv(const CsrMatrix& a, const KernelConfig& cfg, int threads,
                            bool first_touch)
     : PreparedSpmv(a, [&] {
         // The positional ctor's historical contract: 0 threads is an error,
@@ -175,7 +176,7 @@ PreparedSpmv::PreparedSpmv(const CsrMatrix& a, const SpmvOptions& opts) : config
   if (opts.threads < 0) throw std::invalid_argument{"PreparedSpmv: threads < 0"};
   const int threads = opts.threads > 0 ? opts.threads : omp_get_max_threads();
   threads_ = threads;
-  const sim::KernelConfig& cfg = config_;
+  const KernelConfig& cfg = config_;
   const bool first_touch = opts.first_touch;
   Timer timer;
   auto prepared = std::make_shared<Prepared>();
@@ -201,7 +202,6 @@ PreparedSpmv::PreparedSpmv(const CsrMatrix& a, const SpmvOptions& opts) : config
     part_source = &prepared->decomposed->short_part();
   }
 
-  using sim::Schedule;
   // Delta and decomposed kernels always run over explicit partitions on the
   // host (there is no dynamic-schedule variant of them); plain CSR with the
   // dynamic schedule is the only partition-less path.

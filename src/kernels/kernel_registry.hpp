@@ -10,7 +10,7 @@
 #include <span>
 
 #include "obs/telemetry.hpp"
-#include "sim/kernel_model.hpp"
+#include "kernels/kernel_config.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/partition.hpp"
 
@@ -23,7 +23,7 @@ struct Prepared;
 /// Everything that parameterizes the preparation of one kernel instance.
 struct SpmvOptions {
   /// The composed kernel variant (tuner output). Default = baseline CSR.
-  sim::KernelConfig config{};
+  KernelConfig config{};
   /// Partition/thread count; 0 means omp_get_max_threads(). Negative throws.
   int threads = 0;
   /// NUMA first-touch copies of the streaming arrays (see class comment).
@@ -57,7 +57,7 @@ class PreparedSpmv {
   explicit PreparedSpmv(const CsrMatrix& a, const SpmvOptions& opts = {});
 
   [[deprecated("use PreparedSpmv(a, SpmvOptions{.config = cfg, .threads = t, ...})")]]
-  PreparedSpmv(const CsrMatrix& a, const sim::KernelConfig& cfg, int threads,
+  PreparedSpmv(const CsrMatrix& a, const KernelConfig& cfg, int threads,
                bool first_touch = false);
 
   /// Run y = A * x.
@@ -80,7 +80,7 @@ class PreparedSpmv {
 
   /// Wall-clock seconds the preprocessing took.
   [[nodiscard]] double prep_seconds() const { return prep_seconds_; }
-  [[nodiscard]] const sim::KernelConfig& config() const { return config_; }
+  [[nodiscard]] const KernelConfig& config() const { return config_; }
   /// The resolved thread/partition count (never 0).
   [[nodiscard]] int threads() const { return threads_; }
   [[nodiscard]] bool delta_applied() const { return delta_applied_; }
@@ -91,7 +91,7 @@ class PreparedSpmv {
   [[nodiscard]] double bytes_per_run() const { return bytes_per_run_; }
 
  private:
-  sim::KernelConfig config_;
+  KernelConfig config_;
   int threads_ = 0;
   double prep_seconds_ = 0.0;
   bool delta_applied_ = false;

@@ -19,7 +19,8 @@ void spmv_with_colind(const CsrMatrix& a, std::span<const index_t> colind,
                       std::span<const RowRange> parts) {
   const auto rowptr = a.rowptr();
   const auto values = a.values();
-#pragma omp parallel for schedule(static, 1)
+#pragma omp parallel for default(none) shared(parts, rowptr, colind, values, x, y) \
+    schedule(static, 1)
   for (std::ptrdiff_t p = 0; p < static_cast<std::ptrdiff_t>(parts.size()); ++p) {
     const RowRange r = parts[static_cast<std::size_t>(p)];
     for (index_t i = r.begin; i < r.end; ++i) {
@@ -38,7 +39,8 @@ void spmv_unit_stride(const CsrMatrix& a, std::span<const value_t> x, std::span<
                       std::span<const RowRange> parts) {
   const auto rowptr = a.rowptr();
   const auto values = a.values();
-#pragma omp parallel for schedule(static, 1)
+#pragma omp parallel for default(none) shared(parts, rowptr, values, x, y) \
+    schedule(static, 1)
   for (std::ptrdiff_t p = 0; p < static_cast<std::ptrdiff_t>(parts.size()); ++p) {
     const RowRange r = parts[static_cast<std::size_t>(p)];
     for (index_t i = r.begin; i < r.end; ++i) {

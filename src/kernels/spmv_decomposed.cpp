@@ -18,7 +18,8 @@ void run(const DecomposedCsrMatrix& a, std::span<const value_t> x, std::span<val
     const auto b = rowptr[k];
     const auto e = rowptr[k + 1];
     value_t total = 0.0;
-#pragma omp parallel for reduction(+ : total) schedule(static)
+#pragma omp parallel for default(none) shared(values, colind, x, b, e) \
+    reduction(+ : total) schedule(static)
     for (offset_t j = b; j < e; ++j) {
       const auto idx = static_cast<std::size_t>(j);
       total += values[idx] * x[static_cast<std::size_t>(colind[idx])];

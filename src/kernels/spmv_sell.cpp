@@ -10,7 +10,7 @@ void spmv_sell(const SellMatrix& a, std::span<const value_t> x, std::span<value_
   const index_t chunk = a.chunk_rows();
   const index_t nchunks = a.nchunks();
 
-#pragma omp parallel
+#pragma omp parallel default(none) shared(a, x, y, colind, values, chunk, nchunks)
   {
     // Per-thread lane accumulators, reused across chunks.
     std::vector<value_t> acc(static_cast<std::size_t>(chunk));

@@ -16,13 +16,14 @@ TimedRun spmv_csr_timed(const CsrMatrix& a, std::span<const value_t> x, std::spa
 
   const double start = omp_get_wtime();
   for (int it = 0; it < iterations; ++it) {
-#pragma omp parallel for schedule(static, 1)
+#pragma omp parallel for default(none) shared(parts, rowptr, colind, values, x, y, run) \
+    schedule(static, 1)
     for (std::ptrdiff_t p = 0; p < static_cast<std::ptrdiff_t>(parts.size()); ++p) {
       const double t0 = omp_get_wtime();
       const RowRange r = parts[static_cast<std::size_t>(p)];
       for (index_t i = r.begin; i < r.end; ++i) {
         y[static_cast<std::size_t>(i)] = detail::csr_row<false, false, false>(
-            colind, values, x, rowptr[static_cast<std::size_t>(i)],
+            colind.data(), values.data(), x.data(), rowptr[static_cast<std::size_t>(i)],
             rowptr[static_cast<std::size_t>(i) + 1]);
       }
       run.thread_seconds[static_cast<std::size_t>(p)] += omp_get_wtime() - t0;

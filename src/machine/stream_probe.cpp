@@ -17,7 +17,7 @@ double triad_gbs(std::size_t n, int repeats) {
   double best = 0.0;
   for (int r = 0; r < repeats; ++r) {
     Timer t;
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for default(none) shared(a, b, c, scalar, n) schedule(static)
     for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(n); ++i) {
       a[static_cast<std::size_t>(i)] =
           b[static_cast<std::size_t>(i)] + scalar * c[static_cast<std::size_t>(i)];

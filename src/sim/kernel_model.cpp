@@ -4,26 +4,6 @@
 
 namespace sparta::sim {
 
-std::string KernelConfig::describe() const {
-  std::string s = "csr";
-  if (delta) s += "+delta";
-  if (vectorized) s += "+vec";
-  if (unrolled) s += "+unroll";
-  if (prefetch) s += "+pf";
-  if (decomposed) s += "+decomp";
-  switch (schedule) {
-    case Schedule::kStaticNnzBalanced: break;
-    case Schedule::kStaticRows: s += "+rows"; break;
-    case Schedule::kDynamicChunks: s += "+dyn"; break;
-  }
-  switch (x_access) {
-    case XAccess::kIndirect: break;
-    case XAccess::kRegularized: s += "(reg-x)"; break;
-    case XAccess::kUnitStride: s += "(unit-x)"; break;
-  }
-  return s;
-}
-
 namespace {
 
 // Base (pre-issue-penalty) cost constants, calibrated so that the modeled

@@ -34,6 +34,10 @@ SolveResult gmres(const CsrMatrix& a, std::span<const value_t> b, std::span<valu
   std::vector<double> cs(static_cast<std::size_t>(m), 0.0);
   std::vector<double> sn(static_cast<std::size_t>(m), 0.0);
   std::vector<double> g(static_cast<std::size_t>(m) + 1, 0.0);
+  // Hoisted out of the restart loop (the solver iteration must not allocate);
+  // the back-substitution writes y[k-1..0] before any read, so no refill is
+  // needed between restarts.
+  std::vector<double> y(static_cast<std::size_t>(m), 0.0);
   aligned_vector<value_t> tmp(n);
 
   while (result.iterations < options.max_iterations) {
@@ -107,7 +111,6 @@ SolveResult gmres(const CsrMatrix& a, std::span<const value_t> b, std::span<valu
     }
 
     // Back-substitute y from H y = g, then x += V y.
-    std::vector<double> y(static_cast<std::size_t>(k), 0.0);
     for (int i = k - 1; i >= 0; --i) {
       double acc = g[static_cast<std::size_t>(i)];
       for (int j = i + 1; j < k; ++j) {

@@ -1,0 +1,9 @@
+// Fixture: header without #pragma once (header.pragma-once) and with a
+// header-scope using-directive (header.using-namespace).
+#include <cstddef>
+
+using namespace std;
+
+namespace fixture {
+inline std::size_t id(std::size_t x) { return x; }
+}  // namespace fixture

@@ -1,0 +1,8 @@
+// Fixture: the first project include is not this file's own header;
+// header.self-include must fire.
+#include "common/hygiene_bad.hpp"
+#include "common/selfinc.hpp"
+
+namespace fixture {
+int selfinc_value() { return 1; }
+}  // namespace fixture

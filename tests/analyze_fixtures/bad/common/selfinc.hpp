@@ -1,0 +1,5 @@
+#pragma once
+
+namespace fixture {
+int selfinc_value();
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Fixture: omp.default-none and omp.schedule-runtime must fire.
+namespace fixture {
+
+inline void region(int n, double* y) {
+#pragma omp parallel for
+  for (int i = 0; i < n; ++i) {
+    y[i] = 0.0;
+  }
+
+// A continued pragma is still one logical directive; the missing
+// default(none) must be reported on its first line.
+#pragma omp parallel for shared(y) \
+    schedule(runtime)
+  for (int i = 0; i < n; ++i) {
+    y[i] = 1.0;
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,34 @@
+// Fixture: every purity.* family must fire on this file.
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+std::mutex mu;
+
+inline double hot_loop(int n) {
+  double acc = 0.0;
+  for (int i = 0; i < n; ++i) {
+    int* p = new int[4];                  // purity.alloc (new)
+    void* q = std::malloc(16);            // purity.alloc (malloc)
+    std::vector<int> scratch;             // purity.alloc (std:: type)
+    scratch.push_back(i);                 // purity.alloc (growth method)
+    std::string label = "x";              // purity.alloc (std::string)
+    if (p == nullptr) throw 42;           // purity.throw
+    std::printf("i=%d\n", i);             // purity.io (printf)
+    std::lock_guard<std::mutex> g{mu};    // purity.lock (lock type)
+    mu.lock();                            // purity.lock (.lock())
+    acc += static_cast<double>(i);
+    std::free(q);
+    delete[] p;
+  }
+  // Outside any loop: none of these may fire.
+  std::vector<int> fine(8);
+  fine.push_back(1);
+  return acc;
+}
+
+}  // namespace fixture

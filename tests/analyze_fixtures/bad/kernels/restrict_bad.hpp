@@ -1,0 +1,12 @@
+// Fixture: restrict.missing must fire on raw-pointer kernel parameters.
+#pragma once
+
+namespace fixture {
+
+// Both pointer parameters lack SPARTA_RESTRICT.
+double row_sum(const double* values, const int* colind, int begin, int end);
+
+// Function-pointer parameters are exempt; only `n` rides along.
+void apply(void (*fn)(int), int n);
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Fixture: the allow(purity.alloc) below is honoured (no purity.alloc
+// finding from this file), but the dangling allow(purity.io) matches
+// nothing and must itself be reported as suppression.unused.
+#include <cstdlib>
+
+namespace fixture {
+
+inline void warmup(int n) {
+  for (int i = 0; i < n; ++i) {
+    void* p = std::malloc(8);  // sparta-analyze: allow(purity.alloc)
+    std::free(p);
+  }
+}
+
+// sparta-analyze: allow(purity.io)
+
+}  // namespace fixture

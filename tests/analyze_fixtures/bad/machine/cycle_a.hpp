@@ -1,0 +1,5 @@
+// Fixture: machine <-> gen is a same-layer include cycle; layering.cycle
+// must fire (same-layer edges are legal individually, but not circularly).
+#pragma once
+
+#include "gen/cycle_b.hpp"

@@ -1,0 +1,3 @@
+// Fixture: module `mystery` is not declared in the layering DAG;
+// layering.undeclared must fire.
+#pragma once

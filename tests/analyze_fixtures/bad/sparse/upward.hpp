@@ -1,0 +1,5 @@
+// Fixture: sparse (layer 1) reaching into kernels (layer 2) is an upward
+// dependency; layering.upward must fire.
+#pragma once
+
+#include "kernels/restrict_bad.hpp"

@@ -1,0 +1,11 @@
+#pragma once
+
+#if defined(__GNUC__)
+#define SPARTA_RESTRICT __restrict__
+#else
+#define SPARTA_RESTRICT
+#endif
+
+namespace fixture {
+inline constexpr int kWidth = 8;
+}  // namespace fixture

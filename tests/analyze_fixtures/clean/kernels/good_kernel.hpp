@@ -1,0 +1,10 @@
+#pragma once
+
+#include "common/base.hpp"
+
+namespace fixture {
+
+// Raw-pointer parameters carry SPARTA_RESTRICT: restrict.missing stays quiet.
+double dot(const double* SPARTA_RESTRICT a, const double* SPARTA_RESTRICT b, int n);
+
+}  // namespace fixture

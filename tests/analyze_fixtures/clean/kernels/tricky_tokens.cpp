@@ -1,0 +1,30 @@
+// Violation-shaped text in comments, strings, and raw strings: the
+// tokenizer must keep the analyzer blind to all of it.
+//
+// for (;;) { throw std::string("oops"); v.push_back(1); }
+/*
+#pragma omp parallel for
+while (true) { std::cout << new int; }
+*/
+namespace fixture {
+
+const char* comment_shaped() {
+  const char* s = "for (;;) { malloc(1); throw 2; } #pragma omp parallel";
+  const char* r = R"raw(
+    while (running) {
+      buffer.push_back('\n');
+      std::mutex guard;
+    }
+    #pragma omp parallel for schedule(runtime)
+  )raw";
+  const char c = '{';  // unbalanced-brace character literal must not desync scopes
+  (void)c;
+  for (int i = 0; i < 1'000; ++i) {
+    // A digit separator above and an escaped quote here: "\"" stays a string.
+    const char* q = "\"} throw {\"";
+    (void)q;
+  }
+  return s != nullptr ? s : r;
+}
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// schedule(runtime) is legal here: the tuner is the one module allowed to
+// bind the OpenMP schedule at run time (omp.schedule-runtime stays quiet).
+namespace fixture {
+
+inline void sweep(int n, double* y) {
+#pragma omp parallel for default(none) shared(n, y) schedule(runtime)
+  for (int i = 0; i < n; ++i) {
+    y[i] = static_cast<double>(i);
+  }
+}
+
+}  // namespace fixture

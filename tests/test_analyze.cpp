@@ -1,0 +1,319 @@
+// Unit tests for the sparta_analyze static analyzer: tokenizer edge cases,
+// suppression parsing, and one in-memory accept/reject pair per rule family.
+// The on-disk fixture trees (tests/analyze_fixtures/) and the self-host run
+// over src/ are exercised as separate ctest entries driving the real binary.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "analyzer.hpp"
+
+namespace sa = sparta::analyze;
+
+namespace {
+
+std::vector<std::string> rules_of(const std::vector<sa::Finding>& findings) {
+  std::vector<std::string> rules;
+  rules.reserve(findings.size());
+  for (const sa::Finding& f : findings) rules.push_back(f.rule);
+  return rules;
+}
+
+bool has_rule(const std::vector<sa::Finding>& findings, std::string_view rule) {
+  return std::any_of(findings.begin(), findings.end(),
+                     [&](const sa::Finding& f) { return f.rule == rule; });
+}
+
+std::vector<sa::Finding> analyze_one(const std::string& rel, const std::string& src) {
+  return sa::analyze_files({sa::lex(rel, src)}, sa::default_config());
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+TEST(Tokenizer, CommentsAndStringsProduceNoCodeTokens) {
+  const sa::LexedFile f = sa::lex("a.cpp",
+                                  "// for (;;) throw 1;\n"
+                                  "/* while (x) { new int; } */\n"
+                                  "const char* s = \"malloc(1)\";\n");
+  for (const sa::Token& t : f.tokens) {
+    EXPECT_NE(t.text, "for");
+    EXPECT_NE(t.text, "throw");
+    EXPECT_NE(t.text, "while");
+    EXPECT_NE(t.text, "new");
+    EXPECT_NE(t.text, "malloc");
+  }
+  // The string literal itself is a single contentless token.
+  const auto strings = std::count_if(f.tokens.begin(), f.tokens.end(), [](const sa::Token& t) {
+    return t.kind == sa::TokKind::kString;
+  });
+  EXPECT_EQ(strings, 1);
+}
+
+TEST(Tokenizer, RawStringSwallowsEverythingToItsDelimiter) {
+  const sa::LexedFile f = sa::lex("a.cpp",
+                                  "auto r = R\"x(\n"
+                                  "  while (1) { v.push_back(0); }\n"
+                                  "  \")\" )not_the_end\n"
+                                  ")x\";\n"
+                                  "int after = 1;\n");
+  for (const sa::Token& t : f.tokens) EXPECT_NE(t.text, "push_back");
+  // Lexing resynchronizes after the raw string.
+  const auto it = std::find_if(f.tokens.begin(), f.tokens.end(),
+                               [](const sa::Token& t) { return t.text == "after"; });
+  ASSERT_NE(it, f.tokens.end());
+  EXPECT_EQ(it->line, 5);
+}
+
+TEST(Tokenizer, LineContinuationJoinsDirectives) {
+  const sa::LexedFile f = sa::lex("a.cpp",
+                                  "#pragma omp parallel for default(none) \\\n"
+                                  "    shared(a) schedule(static)\n"
+                                  "int x;\n");
+  ASSERT_EQ(f.directives.size(), 1u);
+  EXPECT_EQ(f.directives[0].line, 1);
+  EXPECT_NE(f.directives[0].text.find("schedule(static)"), std::string::npos);
+  // The token after the directive still carries its physical line.
+  const auto it = std::find_if(f.tokens.begin(), f.tokens.end(),
+                               [](const sa::Token& t) { return t.text == "x"; });
+  ASSERT_NE(it, f.tokens.end());
+  EXPECT_EQ(it->line, 3);
+}
+
+TEST(Tokenizer, PragmaInCommentIsNotADirective) {
+  const sa::LexedFile f = sa::lex("a.cpp",
+                                  "// #pragma omp parallel\n"
+                                  "/* #pragma once */\n"
+                                  "#include \"common/x.hpp\"\n");
+  ASSERT_EQ(f.directives.size(), 1u);
+  EXPECT_EQ(f.directives[0].line, 3);
+}
+
+TEST(Tokenizer, DigitSeparatorIsNotACharLiteral) {
+  const sa::LexedFile f = sa::lex("a.cpp", "int n = 1'000'000; char c = 'x';\n");
+  const auto chars = std::count_if(f.tokens.begin(), f.tokens.end(), [](const sa::Token& t) {
+    return t.kind == sa::TokKind::kChar;
+  });
+  EXPECT_EQ(chars, 1);
+  const auto it = std::find_if(f.tokens.begin(), f.tokens.end(), [](const sa::Token& t) {
+    return t.kind == sa::TokKind::kNumber && t.text.rfind("1", 0) == 0;
+  });
+  ASSERT_NE(it, f.tokens.end());
+  EXPECT_EQ(it->text, "1000000");
+}
+
+TEST(Tokenizer, SquashRemovesAllWhitespace) {
+  EXPECT_EQ(sa::squash("default ( none )"), "default(none)");
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions
+// ---------------------------------------------------------------------------
+
+TEST(Suppressions, SameLineAndLineAboveBothApply) {
+  const std::vector<std::string> lines = {
+      "int a;  // sparta-analyze: allow(purity.alloc)",
+      "// sparta-analyze: allow(purity.throw)",
+      "int b;",
+  };
+  sa::Suppressions supp{lines, "sparta-analyze"};
+  EXPECT_TRUE(supp.allowed("purity.alloc", 1));
+  EXPECT_TRUE(supp.allowed("purity.throw", 3));
+  EXPECT_FALSE(supp.allowed("purity.io", 1));
+  EXPECT_FALSE(supp.allowed("purity.alloc", 3));
+  EXPECT_TRUE(supp.unused().empty());
+}
+
+TEST(Suppressions, MultiRuleListAndUnusedTracking) {
+  const std::vector<std::string> lines = {
+      "// sparta-analyze: allow(purity.alloc, omp.default-none)",
+      "int a;",
+  };
+  sa::Suppressions supp{lines, "sparta-analyze"};
+  EXPECT_TRUE(supp.allowed("purity.alloc", 2));
+  const auto unused = supp.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0].rule, "omp.default-none");
+  EXPECT_EQ(unused[0].line, 1);
+}
+
+TEST(Suppressions, WrongTagIsIgnored) {
+  const std::vector<std::string> lines = {"int a;  // sparta-other: allow(purity.alloc)"};
+  sa::Suppressions supp{lines, "sparta-analyze"};
+  EXPECT_FALSE(supp.allowed("purity.alloc", 1));
+}
+
+// ---------------------------------------------------------------------------
+// Rules: accept/reject per family (in-memory)
+// ---------------------------------------------------------------------------
+
+TEST(PurityRule, FlagsAllocationOnlyInsideLoops) {
+  const auto bad = analyze_one("kernels/k.cpp",
+                               "void f(int n) {\n"
+                               "  for (int i = 0; i < n; ++i) {\n"
+                               "    auto* p = new int;\n"
+                               "  }\n"
+                               "}\n");
+  EXPECT_TRUE(has_rule(bad, "purity.alloc"));
+
+  const auto good = analyze_one("kernels/k.cpp",
+                                "void f(int n) {\n"
+                                "  auto* p = new int;\n"
+                                "  for (int i = 0; i < n; ++i) { *p += i; }\n"
+                                "}\n");
+  EXPECT_FALSE(has_rule(good, "purity.alloc"));
+}
+
+TEST(PurityRule, ParallelRegionBraceIsNotALoop) {
+  const auto f = analyze_one("kernels/k.cpp",
+                             "void f(int n) {\n"
+                             "#pragma omp parallel default(none) shared(n)\n"
+                             "  {\n"
+                             "    std::vector<double> scratch(8);\n"
+                             "    for (int i = 0; i < n; ++i) { scratch[0] += i; }\n"
+                             "  }\n"
+                             "}\n");
+  EXPECT_FALSE(has_rule(f, "purity.alloc")) << "per-thread scratch outside loops is legal";
+}
+
+TEST(PurityRule, ColdModulesAreExempt) {
+  const auto f = analyze_one("features/f.cpp",
+                             "void f(int n) {\n"
+                             "  for (int i = 0; i < n; ++i) { auto* p = new int; }\n"
+                             "}\n");
+  EXPECT_FALSE(has_rule(f, "purity.alloc"));
+}
+
+TEST(OmpRule, ParallelNeedsDefaultNone) {
+  const auto bad = analyze_one("sparse/s.cpp",
+                               "void f() {\n"
+                               "#pragma omp parallel for\n"
+                               "  for (int i = 0; i < 4; ++i) {}\n"
+                               "}\n");
+  EXPECT_TRUE(has_rule(bad, "omp.default-none"));
+
+  const auto good = analyze_one("sparse/s.cpp",
+                                "void f() {\n"
+                                "#pragma omp parallel for default(none)\n"
+                                "  for (int i = 0; i < 4; ++i) {}\n"
+                                "}\n");
+  EXPECT_FALSE(has_rule(good, "omp.default-none"));
+
+  // Non-parallel constructs (barrier, simd, for inside a region) are exempt.
+  const auto simd = analyze_one("sparse/s.cpp",
+                                "void f() {\n"
+                                "#pragma omp simd\n"
+                                "  for (int i = 0; i < 4; ++i) {}\n"
+                                "}\n");
+  EXPECT_FALSE(has_rule(simd, "omp.default-none"));
+}
+
+TEST(OmpRule, ScheduleRuntimeOnlyInTuner) {
+  const std::string body =
+      "void f() {\n"
+      "#pragma omp parallel for default(none) schedule(runtime)\n"
+      "  for (int i = 0; i < 4; ++i) {}\n"
+      "}\n";
+  EXPECT_TRUE(has_rule(analyze_one("kernels/k.cpp", body), "omp.schedule-runtime"));
+  EXPECT_FALSE(has_rule(analyze_one("tuner/t.cpp", body), "omp.schedule-runtime"));
+}
+
+TEST(LayeringRule, UpwardIncludeAndCycle) {
+  const auto upward = analyze_one("sparse/s.hpp",
+                                  "#pragma once\n"
+                                  "#include \"engine/e.hpp\"\n");
+  EXPECT_TRUE(has_rule(upward, "layering.upward"));
+
+  const auto cyc = sa::analyze_files(
+      {sa::lex("machine/a.hpp", "#pragma once\n#include \"gen/b.hpp\"\n"),
+       sa::lex("gen/b.hpp", "#pragma once\n#include \"machine/a.hpp\"\n")},
+      sa::default_config());
+  EXPECT_TRUE(has_rule(cyc, "layering.cycle"));
+
+  // The legal direction is quiet.
+  const auto down = analyze_one("engine/e.hpp",
+                                "#pragma once\n"
+                                "#include \"kernels/k.hpp\"\n"
+                                "#include \"common/c.hpp\"\n");
+  EXPECT_FALSE(has_rule(down, "layering.upward"));
+  EXPECT_FALSE(has_rule(down, "layering.cycle"));
+}
+
+TEST(LayeringRule, CheckModuleIsExemptBothWays) {
+  const auto f = sa::analyze_files(
+      {sa::lex("check/v.hpp", "#pragma once\n#include \"engine/e.hpp\"\n"),
+       sa::lex("common/c.hpp", "#pragma once\n#include \"check/v.hpp\"\n")},
+      sa::default_config());
+  EXPECT_FALSE(has_rule(f, "layering.upward"));
+}
+
+TEST(RestrictRule, RawPointerParamsNeedRestrict) {
+  const auto bad = analyze_one("kernels/k.hpp",
+                               "#pragma once\n"
+                               "double row(const double* values, int n);\n");
+  EXPECT_TRUE(has_rule(bad, "restrict.missing"));
+
+  const auto good = analyze_one("kernels/k.hpp",
+                                "#pragma once\n"
+                                "double row(const double* SPARTA_RESTRICT values, int n);\n"
+                                "void apply(void (*fn)(int), int n);\n"
+                                "double span_ok(std::span<const double> v);\n");
+  EXPECT_FALSE(has_rule(good, "restrict.missing"));
+
+  // Cold modules are exempt.
+  const auto cold = analyze_one("features/f.hpp",
+                                "#pragma once\n"
+                                "double row(const double* values, int n);\n");
+  EXPECT_FALSE(has_rule(cold, "restrict.missing"));
+}
+
+TEST(HygieneRule, PragmaOnceUsingNamespaceSelfInclude) {
+  const auto bad_hdr = analyze_one("common/h.hpp", "using namespace std;\nint x;\n");
+  EXPECT_TRUE(has_rule(bad_hdr, "header.pragma-once"));
+  EXPECT_TRUE(has_rule(bad_hdr, "header.using-namespace"));
+
+  // using namespace inside a function body in a header is legal.
+  const auto fn_scope = analyze_one("common/h.hpp",
+                                    "#pragma once\n"
+                                    "inline void f() { using namespace std; }\n");
+  EXPECT_FALSE(has_rule(fn_scope, "header.using-namespace"));
+
+  const auto pair = sa::analyze_files(
+      {sa::lex("common/a.hpp", "#pragma once\nint v();\n"),
+       sa::lex("common/a.cpp", "#include \"common/other.hpp\"\n#include \"common/a.hpp\"\n")},
+      sa::default_config());
+  EXPECT_TRUE(has_rule(pair, "header.self-include"));
+}
+
+TEST(SuppressionRule, AllowSilencesAndUnusedIsReported) {
+  const auto f = analyze_one("kernels/k.cpp",
+                             "void f(int n) {\n"
+                             "  for (int i = 0; i < n; ++i) {\n"
+                             "    auto* p = new int;  // sparta-analyze: allow(purity.alloc)\n"
+                             "  }\n"
+                             "}\n"
+                             "// sparta-analyze: allow(purity.io)\n");
+  EXPECT_FALSE(has_rule(f, "purity.alloc"));
+  ASSERT_TRUE(has_rule(f, "suppression.unused"));
+  const auto rules = rules_of(f);
+  EXPECT_EQ(std::count(rules.begin(), rules.end(), "suppression.unused"), 1);
+}
+
+TEST(Analyzer, FindingsAreSortedAndModuleOfWorks) {
+  EXPECT_EQ(sa::module_of("kernels/spmv.hpp"), "kernels");
+  EXPECT_EQ(sa::module_of("sparta.hpp"), "");
+
+  const auto f = sa::analyze_files(
+      {sa::lex("sparse/z.hpp", "#pragma once\n#include \"engine/e.hpp\"\n"),
+       sa::lex("common/a.hpp", "using namespace std;\n")},
+      sa::default_config());
+  ASSERT_GE(f.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(f.begin(), f.end(), [](const sa::Finding& a, const sa::Finding& b) {
+    return std::tie(a.file, a.line, a.rule) < std::tie(b.file, b.line, b.rule);
+  }));
+}
+
+}  // namespace

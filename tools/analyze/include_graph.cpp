@@ -1,0 +1,125 @@
+// layering.* — the module DAG.
+//
+// Quoted includes are root-relative by repo convention ("common/types.hpp"),
+// so the include graph falls straight out of the directive list: an edge
+// A -> B for every file in module A that includes a header in module B.
+// Legality is layer(B) <= layer(A); same-layer edges are allowed but must
+// stay acyclic. Modules in cfg.anywhere (diagnostics such as `check`) are
+// exempt in both directions; modules absent from cfg.layers raise
+// layering.undeclared so the DAG declaration cannot silently rot.
+#include <algorithm>
+#include <functional>
+#include <map>
+
+#include "analyzer.hpp"
+
+namespace sparta::analyze {
+
+namespace {
+
+std::string quoted_target(const Directive& d) {
+  const std::string sq = squash(d.text);
+  constexpr std::string_view kInc = "#include\"";
+  if (sq.rfind(kInc, 0) != 0) return "";
+  const std::size_t end = sq.find('"', kInc.size());
+  if (end == std::string::npos) return "";
+  return sq.substr(kInc.size(), end - kInc.size());
+}
+
+struct Edge {
+  std::string to;
+  FileCtx* ctx = nullptr;  // representative include site
+  int line = 0;
+};
+
+}  // namespace
+
+void check_layering(std::vector<FileCtx>& ctxs, const Config& cfg, std::vector<Finding>& out) {
+  // module -> outgoing edges (first include site seen per target module).
+  std::map<std::string, std::vector<Edge>> graph;
+  std::set<std::string> undeclared_reported;
+
+  const auto report_undeclared = [&](const std::string& mod, FileCtx& ctx, int line) {
+    if (!undeclared_reported.insert(mod).second) return;
+    if (ctx.supp.allowed("layering.undeclared", line)) return;
+    out.push_back({ctx.file->rel, line, "layering.undeclared",
+                   "module '" + mod + "' is not declared in the layering DAG"});
+  };
+
+  for (FileCtx& ctx : ctxs) {
+    const std::string& from = ctx.module;
+    if (from.empty()) continue;  // umbrella headers at the root are exempt
+    const bool from_anywhere = cfg.anywhere.count(from) != 0;
+    if (!from_anywhere && cfg.layers.count(from) == 0) {
+      report_undeclared(from, ctx, 1);
+      continue;
+    }
+    for (const Directive& d : ctx.file->directives) {
+      const std::string target = quoted_target(d);
+      if (target.empty()) continue;
+      const std::string to = module_of(target);
+      if (to.empty() || to == from) continue;
+      const bool to_anywhere = cfg.anywhere.count(to) != 0;
+      if (from_anywhere || to_anywhere) continue;
+      if (cfg.layers.count(to) == 0) {
+        report_undeclared(to, ctx, d.line);
+        continue;
+      }
+      const int lf = cfg.layers.at(from);
+      const int lt = cfg.layers.at(to);
+      if (lt > lf) {
+        if (!ctx.supp.allowed("layering.upward", d.line)) {
+          out.push_back({ctx.file->rel, d.line, "layering.upward",
+                         "module '" + from + "' (layer " + std::to_string(lf) +
+                             ") includes '" + to + "' (layer " + std::to_string(lt) +
+                             "): upward dependency"});
+        }
+        continue;
+      }
+      std::vector<Edge>& edges = graph[from];
+      const bool seen = std::any_of(edges.begin(), edges.end(),
+                                    [&](const Edge& e) { return e.to == to; });
+      if (!seen) edges.push_back({to, &ctx, d.line});
+    }
+  }
+
+  // Cycle detection over the legal edges (DFS three-colouring). Any
+  // cross-layer cycle already contains an upward edge reported above, so
+  // this catches same-layer cycles.
+  std::map<std::string, int> colour;  // 0 white, 1 grey, 2 black
+  std::vector<std::string> path;
+
+  const std::function<void(const std::string&)> visit = [&](const std::string& mod) {
+    colour[mod] = 1;
+    path.push_back(mod);
+    for (const Edge& e : graph[mod]) {
+      const int c = colour[e.to];
+      if (c == 1) {
+        // Back edge: the cycle is path[pos(e.to)..] + e.to.
+        std::string cyc;
+        bool in_cycle = false;
+        for (const std::string& m : path) {
+          if (m == e.to) in_cycle = true;
+          if (in_cycle) cyc += m + " -> ";
+        }
+        cyc += e.to;
+        if (!e.ctx->supp.allowed("layering.cycle", e.line)) {
+          out.push_back({e.ctx->file->rel, e.line, "layering.cycle",
+                         "module include cycle: " + cyc});
+        }
+      } else if (c == 0) {
+        visit(e.to);
+      }
+    }
+    path.pop_back();
+    colour[mod] = 2;
+  };
+
+  std::vector<std::string> roots;
+  for (const auto& [mod, edges] : graph) roots.push_back(mod);
+  for (const std::string& mod : roots) {
+    if (colour[mod] == 0) visit(mod);
+  }
+}
+
+}  // namespace sparta::analyze

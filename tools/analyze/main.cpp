@@ -1,0 +1,93 @@
+// sparta_analyze — structural static analysis for the SpMV codebase.
+//
+// Usage:
+//   sparta_analyze [--must-flag rule1,rule2,...] <root>
+//
+// Default mode: analyze every C++ file under <root>, print findings as
+// `file:line: [rule] message`, exit 0 when clean and 1 when anything fired.
+//
+// --must-flag inverts the contract for fixture tests: exit 0 iff every
+// listed rule produced at least one finding (proving the rule still
+// rejects its seeded violation), 1 otherwise.
+#include <cstdio>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyzer.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr, "usage: sparta_analyze [--must-flag rule1,rule2,...] <root>\n");
+  return 2;
+}
+
+std::set<std::string> parse_rule_list(const std::string& arg) {
+  std::set<std::string> rules;
+  std::stringstream ss{arg};
+  std::string rule;
+  while (std::getline(ss, rule, ',')) {
+    if (!rule.empty()) rules.insert(rule);
+  }
+  return rules;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root;
+  std::set<std::string> must_flag;
+  bool must_flag_mode = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--must-flag") {
+      if (i + 1 >= argc) return usage();
+      must_flag = parse_rule_list(argv[++i]);
+      must_flag_mode = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else if (root.empty()) {
+      root = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (root.empty() || (must_flag_mode && must_flag.empty())) return usage();
+
+  std::string error;
+  const sparta::analyze::Config cfg = sparta::analyze::default_config();
+  const std::vector<sparta::analyze::Finding> findings =
+      sparta::analyze::analyze_dir(root, cfg, &error);
+  if (!error.empty()) {
+    std::fprintf(stderr, "sparta_analyze: %s\n", error.c_str());
+    return 2;
+  }
+
+  for (const sparta::analyze::Finding& f : findings) {
+    std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                f.message.c_str());
+  }
+
+  if (must_flag_mode) {
+    std::set<std::string> fired;
+    for (const sparta::analyze::Finding& f : findings) fired.insert(f.rule);
+    bool ok = true;
+    for (const std::string& rule : must_flag) {
+      if (fired.count(rule) == 0) {
+        std::fprintf(stderr, "sparta_analyze: expected rule '%s' to fire, but it did not\n",
+                     rule.c_str());
+        ok = false;
+      }
+    }
+    std::fprintf(stderr, "sparta_analyze: %zu finding(s); %s\n", findings.size(),
+                 ok ? "all required rules fired" : "required rules missing");
+    return ok ? 0 : 1;
+  }
+
+  std::fprintf(stderr, "sparta_analyze: %zu finding(s) under %s\n", findings.size(),
+               root.c_str());
+  return findings.empty() ? 0 : 1;
+}

@@ -27,6 +27,15 @@ Rules (each suppressible on a line, or the line above it, with
                    SPARTA_ASSERT (src/check/contract.hpp), which are
                    level-gated and throw descriptive ContractViolations.
 
+  unused-suppression  An ``allow(...)`` comment that matched no finding.
+                   Stale suppressions hide nothing but suggest they do;
+                   this rule is not itself suppressible.
+
+Suppression grammar (shared with sparta_analyze; the normative statement is
+DESIGN.md §12): ``// sparta-<tool>: allow(rule[, rule]...)`` on the finding
+line or the line directly above, where <tool> is ``lint`` here and
+``analyze`` for the C++ analyzer, and rules match ``[a-z0-9.-]+``.
+
 Exit status: 0 clean, 1 findings, 2 usage error.
 """
 
@@ -57,7 +66,31 @@ DEPRECATED_ENTRY_POINTS = (
 # the wrappers themselves, not call sites.
 DEPRECATED_DEFINITION_FILES = {"src/tuner/optimizer.hpp", "src/tuner/optimizer.cpp"}
 
-ALLOW_RE = re.compile(r"sparta-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+ALLOW_RE = re.compile(r"sparta-lint:\s*allow\(([a-z0-9.-]+(?:\s*,\s*[a-z0-9.-]+)*)\)")
+
+
+class Suppressions:
+    """Per-file allow() entries with use-tracking (mirrors the C++
+    sparta::analyze::Suppressions so both tools report stale entries)."""
+
+    def __init__(self, raw_lines: list[str]):
+        self.entries: list[list] = []  # [0-based line idx, rule, used]
+        for idx, line in enumerate(raw_lines):
+            m = ALLOW_RE.search(line)
+            if m:
+                for rule in (r.strip() for r in m.group(1).split(",")):
+                    self.entries.append([idx, rule, False])
+
+    def allowed(self, rule: str, idx: int) -> bool:
+        hit = False
+        for entry in self.entries:
+            if entry[1] == rule and entry[0] in (idx, idx - 1):
+                entry[2] = True
+                hit = True
+        return hit
+
+    def unused(self) -> list[tuple[int, str]]:
+        return [(entry[0], entry[1]) for entry in self.entries if not entry[2]]
 
 OMP_SERIAL_RE = re.compile(r"#\s*pragma\s+omp\s+(critical|atomic)\b")
 ATOMIC_RE = re.compile(r"\bstd::atomic\b")
@@ -122,14 +155,6 @@ class Linter:
         self.root = root
         self.findings: list[tuple[str, int, str, str]] = []
 
-    def allowed(self, rule: str, raw_lines: list[str], idx: int) -> bool:
-        for probe in (idx, idx - 1):
-            if 0 <= probe < len(raw_lines):
-                m = ALLOW_RE.search(raw_lines[probe])
-                if m and rule in {r.strip() for r in m.group(1).split(",")}:
-                    return True
-        return False
-
     def report(self, rule: str, rel: str, lineno: int, message: str) -> None:
         self.findings.append((rel, lineno, rule, message))
 
@@ -137,6 +162,7 @@ class Linter:
         rel = path.relative_to(self.root).as_posix()
         raw = path.read_text(encoding="utf-8").splitlines()
         code = strip_comments_and_strings(raw)
+        supp = Suppressions(raw)
         in_hot = rel.startswith(tuple(d + "/" for d in HOT_DIRS))
         in_src = rel.startswith("src/")
 
@@ -144,7 +170,7 @@ class Linter:
             lineno = idx + 1
             if in_hot:
                 m = OMP_SERIAL_RE.search(line)
-                if m and not self.allowed("omp-critical", raw, idx):
+                if m and not supp.allowed("omp-critical", idx):
                     self.report(
                         "omp-critical", rel, lineno,
                         f"'omp {m.group(1)}' in a hot-path directory; use the "
@@ -152,7 +178,7 @@ class Linter:
                     )
                 if ATOMIC_RE.search(line) and not ALIGNAS_RE.search(line) \
                         and not (idx > 0 and ALIGNAS_RE.search(code[idx - 1])) \
-                        and not self.allowed("shared-counter", raw, idx):
+                        and not supp.allowed("shared-counter", idx):
                     self.report(
                         "shared-counter", rel, lineno,
                         "unpadded std::atomic in a hot-path directory; pad with "
@@ -161,7 +187,7 @@ class Linter:
             if rel not in DEPRECATED_DEFINITION_FILES:
                 for name in DEPRECATED_ENTRY_POINTS:
                     if re.search(rf"\b{name}\s*\(", line) and \
-                            not self.allowed("deprecated-call", raw, idx):
+                            not supp.allowed("deprecated-call", idx):
                         self.report(
                             "deprecated-call", rel, lineno,
                             f"call to deprecated '{name}'; use "
@@ -170,12 +196,18 @@ class Linter:
             if in_src:
                 m = ASSERT_RE.search(line)
                 if m and "static_assert" not in line[max(0, m.start() - 7):m.end()] \
-                        and not self.allowed("raw-assert", raw, idx):
+                        and not supp.allowed("raw-assert", idx):
                     self.report(
                         "raw-assert", rel, lineno,
                         "raw assert in src/; use SPARTA_REQUIRE / SPARTA_ASSERT "
                         "(src/check/contract.hpp)",
                     )
+
+        for idx, rule in supp.unused():
+            self.report(
+                "unused-suppression", rel, idx + 1,
+                f"allow({rule}) matches no finding; remove it",
+            )
 
     def run(self) -> int:
         files = []
