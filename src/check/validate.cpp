@@ -14,6 +14,10 @@ namespace {
   throw ValidationError{std::move(violation), detail};
 }
 
+/// Below this nonzero count the parallel clean/dirty pre-pass of the kFull
+/// CSR scan is not worth a fork/join; the serial scan runs directly.
+constexpr std::size_t kParallelValidateMinNnz = 1u << 15;
+
 /// rowptr must be {0, ...} non-decreasing with size() == nrows + 1; returns
 /// nothing but throws `<prefix>.rowptr.{size,front,monotonic}`.
 void check_rowptr(std::span<const offset_t> rowptr, index_t nrows, const std::string& prefix) {
@@ -53,7 +57,28 @@ void validate_csr(const CsrArrays& a, Level effort) {
                std::to_string(a.values_size) + " entries");
   }
   if (effort < Level::kFull) return;
-  for (index_t r = 0; r < a.nrows; ++r) {
+  // The O(nnz) scan runs on the CsrMatrix constructor path unconditionally,
+  // so it would serialize every parallel builder that ends in a CSR. Large
+  // matrices take a parallel clean/dirty pre-pass (rows are independent);
+  // only when a violation exists does the serial scan below re-run to name
+  // the *first* violation in row order — identical errors either way.
+  const index_t nrows = a.nrows;
+  if (a.colind.size() >= kParallelValidateMinNnz) {
+    bool clean = true;
+#pragma omp parallel for default(none) shared(a, nrows) reduction(&& : clean) schedule(static)
+    for (index_t r = 0; r < nrows; ++r) {
+      const auto b = static_cast<std::size_t>(a.rowptr[static_cast<std::size_t>(r)]);
+      const auto e = static_cast<std::size_t>(a.rowptr[static_cast<std::size_t>(r) + 1]);
+      bool ok = true;
+      for (std::size_t j = b; j < e; ++j) {
+        ok = ok && a.colind[j] >= 0 && a.colind[j] < a.ncols &&
+             (j == b || a.colind[j] > a.colind[j - 1]);
+      }
+      clean = clean && ok;
+    }
+    if (clean) return;
+  }
+  for (index_t r = 0; r < nrows; ++r) {
     const auto b = static_cast<std::size_t>(a.rowptr[static_cast<std::size_t>(r)]);
     const auto e = static_cast<std::size_t>(a.rowptr[static_cast<std::size_t>(r) + 1]);
     for (std::size_t j = b; j < e; ++j) {

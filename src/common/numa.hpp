@@ -8,10 +8,14 @@
 // pays interconnect latency per cache line — exactly the tax the persistent
 // solver engine (src/engine/) is built to avoid.
 //
-// NumaArray allocates cache-line-aligned storage *without touching it*; the
-// owner is expected to initialize each element range from the thread that
-// will later read it (see PreparedSpmv's first-touch build and the engine's
-// vector setup pass).
+// Two untouched-storage containers are provided:
+//  - `numa_vector<T>`: std::vector over FirstTouchAllocator, whose sized
+//    constructor default-initializes (a no-op for trivial T) instead of
+//    zero-filling. The format builders size these exactly and first-touch
+//    them from their parallel fill passes (DESIGN.md §13);
+//  - `NumaArray<T>`: a minimal move-only array for owners that manage the
+//    element lifetime entirely by hand (see PreparedSpmv's first-touch
+//    build and the engine's vector setup pass).
 #pragma once
 
 #include <cstdlib>
@@ -19,10 +23,50 @@
 #include <span>
 #include <type_traits>
 #include <utility>
+#include <vector>
 
 #include "common/types.hpp"
 
 namespace sparta {
+
+/// AlignedAllocator whose `construct()` default-initializes instead of
+/// value-initializing. For trivial T, default-init is a no-op, so
+/// `numa_vector<T> v(n)` allocates n elements *without writing them* — the
+/// pages stay unmapped until the parallel fill pass touches them, placing
+/// each page on the node of its first-writing thread. The price is that
+/// unwritten elements hold indeterminate values: every builder using
+/// numa_vector must write every element (the two-pass builders in
+/// src/sparse/ do, by construction). Explicit-value forms
+/// (`numa_vector<T> v(n, x)`, assign, push_back) initialize normally.
+template <class T, std::size_t Alignment = kCacheLineBytes>
+class FirstTouchAllocator : public AlignedAllocator<T, Alignment> {
+ public:
+  using value_type = T;
+
+  FirstTouchAllocator() noexcept = default;
+  template <class U>
+  explicit FirstTouchAllocator(const FirstTouchAllocator<U, Alignment>&) noexcept {}
+
+  template <class U>
+  struct rebind {
+    using other = FirstTouchAllocator<U, Alignment>;
+  };
+
+  template <class U>
+  void construct(U* p) noexcept(std::is_nothrow_default_constructible_v<U>) {
+    ::new (static_cast<void*>(p)) U;  // default-init: no-op for trivial U
+  }
+  template <class U, class... Args>
+  void construct(U* p, Args&&... args) {
+    ::new (static_cast<void*>(p)) U(std::forward<Args>(args)...);
+  }
+};
+
+/// Cache-line-aligned vector with first-touch (default-init) sizing. The
+/// storage type of the format builders: sized exactly, then filled in
+/// parallel by the threads that will later read each range.
+template <class T>
+using numa_vector = std::vector<T, FirstTouchAllocator<T>>;
 
 template <class T>
 class NumaArray {

@@ -40,20 +40,38 @@ SolverEngine::SolverEngine(const CsrMatrix& a, const sim::KernelConfig& cfg,
     : a_(&a),
       opts_(opts),
       threads_(opts.threads > 0 ? opts.threads : omp_get_max_threads()),
-      prepared_(a, kernels::SpmvOptions{.config = cfg,
-                                        .threads = threads_,
-                                        .first_touch = opts.first_touch}) {
-  if (opts_.jacobi) {
-    const auto n = static_cast<std::size_t>(a.nrows());
-    inv_diag_.assign(n, 1.0);
-    for (index_t i = 0; i < a.nrows(); ++i) {
-      const auto cols = a.row_cols(i);
-      const auto vals = a.row_vals(i);
-      for (std::size_t j = 0; j < cols.size(); ++j) {
-        if (cols[j] == i && vals[j] != 0.0) {
-          inv_diag_[static_cast<std::size_t>(i)] = 1.0 / vals[j];
-          break;
-        }
+      prepared_(std::make_shared<const kernels::PreparedSpmv>(
+          a, kernels::SpmvOptions{.config = cfg,
+                                  .threads = threads_,
+                                  .first_touch = opts.first_touch})) {
+  init_jacobi();
+}
+
+SolverEngine::SolverEngine(const CsrMatrix& a,
+                           std::shared_ptr<const kernels::PreparedSpmv> prepared,
+                           const EngineOptions& opts)
+    : a_(&a), opts_(opts), prepared_(std::move(prepared)) {
+  if (!prepared_) {
+    throw std::invalid_argument{"SolverEngine: prepared kernel must be non-null"};
+  }
+  // The region partition is fixed at preparation time; the engine must run
+  // exactly that many threads.
+  threads_ = prepared_->threads();
+  init_jacobi();
+}
+
+void SolverEngine::init_jacobi() {
+  if (!opts_.jacobi) return;
+  const CsrMatrix& a = *a_;
+  const auto n = static_cast<std::size_t>(a.nrows());
+  inv_diag_.assign(n, 1.0);
+  for (index_t i = 0; i < a.nrows(); ++i) {
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_vals(i);
+    for (std::size_t j = 0; j < cols.size(); ++j) {
+      if (cols[j] == i && vals[j] != 0.0) {
+        inv_diag_[static_cast<std::size_t>(i)] = 1.0 / vals[j];
+        break;
       }
     }
   }
@@ -68,7 +86,7 @@ solvers::SolveResult SolverEngine::cg(std::span<const value_t> b,
     throw std::invalid_argument{"engine cg: vector size mismatch"};
   }
 
-  const auto parts = prepared_.region_parts();
+  const auto parts = prepared_->region_parts();
   const int nparts = static_cast<int>(parts.size());
   const bool jacobi = opts_.jacobi;
   const double tol = opts_.tolerance;
@@ -105,7 +123,7 @@ solvers::SolveResult SolverEngine::cg(std::span<const value_t> b,
     result.iter_seconds.resize(static_cast<std::size_t>(max_it));
   }
   Timer iter_timer;  // shared; reset/read inside barrier-ordered singles
-  const kernels::PreparedSpmv& spmv = prepared_;
+  const kernels::PreparedSpmv& spmv = *prepared_;
 
 #pragma omp parallel default(none) num_threads(threads_)                                   \
     shared(parts, nparts, jacobi, tol, max_it, inv_diag, b, x, r, p, ap, z, slots, st,     \
@@ -262,7 +280,7 @@ solvers::SolveResult SolverEngine::bicgstab(std::span<const value_t> b,
     throw std::invalid_argument{"engine bicgstab: vector size mismatch"};
   }
 
-  const auto parts = prepared_.region_parts();
+  const auto parts = prepared_->region_parts();
   const int nparts = static_cast<int>(parts.size());
   const double tol = opts_.tolerance;
   const int max_it = opts_.max_iterations;
@@ -296,7 +314,7 @@ solvers::SolveResult SolverEngine::bicgstab(std::span<const value_t> b,
     result.iter_seconds.resize(static_cast<std::size_t>(max_it));
   }
   Timer iter_timer;  // shared; reset/read inside barrier-ordered singles
-  const kernels::PreparedSpmv& spmv = prepared_;
+  const kernels::PreparedSpmv& spmv = *prepared_;
 
 #pragma omp parallel default(none) num_threads(threads_)                                   \
     shared(parts, nparts, tol, max_it, b, x, r, r0, p, v, s, t, slots, st, track,          \

@@ -25,6 +25,7 @@
 // semantics, so results agree to reduction rounding.
 #pragma once
 
+#include <memory>
 #include <span>
 
 #include "common/types.hpp"
@@ -53,6 +54,12 @@ class SolverEngine {
   explicit SolverEngine(const CsrMatrix& a, const sim::KernelConfig& cfg = {},
                         const EngineOptions& opts = {});
 
+  /// Adopt an already-prepared kernel instance (e.g. from the tuner's
+  /// PlanCache) instead of re-running preprocessing. `prepared` must be
+  /// non-null, built from `a`, and its thread count wins over opts.threads.
+  SolverEngine(const CsrMatrix& a, std::shared_ptr<const kernels::PreparedSpmv> prepared,
+               const EngineOptions& opts = {});
+
   /// Fused CG for SPD A. `x` holds the initial guess on entry and the
   /// solution on exit. Same iteration semantics as solvers::cg.
   solvers::SolveResult cg(std::span<const value_t> b, std::span<value_t> x) const;
@@ -60,15 +67,21 @@ class SolverEngine {
   /// Fused BiCGSTAB. Same iteration semantics as solvers::bicgstab.
   solvers::SolveResult bicgstab(std::span<const value_t> b, std::span<value_t> x) const;
 
-  [[nodiscard]] const kernels::PreparedSpmv& prepared() const { return prepared_; }
+  [[nodiscard]] const kernels::PreparedSpmv& prepared() const { return *prepared_; }
+  /// The engine's owning handle — shareable with other engines/callers.
+  [[nodiscard]] const std::shared_ptr<const kernels::PreparedSpmv>& prepared_ptr() const {
+    return prepared_;
+  }
   [[nodiscard]] int threads() const { return threads_; }
   [[nodiscard]] const EngineOptions& options() const { return opts_; }
 
  private:
+  void init_jacobi();
+
   const CsrMatrix* a_;
   EngineOptions opts_;
   int threads_;
-  kernels::PreparedSpmv prepared_;
+  std::shared_ptr<const kernels::PreparedSpmv> prepared_;
   aligned_vector<value_t> inv_diag_;  // Jacobi weights; empty unless opts_.jacobi
 };
 

@@ -163,15 +163,6 @@ struct ElemRange {
 
 }  // namespace
 
-PreparedSpmv::PreparedSpmv(const CsrMatrix& a, const KernelConfig& cfg, int threads,
-                           bool first_touch)
-    : PreparedSpmv(a, [&] {
-        // The positional ctor's historical contract: 0 threads is an error,
-        // not "use all" (pinned by tests).
-        if (threads <= 0) throw std::invalid_argument{"PreparedSpmv: threads <= 0"};
-        return SpmvOptions{.config = cfg, .threads = threads, .first_touch = first_touch};
-      }()) {}
-
 PreparedSpmv::PreparedSpmv(const CsrMatrix& a, const SpmvOptions& opts) : config_(opts.config) {
   if (opts.threads < 0) throw std::invalid_argument{"PreparedSpmv: threads < 0"};
   const int threads = opts.threads > 0 ? opts.threads : omp_get_max_threads();
@@ -186,7 +177,7 @@ PreparedSpmv::PreparedSpmv(const CsrMatrix& a, const SpmvOptions& opts) : config
 
   bool use_delta = cfg.delta;
   if (use_delta) {
-    auto d = DeltaCsrMatrix::compress(a);
+    auto d = DeltaCsrMatrix::compress(a, threads);
     if (d) {
       prepared->delta = std::move(*d);
       prepared->delta_view = make_view(*prepared->delta);
@@ -198,7 +189,7 @@ PreparedSpmv::PreparedSpmv(const CsrMatrix& a, const SpmvOptions& opts) : config
 
   const CsrMatrix* part_source = &a;
   if (cfg.decomposed) {
-    prepared->decomposed = DecomposedCsrMatrix::decompose(a);
+    prepared->decomposed = DecomposedCsrMatrix::decompose(a, /*threshold=*/0, threads);
     part_source = &prepared->decomposed->short_part();
   }
 

@@ -56,10 +56,6 @@ class PreparedSpmv {
   /// false).
   explicit PreparedSpmv(const CsrMatrix& a, const SpmvOptions& opts = {});
 
-  [[deprecated("use PreparedSpmv(a, SpmvOptions{.config = cfg, .threads = t, ...})")]]
-  PreparedSpmv(const CsrMatrix& a, const KernelConfig& cfg, int threads,
-               bool first_touch = false);
-
   /// Run y = A * x.
   void run(std::span<const value_t> x, std::span<value_t> y) const;
 

@@ -1,14 +1,123 @@
 #include "sparse/bcsr.hpp"
 
+#include <algorithm>
 #include <map>
 #include <stdexcept>
 
 #include "check/contract.hpp"
 #include "check/validate.hpp"
+#include "sparse/build.hpp"
 
 namespace sparta {
 
-BcsrMatrix BcsrMatrix::from_csr(const CsrMatrix& m, index_t r, index_t c) {
+BcsrMatrix BcsrMatrix::from_csr(const CsrMatrix& m, index_t r, index_t c, int threads) {
+  if (r <= 0 || c <= 0) throw std::invalid_argument{"bcsr: block dims must be positive"};
+  const int nthreads = build::resolve_threads(threads);
+  build::PhaseRecorder rec{"bcsr"};
+  BcsrMatrix b;
+  b.nrows_ = m.nrows();
+  b.ncols_ = m.ncols();
+  b.r_ = r;
+  b.c_ = c;
+  b.nnz_ = m.nnz();
+
+  const index_t nblock_rows = (m.nrows() + r - 1) / r;
+  const index_t nblock_cols = (m.ncols() + c - 1) / c;
+  const auto nbr = static_cast<std::ptrdiff_t>(nblock_rows);
+
+  // Count pass: block-rows are independent; a per-thread stamp array
+  // (stamp[bc] == br marks block column bc as seen for block-row br — the
+  // epoch trick, no clearing between block-rows) counts distinct blocks.
+  rec.phase("count");
+  b.block_rowptr_ = numa_vector<offset_t>(static_cast<std::size_t>(nblock_rows) + 1);
+  b.block_rowptr_[0] = 0;
+#pragma omp parallel default(none) shared(b, m, r, c, nbr, nblock_cols) num_threads(nthreads)
+  {
+    aligned_vector<index_t> stamp(static_cast<std::size_t>(nblock_cols), -1);
+#pragma omp for schedule(static)
+    for (std::ptrdiff_t br = 0; br < nbr; ++br) {
+      const auto brow = static_cast<index_t>(br);
+      const index_t row_end = std::min<index_t>(m.nrows(), (brow + 1) * r);
+      offset_t count = 0;
+      for (index_t i = brow * r; i < row_end; ++i) {
+        for (index_t col : m.row_cols(i)) {
+          const auto bc = static_cast<std::size_t>(col / c);
+          if (stamp[bc] != brow) {
+            stamp[bc] = brow;
+            ++count;
+          }
+        }
+      }
+      b.block_rowptr_[static_cast<std::size_t>(br) + 1] = count;
+    }
+  }
+
+  rec.phase("scan");
+  for (std::size_t i = 0; i < static_cast<std::size_t>(nblock_rows); ++i) {
+    b.block_rowptr_[i + 1] += b.block_rowptr_[i];
+  }
+
+  // Fill pass: each block-row owns a disjoint slice of block_colind/values.
+  // Distinct block columns are re-discovered into a per-thread scratch list
+  // (reserved up front — no reallocation inside the loop), sorted ascending
+  // to match the serial builder's std::map ordering, payloads zeroed, then
+  // values scattered. Every output slot is written, so the default-init
+  // numa_vector storage is fully first-touched by its filling thread.
+  rec.phase("fill");
+  const auto nblocks = static_cast<std::size_t>(b.block_rowptr_[static_cast<std::size_t>(nblock_rows)]);
+  const auto payload = static_cast<std::size_t>(r) * static_cast<std::size_t>(c);
+  b.block_colind_ = numa_vector<index_t>(nblocks);
+  b.values_ = numa_vector<value_t>(nblocks * payload);
+#pragma omp parallel default(none) \
+    shared(b, m, r, c, nbr, nblock_cols, payload) num_threads(nthreads)
+  {
+    aligned_vector<index_t> stamp(static_cast<std::size_t>(nblock_cols), -1);
+    aligned_vector<offset_t> slot(static_cast<std::size_t>(nblock_cols), 0);
+    aligned_vector<index_t> bcs;
+    bcs.reserve(static_cast<std::size_t>(nblock_cols));
+#pragma omp for schedule(static)
+    for (std::ptrdiff_t br = 0; br < nbr; ++br) {
+      const auto brow = static_cast<index_t>(br);
+      const index_t row_end = std::min<index_t>(m.nrows(), (brow + 1) * r);
+      bcs.clear();
+      for (index_t i = brow * r; i < row_end; ++i) {
+        for (index_t col : m.row_cols(i)) {
+          const index_t bc = col / c;
+          if (stamp[static_cast<std::size_t>(bc)] != brow) {
+            stamp[static_cast<std::size_t>(bc)] = brow;
+            bcs.push_back(bc);
+          }
+        }
+      }
+      std::sort(bcs.begin(), bcs.end());
+      const auto base = static_cast<std::size_t>(b.block_rowptr_[static_cast<std::size_t>(br)]);
+      for (std::size_t idx = 0; idx < bcs.size(); ++idx) {
+        const index_t bc = bcs[idx];
+        b.block_colind_[base + idx] = bc;
+        slot[static_cast<std::size_t>(bc)] = static_cast<offset_t>(base + idx);
+        std::fill_n(b.values_.begin() + static_cast<std::ptrdiff_t>((base + idx) * payload),
+                    static_cast<std::ptrdiff_t>(payload), 0.0);
+      }
+      for (index_t i = brow * r; i < row_end; ++i) {
+        const auto cols = m.row_cols(i);
+        const auto vals = m.row_vals(i);
+        for (std::size_t j = 0; j < cols.size(); ++j) {
+          const index_t bc = cols[j] / c;
+          const auto local =
+              static_cast<std::size_t>(i - brow * r) * static_cast<std::size_t>(c) +
+              static_cast<std::size_t>(cols[j] - bc * c);
+          b.values_[static_cast<std::size_t>(slot[static_cast<std::size_t>(bc)]) * payload +
+                    local] = vals[j];
+        }
+      }
+    }
+  }
+  rec.finish(b.bytes());
+  SPARTA_CHECK_STRUCTURE(b);
+  return b;
+}
+
+BcsrMatrix BcsrMatrix::from_csr_serial(const CsrMatrix& m, index_t r, index_t c) {
   if (r <= 0 || c <= 0) throw std::invalid_argument{"bcsr: block dims must be positive"};
   BcsrMatrix b;
   b.nrows_ = m.nrows();

@@ -12,6 +12,7 @@
 
 #include <span>
 
+#include "common/numa.hpp"
 #include "common/types.hpp"
 #include "sparse/csr.hpp"
 
@@ -20,8 +21,16 @@ namespace sparta {
 class BcsrMatrix {
  public:
   /// Convert from CSR with r x c blocks (r, c >= 1). Throws
-  /// std::invalid_argument on non-positive block dimensions.
-  static BcsrMatrix from_csr(const CsrMatrix& m, index_t r, index_t c);
+  /// std::invalid_argument on non-positive block dimensions. The conversion
+  /// is a parallel two-pass builder (per-thread stamp arrays discover the
+  /// distinct blocks of each block-row; prefix sum; exact-fill); `threads`
+  /// = 0 means omp_get_max_threads() and the output is bit-identical to
+  /// from_csr_serial for every thread count.
+  static BcsrMatrix from_csr(const CsrMatrix& m, index_t r, index_t c, int threads = 0);
+
+  /// Single-threaded reference builder (the pre-pipeline implementation);
+  /// kept as the bit-identity oracle for tests and the preprocessing bench.
+  static BcsrMatrix from_csr_serial(const CsrMatrix& m, index_t r, index_t c);
 
   [[nodiscard]] index_t nrows() const { return nrows_; }
   [[nodiscard]] index_t ncols() const { return ncols_; }
@@ -66,9 +75,9 @@ class BcsrMatrix {
   index_t r_ = 1;
   index_t c_ = 1;
   offset_t nnz_ = 0;
-  aligned_vector<offset_t> block_rowptr_{0};
-  aligned_vector<index_t> block_colind_;
-  aligned_vector<value_t> values_;
+  numa_vector<offset_t> block_rowptr_{0};
+  numa_vector<index_t> block_colind_;
+  numa_vector<value_t> values_;
 };
 
 /// Serial reference SpMV on BCSR (golden implementation for tests).

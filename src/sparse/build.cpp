@@ -1,0 +1,40 @@
+#include "sparse/build.hpp"
+
+#include <omp.h>
+
+#include <stdexcept>
+
+namespace sparta::build {
+
+int resolve_threads(int threads) {
+  if (threads < 0) throw std::invalid_argument{"build: threads < 0"};
+  return threads > 0 ? threads : omp_get_max_threads();
+}
+
+PhaseRecorder::PhaseRecorder(std::string_view format)
+    : enabled_(obs::enabled()), format_(enabled_ ? format : std::string_view{}) {}
+
+void PhaseRecorder::close() {
+  if (!enabled_ || current_.empty()) return;
+  obs::Registry::global()
+      .histogram("sparse.build." + format_ + "." + current_ + ".micros")
+      .record(timer_.seconds() * 1e6);
+}
+
+void PhaseRecorder::phase(std::string_view name) {
+  if (!enabled_) return;
+  close();
+  current_.assign(name);
+  timer_.reset();
+}
+
+void PhaseRecorder::finish(std::size_t bytes) {
+  if (!enabled_) return;
+  close();
+  current_.clear();
+  obs::Registry::global()
+      .counter("sparse.build." + format_ + ".bytes")
+      .add(static_cast<double>(bytes));
+}
+
+}  // namespace sparta::build

@@ -1,0 +1,59 @@
+// Shared plumbing of the parallel inspector pipeline (DESIGN.md §13).
+//
+// Every format builder in src/sparse/ follows the same two-pass shape:
+// parallel count -> prefix-sum scan -> parallel fill into exactly-sized,
+// first-touched arrays (numa_vector). This header carries the two pieces
+// they all need: thread-count resolution and the per-phase telemetry
+// recorder that feeds the `sparse.build.<format>.<phase>.micros` histograms
+// and `sparse.build.<format>.bytes` counters of the obs registry.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "common/timer.hpp"
+#include "common/types.hpp"
+#include "obs/telemetry.hpp"
+
+namespace sparta::build {
+
+/// Resolve a builder `threads` argument: 0 means omp_get_max_threads(),
+/// positive is taken as-is, negative throws std::invalid_argument. Builders
+/// accept the count explicitly (instead of reading the OpenMP default at
+/// each pragma) so tests can prove bit-identical output across counts.
+int resolve_threads(int threads);
+
+/// Evenly split `n` items into `nchunks` contiguous ranges; chunk `c` is
+/// [chunk_begin(n, nchunks, c), chunk_begin(n, nchunks, c + 1)). The split
+/// depends only on (n, nchunks), never on scheduling order.
+inline std::size_t chunk_begin(std::size_t n, int nchunks, int c) {
+  return n * static_cast<std::size_t>(c) / static_cast<std::size_t>(nchunks);
+}
+
+/// Per-phase stopwatch for one builder invocation. Phases are the canonical
+/// pipeline stages — "count", "scan", "fill", "permute" — each recorded as
+/// `sparse.build.<format>.<phase>.micros`; finish() additionally records the
+/// bytes of the produced format into `sparse.build.<format>.bytes`. Inert
+/// (no registry access, no strings) while telemetry is disabled, so the
+/// serial-vs-parallel smoke bound is not distorted by bookkeeping.
+class PhaseRecorder {
+ public:
+  explicit PhaseRecorder(std::string_view format);
+
+  /// Close the currently open phase (if any) and start `name`.
+  void phase(std::string_view name);
+
+  /// Close the last phase and record the produced-bytes counter.
+  void finish(std::size_t bytes);
+
+ private:
+  void close();
+
+  bool enabled_ = false;
+  std::string format_;
+  std::string current_;
+  Timer timer_;
+};
+
+}  // namespace sparta::build

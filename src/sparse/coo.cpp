@@ -11,6 +11,18 @@ CooMatrix::CooMatrix(index_t nrows, index_t ncols) : nrows_(nrows), ncols_(ncols
   }
 }
 
+CooMatrix CooMatrix::from_triplets(index_t nrows, index_t ncols,
+                                   std::vector<Triplet> entries) {
+  CooMatrix coo{nrows, ncols};
+  for (const Triplet& t : entries) {
+    if (t.row < 0 || t.row >= nrows || t.col < 0 || t.col >= ncols) {
+      throw std::out_of_range{"CooMatrix::from_triplets: coordinate out of range"};
+    }
+  }
+  coo.entries_ = std::move(entries);
+  return coo;
+}
+
 void CooMatrix::add(index_t row, index_t col, value_t value) {
   if (row < 0 || row >= nrows_ || col < 0 || col >= ncols_) {
     throw std::out_of_range{"CooMatrix::add: coordinate out of range"};

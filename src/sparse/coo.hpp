@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 #include "common/types.hpp"
 
@@ -22,6 +23,13 @@ struct Triplet {
 class CooMatrix {
  public:
   CooMatrix(index_t nrows, index_t ncols);
+
+  /// Bulk assembly: take ownership of a prebuilt triplet list and validate
+  /// all coordinates in one pass. The fast path for loaders that know their
+  /// entry count up front — no per-entry push_back or repeated bounds
+  /// checks. Throws std::out_of_range on the first bad coordinate.
+  static CooMatrix from_triplets(index_t nrows, index_t ncols,
+                                 std::vector<Triplet> entries);
 
   [[nodiscard]] index_t nrows() const { return nrows_; }
   [[nodiscard]] index_t ncols() const { return ncols_; }

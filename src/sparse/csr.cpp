@@ -1,14 +1,16 @@
 #include "sparse/csr.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 
 #include "check/validate.hpp"
+#include "sparse/build.hpp"
 
 namespace sparta {
 
-CsrMatrix::CsrMatrix(index_t nrows, index_t ncols, aligned_vector<offset_t> rowptr,
-                     aligned_vector<index_t> colind, aligned_vector<value_t> values)
+CsrMatrix::CsrMatrix(index_t nrows, index_t ncols, numa_vector<offset_t> rowptr,
+                     numa_vector<index_t> colind, numa_vector<value_t> values)
     : nrows_(nrows),
       ncols_(ncols),
       rowptr_(std::move(rowptr)),
@@ -17,7 +19,8 @@ CsrMatrix::CsrMatrix(index_t nrows, index_t ncols, aligned_vector<offset_t> rowp
   validate();
 }
 
-CsrMatrix CsrMatrix::from_coo(const CooMatrix& coo) {
+CsrMatrix CsrMatrix::from_coo(const CooMatrix& coo, int threads) {
+  const int nthreads = build::resolve_threads(threads);
   const CooMatrix* src = &coo;
   CooMatrix tmp{0, 0};
   if (!coo.is_compressed()) {
@@ -25,18 +28,39 @@ CsrMatrix CsrMatrix::from_coo(const CooMatrix& coo) {
     tmp.compress();
     src = &tmp;
   }
-  const auto n = static_cast<std::size_t>(src->nrows());
-  aligned_vector<offset_t> rowptr(n + 1, 0);
-  aligned_vector<index_t> colind;
-  aligned_vector<value_t> values;
-  colind.reserve(static_cast<std::size_t>(src->nnz()));
-  values.reserve(static_cast<std::size_t>(src->nnz()));
-  for (const auto& e : src->entries()) {
-    ++rowptr[static_cast<std::size_t>(e.row) + 1];
-    colind.push_back(e.col);
-    values.push_back(e.value);
+  build::PhaseRecorder rec{"csr"};
+  const auto n = static_cast<std::ptrdiff_t>(src->nrows());
+  const std::vector<Triplet>& entries = src->entries();
+  const auto nnz = static_cast<std::ptrdiff_t>(entries.size());
+
+  // Count pass. The entries are sorted by (row, col), so each rowptr entry
+  // is independent: rowptr[i] = index of the first entry with row >= i —
+  // exactly the value the serial count-then-prefix-sum scan produces.
+  rec.phase("count");
+  numa_vector<offset_t> rowptr(static_cast<std::size_t>(n) + 1);
+  rowptr[0] = 0;
+#pragma omp parallel for default(none) shared(rowptr, entries, n) num_threads(nthreads) \
+    schedule(static)
+  for (std::ptrdiff_t i = 1; i <= n; ++i) {
+    const auto it = std::lower_bound(
+        entries.begin(), entries.end(), static_cast<index_t>(i),
+        [](const Triplet& t, index_t row) { return t.row < row; });
+    rowptr[static_cast<std::size_t>(i)] = static_cast<offset_t>(it - entries.begin());
   }
-  for (std::size_t i = 0; i < n; ++i) rowptr[i + 1] += rowptr[i];
+
+  // Fill pass: element-wise copy, first-touching colind/values in row order.
+  rec.phase("fill");
+  numa_vector<index_t> colind(static_cast<std::size_t>(nnz));
+  numa_vector<value_t> values(static_cast<std::size_t>(nnz));
+#pragma omp parallel for default(none) shared(colind, values, entries, nnz) \
+    num_threads(nthreads) schedule(static)
+  for (std::ptrdiff_t j = 0; j < nnz; ++j) {
+    const auto k = static_cast<std::size_t>(j);
+    colind[k] = entries[k].col;
+    values[k] = entries[k].value;
+  }
+  rec.finish(rowptr.size() * sizeof(offset_t) + colind.size() * sizeof(index_t) +
+             values.size() * sizeof(value_t));
   return CsrMatrix{src->nrows(), src->ncols(), std::move(rowptr), std::move(colind),
                    std::move(values)};
 }
@@ -75,11 +99,13 @@ void CsrMatrix::validate() const {
 
 CsrMatrix CsrMatrix::transpose() const {
   const auto n = static_cast<std::size_t>(ncols_);
-  aligned_vector<offset_t> rowptr(n + 1, 0);
+  numa_vector<offset_t> rowptr(n + 1, 0);
   for (index_t c : colind_) ++rowptr[static_cast<std::size_t>(c) + 1];
   for (std::size_t i = 0; i < n; ++i) rowptr[i + 1] += rowptr[i];
-  aligned_vector<index_t> colind(colind_.size());
-  aligned_vector<value_t> values(values_.size());
+  // The scatter writes every destination slot exactly once (cursor walks
+  // each target row left to right), so default-init storage is safe.
+  numa_vector<index_t> colind(colind_.size());
+  numa_vector<value_t> values(values_.size());
   aligned_vector<offset_t> cursor(rowptr.begin(), rowptr.end() - 1);
   for (index_t r = 0; r < nrows_; ++r) {
     const auto cols = row_cols(r);
@@ -99,15 +125,15 @@ CsrMatrix CsrMatrix::slice_rows(index_t begin, index_t end) const {
   }
   const auto b = static_cast<std::size_t>(rowptr_[static_cast<std::size_t>(begin)]);
   const auto e = static_cast<std::size_t>(rowptr_[static_cast<std::size_t>(end)]);
-  aligned_vector<offset_t> rowptr(static_cast<std::size_t>(end - begin) + 1);
+  numa_vector<offset_t> rowptr(static_cast<std::size_t>(end - begin) + 1);
   for (index_t i = begin; i <= end; ++i) {
     rowptr[static_cast<std::size_t>(i - begin)] =
         rowptr_[static_cast<std::size_t>(i)] - static_cast<offset_t>(b);
   }
-  aligned_vector<index_t> colind(colind_.begin() + static_cast<std::ptrdiff_t>(b),
-                                 colind_.begin() + static_cast<std::ptrdiff_t>(e));
-  aligned_vector<value_t> values(values_.begin() + static_cast<std::ptrdiff_t>(b),
-                                 values_.begin() + static_cast<std::ptrdiff_t>(e));
+  numa_vector<index_t> colind(colind_.begin() + static_cast<std::ptrdiff_t>(b),
+                              colind_.begin() + static_cast<std::ptrdiff_t>(e));
+  numa_vector<value_t> values(values_.begin() + static_cast<std::ptrdiff_t>(b),
+                              values_.begin() + static_cast<std::ptrdiff_t>(e));
   return CsrMatrix{end - begin, ncols_, std::move(rowptr), std::move(colind),
                    std::move(values)};
 }

@@ -4,6 +4,7 @@
 
 #include <span>
 
+#include "common/numa.hpp"
 #include "common/types.hpp"
 #include "sparse/coo.hpp"
 
@@ -20,12 +21,17 @@ class CsrMatrix {
   CsrMatrix() : nrows_(0), ncols_(0), rowptr_{0} {}
 
   /// Take ownership of prebuilt arrays. Throws std::invalid_argument if the
-  /// structure is malformed (see validate()).
-  CsrMatrix(index_t nrows, index_t ncols, aligned_vector<offset_t> rowptr,
-            aligned_vector<index_t> colind, aligned_vector<value_t> values);
+  /// structure is malformed (see validate()). Storage is numa_vector so
+  /// producers can size exactly and first-touch from their fill threads.
+  CsrMatrix(index_t nrows, index_t ncols, numa_vector<offset_t> rowptr,
+            numa_vector<index_t> colind, numa_vector<value_t> values);
 
-  /// Build from a COO matrix (compresses a copy if needed).
-  static CsrMatrix from_coo(const CooMatrix& coo);
+  /// Build from a COO matrix (compresses a copy if needed). The conversion
+  /// is a two-pass parallel builder: rowptr boundaries by binary search over
+  /// the sorted entries, then an element-wise parallel fill that first-
+  /// touches colind/values. `threads` = 0 means omp_get_max_threads(); the
+  /// output is bit-identical for every thread count.
+  static CsrMatrix from_coo(const CooMatrix& coo, int threads = 0);
 
   [[nodiscard]] index_t nrows() const { return nrows_; }
   [[nodiscard]] index_t ncols() const { return ncols_; }
@@ -73,9 +79,9 @@ class CsrMatrix {
  private:
   index_t nrows_;
   index_t ncols_;
-  aligned_vector<offset_t> rowptr_;
-  aligned_vector<index_t> colind_;
-  aligned_vector<value_t> values_;
+  numa_vector<offset_t> rowptr_;
+  numa_vector<index_t> colind_;
+  numa_vector<value_t> values_;
 };
 
 /// Reference (serial, obviously-correct) SpMV: y = A * x. Used as the golden

@@ -1,9 +1,11 @@
 #include "sparse/decomposed_csr.hpp"
 
 #include <algorithm>
+#include <vector>
 
 #include "check/contract.hpp"
 #include "check/validate.hpp"
+#include "sparse/build.hpp"
 
 namespace sparta {
 
@@ -13,14 +15,126 @@ index_t DecomposedCsrMatrix::default_threshold(const CsrMatrix& csr) {
   return std::max(kMinLongRow, static_cast<index_t>(8.0 * avg));
 }
 
-DecomposedCsrMatrix DecomposedCsrMatrix::decompose(const CsrMatrix& csr, index_t threshold) {
+namespace {
+
+/// Per-chunk classification totals for the parallel decompose count pass.
+struct ChunkTally {
+  offset_t short_nnz = 0;
+  index_t long_rows = 0;
+  offset_t long_nnz = 0;
+};
+
+}  // namespace
+
+DecomposedCsrMatrix DecomposedCsrMatrix::decompose(const CsrMatrix& csr, index_t threshold,
+                                                   int threads) {
+  const int nthreads = build::resolve_threads(threads);
+  build::PhaseRecorder rec{"decomposed"};
+  DecomposedCsrMatrix out;
+  out.threshold_ = threshold > 0 ? threshold : default_threshold(csr);
+  const index_t thr = out.threshold_;
+
+  // Count pass: rows classify independently (long iff nnz > threshold);
+  // fixed row chunks tally short nnz / long rows / long nnz. Chunking never
+  // leaks into the output — the scan turns tallies into absolute offsets.
+  rec.phase("count");
+  const auto n = static_cast<std::size_t>(csr.nrows());
+  const int nchunks = nthreads;
+  std::vector<ChunkTally> tally(static_cast<std::size_t>(nchunks));
+#pragma omp parallel for default(none) shared(tally, csr, n, nchunks, thr) \
+    num_threads(nthreads) schedule(static)
+  for (int cidx = 0; cidx < nchunks; ++cidx) {
+    ChunkTally t;
+    const auto begin = build::chunk_begin(n, nchunks, cidx);
+    const auto end = build::chunk_begin(n, nchunks, cidx + 1);
+    for (std::size_t i = begin; i < end; ++i) {
+      const auto len = static_cast<offset_t>(csr.row_nnz(static_cast<index_t>(i)));
+      if (static_cast<index_t>(len) > thr) {
+        ++t.long_rows;
+        t.long_nnz += len;
+      } else {
+        t.short_nnz += len;
+      }
+    }
+    tally[static_cast<std::size_t>(cidx)] = t;
+  }
+
+  // Scan pass: exclusive prefix over the chunk tallies -> per-chunk bases.
+  rec.phase("scan");
+  std::vector<ChunkTally> base(static_cast<std::size_t>(nchunks));
+  ChunkTally run;
+  for (int cidx = 0; cidx < nchunks; ++cidx) {
+    base[static_cast<std::size_t>(cidx)] = run;
+    run.short_nnz += tally[static_cast<std::size_t>(cidx)].short_nnz;
+    run.long_rows += tally[static_cast<std::size_t>(cidx)].long_rows;
+    run.long_nnz += tally[static_cast<std::size_t>(cidx)].long_nnz;
+  }
+
+  // Fill pass: each chunk walks its rows with running offsets seeded from
+  // its base, writing every output slot absolutely — srowptr[i+1], the long
+  // row list/rowptr, and the copied colind/values slices — so the layout is
+  // identical to the serial row-order build and every default-init
+  // numa_vector page is first-touched by its filling thread.
+  rec.phase("fill");
+  numa_vector<offset_t> srowptr(n + 1);
+  srowptr[0] = 0;
+  numa_vector<index_t> scolind(static_cast<std::size_t>(run.short_nnz));
+  numa_vector<value_t> svalues(static_cast<std::size_t>(run.short_nnz));
+  out.long_rows_ = numa_vector<index_t>(static_cast<std::size_t>(run.long_rows));
+  out.long_rowptr_ = numa_vector<offset_t>(static_cast<std::size_t>(run.long_rows) + 1);
+  out.long_rowptr_[0] = 0;
+  out.long_colind_ = numa_vector<index_t>(static_cast<std::size_t>(run.long_nnz));
+  out.long_values_ = numa_vector<value_t>(static_cast<std::size_t>(run.long_nnz));
+#pragma omp parallel for default(none) \
+    shared(out, csr, base, srowptr, scolind, svalues, n, nchunks, thr) num_threads(nthreads) \
+    schedule(static)
+  for (int cidx = 0; cidx < nchunks; ++cidx) {
+    offset_t short_off = base[static_cast<std::size_t>(cidx)].short_nnz;
+    auto k = static_cast<std::size_t>(base[static_cast<std::size_t>(cidx)].long_rows);
+    offset_t long_off = base[static_cast<std::size_t>(cidx)].long_nnz;
+    const auto begin = build::chunk_begin(n, nchunks, cidx);
+    const auto end = build::chunk_begin(n, nchunks, cidx + 1);
+    for (std::size_t i = begin; i < end; ++i) {
+      const auto cols = csr.row_cols(static_cast<index_t>(i));
+      const auto vals = csr.row_vals(static_cast<index_t>(i));
+      if (static_cast<index_t>(cols.size()) > thr) {
+        out.long_rows_[k] = static_cast<index_t>(i);
+        std::copy(cols.begin(), cols.end(),
+                  out.long_colind_.begin() + static_cast<std::ptrdiff_t>(long_off));
+        std::copy(vals.begin(), vals.end(),
+                  out.long_values_.begin() + static_cast<std::ptrdiff_t>(long_off));
+        long_off += static_cast<offset_t>(cols.size());
+        out.long_rowptr_[k + 1] = long_off;
+        ++k;
+      } else {
+        std::copy(cols.begin(), cols.end(),
+                  scolind.begin() + static_cast<std::ptrdiff_t>(short_off));
+        std::copy(vals.begin(), vals.end(),
+                  svalues.begin() + static_cast<std::ptrdiff_t>(short_off));
+        short_off += static_cast<offset_t>(cols.size());
+      }
+      srowptr[i + 1] = short_off;
+    }
+  }
+  out.short_part_ =
+      CsrMatrix{csr.nrows(), csr.ncols(), std::move(srowptr), std::move(scolind),
+                std::move(svalues)};
+  rec.finish(out.bytes());
+  // nnz conservation against the source: the split must partition the
+  // nonzeros exactly (nothing dropped, nothing double-counted).
+  SPARTA_CHECK_STRUCTURE(out, csr);
+  return out;
+}
+
+DecomposedCsrMatrix DecomposedCsrMatrix::decompose_serial(const CsrMatrix& csr,
+                                                          index_t threshold) {
   DecomposedCsrMatrix out;
   out.threshold_ = threshold > 0 ? threshold : default_threshold(csr);
 
   const auto n = static_cast<std::size_t>(csr.nrows());
-  aligned_vector<offset_t> srowptr(n + 1, 0);
-  aligned_vector<index_t> scolind;
-  aligned_vector<value_t> svalues;
+  numa_vector<offset_t> srowptr(n + 1, 0);
+  numa_vector<index_t> scolind;
+  numa_vector<value_t> svalues;
   scolind.reserve(static_cast<std::size_t>(csr.nnz()));
   svalues.reserve(static_cast<std::size_t>(csr.nnz()));
 

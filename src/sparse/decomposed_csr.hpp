@@ -11,6 +11,7 @@
 
 #include <span>
 
+#include "common/numa.hpp"
 #include "common/types.hpp"
 #include "sparse/csr.hpp"
 
@@ -21,8 +22,16 @@ class DecomposedCsrMatrix {
  public:
   /// Split `csr` using `threshold` (rows with nnz > threshold are "long").
   /// A non-positive threshold selects the default policy:
-  /// threshold = max(kMinLongRow, 8 * average row nnz).
-  static DecomposedCsrMatrix decompose(const CsrMatrix& csr, index_t threshold = 0);
+  /// threshold = max(kMinLongRow, 8 * average row nnz). The split is a
+  /// parallel two-pass builder (chunked count -> prefix sum -> exact fill);
+  /// `threads` = 0 means omp_get_max_threads() and the output is
+  /// bit-identical to decompose_serial for every thread count.
+  static DecomposedCsrMatrix decompose(const CsrMatrix& csr, index_t threshold = 0,
+                                       int threads = 0);
+
+  /// Single-threaded reference builder (the pre-pipeline implementation);
+  /// kept as the bit-identity oracle for tests and the preprocessing bench.
+  static DecomposedCsrMatrix decompose_serial(const CsrMatrix& csr, index_t threshold = 0);
 
   /// Default long-row floor: rows shorter than this are never "long".
   static constexpr index_t kMinLongRow = 1024;
@@ -58,10 +67,10 @@ class DecomposedCsrMatrix {
 
   index_t threshold_ = 0;
   CsrMatrix short_part_;
-  aligned_vector<index_t> long_rows_;
-  aligned_vector<offset_t> long_rowptr_{0};
-  aligned_vector<index_t> long_colind_;
-  aligned_vector<value_t> long_values_;
+  numa_vector<index_t> long_rows_;
+  numa_vector<offset_t> long_rowptr_{0};
+  numa_vector<index_t> long_colind_;
+  numa_vector<value_t> long_values_;
 };
 
 }  // namespace sparta

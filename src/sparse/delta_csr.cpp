@@ -1,9 +1,41 @@
 #include "sparse/delta_csr.hpp"
 
+#include <algorithm>
+
 #include "check/contract.hpp"
 #include "check/validate.hpp"
+#include "sparse/build.hpp"
 
 namespace sparta {
+
+namespace {
+
+/// Width that fits `max_delta`, or nullopt beyond 16 bits.
+std::optional<DeltaWidth> width_for(index_t max_delta) {
+  if (max_delta <= 0xff) return DeltaWidth::k8;
+  if (max_delta <= 0xffff) return DeltaWidth::k16;
+  return std::nullopt;
+}
+
+/// Parallel max intra-row delta (rows are independent; integer max is
+/// order-insensitive, so the reduction is deterministic).
+index_t max_delta_of(const CsrMatrix& csr, int nthreads) {
+  const index_t nrows = csr.nrows();
+  index_t max_delta = 0;
+#pragma omp parallel for default(none) shared(csr, nrows) reduction(max : max_delta) \
+    num_threads(nthreads) schedule(static)
+  for (index_t i = 0; i < nrows; ++i) {
+    const auto cols = csr.row_cols(i);
+    index_t local = 0;
+    for (std::size_t j = 1; j < cols.size(); ++j) {
+      local = std::max(local, cols[j] - cols[j - 1]);
+    }
+    max_delta = std::max(max_delta, local);
+  }
+  return max_delta;
+}
+
+}  // namespace
 
 std::optional<DeltaWidth> DeltaCsrMatrix::pick_width(const CsrMatrix& csr) {
   index_t max_delta = 0;
@@ -13,12 +45,70 @@ std::optional<DeltaWidth> DeltaCsrMatrix::pick_width(const CsrMatrix& csr) {
       max_delta = std::max(max_delta, cols[j] - cols[j - 1]);
     }
   }
-  if (max_delta <= 0xff) return DeltaWidth::k8;
-  if (max_delta <= 0xffff) return DeltaWidth::k16;
-  return std::nullopt;
+  return width_for(max_delta);
 }
 
-std::optional<DeltaCsrMatrix> DeltaCsrMatrix::compress(const CsrMatrix& csr) {
+std::optional<DeltaCsrMatrix> DeltaCsrMatrix::compress(const CsrMatrix& csr, int threads) {
+  const int nthreads = build::resolve_threads(threads);
+  build::PhaseRecorder rec{"delta"};
+
+  // Count pass: the one inspection scan delta compression needs — the
+  // widest intra-row column delta decides the stream width (or refusal).
+  rec.phase("count");
+  const auto width = width_for(max_delta_of(csr, nthreads));
+  if (!width) return std::nullopt;
+
+  DeltaCsrMatrix out;
+  out.nrows_ = csr.nrows();
+  out.ncols_ = csr.ncols();
+  out.width_ = *width;
+
+  // Fill pass: rowptr/values are element-wise copies of the CSR streams;
+  // first_col and the delta stream are per-row independent. Every slot of
+  // every array is written (a nonempty row writes its base slot's unused
+  // delta as 0, matching the serial builder's zero prefill), so the
+  // default-init numa_vector storage is fully first-touched here.
+  rec.phase("fill");
+  const auto nrows = static_cast<std::ptrdiff_t>(csr.nrows());
+  const auto nnz = static_cast<std::size_t>(csr.nnz());
+  const auto src_rowptr = csr.rowptr();
+  const auto src_values = csr.values();
+  out.rowptr_ = numa_vector<offset_t>(static_cast<std::size_t>(nrows) + 1);
+  out.first_col_ = numa_vector<index_t>(static_cast<std::size_t>(nrows));
+  out.values_ = numa_vector<value_t>(nnz);
+  if (*width == DeltaWidth::k8) {
+    out.deltas8_ = numa_vector<std::uint8_t>(nnz);
+  } else {
+    out.deltas16_ = numa_vector<std::uint16_t>(nnz);
+  }
+  const bool wide = *width == DeltaWidth::k16;
+#pragma omp parallel for default(none) \
+    shared(out, csr, src_rowptr, src_values, nrows, wide) num_threads(nthreads) \
+    schedule(static)
+  for (std::ptrdiff_t i = 0; i < nrows; ++i) {
+    const auto k = static_cast<std::size_t>(i);
+    out.rowptr_[k] = src_rowptr[k];
+    if (i == nrows - 1) out.rowptr_[k + 1] = src_rowptr[k + 1];
+    const auto cols = csr.row_cols(static_cast<index_t>(i));
+    const auto base = static_cast<std::size_t>(src_rowptr[k]);
+    out.first_col_[k] = cols.empty() ? 0 : cols[0];
+    for (std::size_t j = 0; j < cols.size(); ++j) {
+      const auto d = j == 0 ? 0u : static_cast<std::uint32_t>(cols[j] - cols[j - 1]);
+      if (wide) {
+        out.deltas16_[base + j] = static_cast<std::uint16_t>(d);
+      } else {
+        out.deltas8_[base + j] = static_cast<std::uint8_t>(d);
+      }
+      out.values_[base + j] = src_values[base + j];
+    }
+  }
+  if (nrows == 0) out.rowptr_[0] = 0;
+  rec.finish(out.bytes());
+  SPARTA_CHECK_STRUCTURE(out);
+  return out;
+}
+
+std::optional<DeltaCsrMatrix> DeltaCsrMatrix::compress_serial(const CsrMatrix& csr) {
   const auto width = pick_width(csr);
   if (!width) return std::nullopt;
 
@@ -62,9 +152,9 @@ std::size_t DeltaCsrMatrix::index_bytes() const {
 }
 
 CsrMatrix DeltaCsrMatrix::decompress() const {
-  aligned_vector<offset_t> rowptr(rowptr_.begin(), rowptr_.end());
-  aligned_vector<index_t> colind(static_cast<std::size_t>(nnz()));
-  aligned_vector<value_t> values(values_.begin(), values_.end());
+  numa_vector<offset_t> rowptr(rowptr_.begin(), rowptr_.end());
+  numa_vector<index_t> colind(static_cast<std::size_t>(nnz()));
+  numa_vector<value_t> values(values_.begin(), values_.end());
   for (index_t i = 0; i < nrows_; ++i) {
     const auto b = static_cast<std::size_t>(rowptr_[static_cast<std::size_t>(i)]);
     const auto e = static_cast<std::size_t>(rowptr_[static_cast<std::size_t>(i) + 1]);

@@ -12,6 +12,7 @@
 #include <optional>
 #include <span>
 
+#include "common/numa.hpp"
 #include "common/types.hpp"
 #include "sparse/csr.hpp"
 
@@ -24,8 +25,15 @@ enum class DeltaWidth : std::uint8_t { k8 = 1, k16 = 2 };
 class DeltaCsrMatrix {
  public:
   /// Attempt compression. Returns std::nullopt when any intra-row column
-  /// delta exceeds 16 bits (the paper's scheme then does not apply).
-  static std::optional<DeltaCsrMatrix> compress(const CsrMatrix& csr);
+  /// delta exceeds 16 bits (the paper's scheme then does not apply). The
+  /// conversion is a parallel two-pass builder over exactly-sized,
+  /// first-touched arrays; `threads` = 0 means omp_get_max_threads() and the
+  /// output is bit-identical to compress_serial for every thread count.
+  static std::optional<DeltaCsrMatrix> compress(const CsrMatrix& csr, int threads = 0);
+
+  /// Single-threaded reference builder (the pre-pipeline implementation);
+  /// kept as the bit-identity oracle for tests and the preprocessing bench.
+  static std::optional<DeltaCsrMatrix> compress_serial(const CsrMatrix& csr);
 
   /// Smallest single width that can represent every delta of `csr`,
   /// or std::nullopt when 16 bits do not suffice.
@@ -56,11 +64,11 @@ class DeltaCsrMatrix {
   index_t nrows_ = 0;
   index_t ncols_ = 0;
   DeltaWidth width_ = DeltaWidth::k8;
-  aligned_vector<offset_t> rowptr_;
-  aligned_vector<index_t> first_col_;      // absolute column of each row's first nnz
-  aligned_vector<std::uint8_t> deltas8_;   // used when width_ == k8; nnz entries
-  aligned_vector<std::uint16_t> deltas16_; // used when width_ == k16; nnz entries
-  aligned_vector<value_t> values_;
+  numa_vector<offset_t> rowptr_;
+  numa_vector<index_t> first_col_;      // absolute column of each row's first nnz
+  numa_vector<std::uint8_t> deltas8_;   // used when width_ == k8; nnz entries
+  numa_vector<std::uint16_t> deltas16_; // used when width_ == k16; nnz entries
+  numa_vector<value_t> values_;
 };
 
 }  // namespace sparta

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
 #include <stdexcept>
+#include <vector>
 
 namespace sparta::mm {
 
@@ -58,24 +60,37 @@ CooMatrix read_coo(std::istream& is) {
     fail("matrix dimensions exceed 32-bit index range");
   }
 
-  CooMatrix coo{static_cast<index_t>(nrows), static_cast<index_t>(ncols)};
-  coo.reserve(static_cast<std::size_t>(symmetric ? 2 * nnz : nnz));
+  // Entry parsing avoids an istringstream per line (strtoll/strtod walk the
+  // line buffer directly) and grows nothing: the triplet list is reserved to
+  // the exact declared count and handed to the bulk CooMatrix constructor.
+  std::vector<Triplet> triplets;
+  triplets.reserve(static_cast<std::size_t>(symmetric ? 2 * nnz : nnz));
   long long seen = 0;
   while (seen < nnz && std::getline(is, line)) {
     if (line.empty() || line[0] == '%') continue;
-    std::istringstream ss{line};
-    long long r = 0, c = 0;
+    const char* p = line.c_str();
+    char* end = nullptr;
+    const long long r = std::strtoll(p, &end, 10);
+    if (end == p) fail("bad entry line: " + line);
+    p = end;
+    const long long c = std::strtoll(p, &end, 10);
+    if (end == p) fail("bad entry line: " + line);
+    p = end;
     double v = 1.0;
-    if (!(ss >> r >> c)) fail("bad entry line: " + line);
-    if (!pattern && !(ss >> v)) fail("missing value: " + line);
+    if (!pattern) {
+      v = std::strtod(p, &end);
+      if (end == p) fail("missing value: " + line);
+    }
     if (r < 1 || r > nrows || c < 1 || c > ncols) fail("entry out of range: " + line);
     const auto ri = static_cast<index_t>(r - 1);
     const auto ci = static_cast<index_t>(c - 1);
-    coo.add(ri, ci, v);
-    if (symmetric && ri != ci) coo.add(ci, ri, v);
+    triplets.push_back({ri, ci, v});
+    if (symmetric && ri != ci) triplets.push_back({ci, ri, v});
     ++seen;
   }
   if (seen != nnz) fail("fewer entries than declared");
+  CooMatrix coo = CooMatrix::from_triplets(static_cast<index_t>(nrows),
+                                           static_cast<index_t>(ncols), std::move(triplets));
   coo.compress();
   return coo;
 }

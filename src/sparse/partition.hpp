@@ -25,11 +25,15 @@ struct RowRange {
 
 /// Partition rows so that each of `nparts` ranges carries approximately
 /// equal nonzeros (binary search over rowptr for each boundary). Ranges
-/// cover [0, nrows) exactly, in order, some possibly empty.
-std::vector<RowRange> partition_balanced_nnz(const CsrMatrix& m, int nparts);
+/// cover [0, nrows) exactly, in order, some possibly empty. The boundary
+/// searches run in parallel for large `nparts` (`threads` = 0 means
+/// omp_get_max_threads()); the result is identical for every thread count.
+std::vector<RowRange> partition_balanced_nnz(const CsrMatrix& m, int nparts,
+                                             int threads = 0);
 
-/// Conventional static split: approximately equal row counts.
-std::vector<RowRange> partition_equal_rows(index_t nrows, int nparts);
+/// Conventional static split: approximately equal row counts. Closed-form
+/// per-partition bounds, parallel for large `nparts`.
+std::vector<RowRange> partition_equal_rows(index_t nrows, int nparts, int threads = 0);
 
 /// Nonzeros inside a row range.
 offset_t range_nnz(const CsrMatrix& m, RowRange r);

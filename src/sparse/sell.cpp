@@ -6,14 +6,118 @@
 
 #include "check/contract.hpp"
 #include "check/validate.hpp"
+#include "sparse/build.hpp"
 
 namespace sparta {
 
-SellMatrix SellMatrix::from_csr(const CsrMatrix& m, index_t chunk, index_t sigma) {
+namespace {
+
+/// Shared parameter validation + sigma rounding for both builders.
+index_t checked_sigma(index_t chunk, index_t sigma) {
   if (chunk <= 0) throw std::invalid_argument{"sell: chunk must be positive"};
   if (sigma <= 0) throw std::invalid_argument{"sell: sigma must be positive"};
   // Round sigma up to a multiple of the chunk so windows align with chunks.
-  sigma = (sigma + chunk - 1) / chunk * chunk;
+  return (sigma + chunk - 1) / chunk * chunk;
+}
+
+}  // namespace
+
+SellMatrix SellMatrix::from_csr(const CsrMatrix& m, index_t chunk, index_t sigma,
+                                int threads) {
+  sigma = checked_sigma(chunk, sigma);
+  const int nthreads = build::resolve_threads(threads);
+  build::PhaseRecorder rec{"sell"};
+
+  SellMatrix s;
+  s.nrows_ = m.nrows();
+  s.ncols_ = m.ncols();
+  s.chunk_ = chunk;
+  s.sigma_ = sigma;
+  s.nnz_ = m.nnz();
+
+  // Permute pass: each sigma-window is sorted independently, so windows
+  // parallelize without changing the (stable, deterministic) result.
+  rec.phase("permute");
+  const auto n = static_cast<std::size_t>(m.nrows());
+  const auto nwindows =
+      static_cast<std::ptrdiff_t>((n + static_cast<std::size_t>(sigma) - 1) /
+                                  static_cast<std::size_t>(sigma));
+  s.perm_ = numa_vector<index_t>(n);
+  s.row_len_ = numa_vector<index_t>(n);
+#pragma omp parallel for default(none) shared(s, m, n, nwindows, sigma) \
+    num_threads(nthreads) schedule(static)
+  for (std::ptrdiff_t w = 0; w < nwindows; ++w) {
+    const auto begin = static_cast<std::size_t>(w) * static_cast<std::size_t>(sigma);
+    const auto end = std::min(n, begin + static_cast<std::size_t>(sigma));
+    std::iota(s.perm_.begin() + static_cast<std::ptrdiff_t>(begin),
+              s.perm_.begin() + static_cast<std::ptrdiff_t>(end),
+              static_cast<index_t>(begin));
+    std::stable_sort(s.perm_.begin() + static_cast<std::ptrdiff_t>(begin),
+                     s.perm_.begin() + static_cast<std::ptrdiff_t>(end),
+                     [&](index_t a, index_t b) { return m.row_nnz(a) > m.row_nnz(b); });
+    for (std::size_t p = begin; p < end; ++p) s.row_len_[p] = m.row_nnz(s.perm_[p]);
+  }
+
+  // Count pass: per-chunk padded widths in parallel, then a serial prefix
+  // sum over the (nrows/chunk) chunk offsets.
+  rec.phase("count");
+  const auto nchunks = static_cast<std::size_t>((m.nrows() + chunk - 1) / chunk);
+  const auto nchunks_s = static_cast<std::ptrdiff_t>(nchunks);
+  s.chunk_len_ = numa_vector<index_t>(nchunks);
+  s.chunk_off_ = numa_vector<offset_t>(nchunks);
+#pragma omp parallel for default(none) shared(s, n, nchunks_s, chunk) num_threads(nthreads) \
+    schedule(static)
+  for (std::ptrdiff_t k = 0; k < nchunks_s; ++k) {
+    index_t width = 0;
+    for (index_t lane = 0; lane < chunk; ++lane) {
+      const auto p = static_cast<std::size_t>(k) * static_cast<std::size_t>(chunk) +
+                     static_cast<std::size_t>(lane);
+      if (p < n) width = std::max(width, s.row_len_[p]);
+    }
+    s.chunk_len_[static_cast<std::size_t>(k)] = width;
+  }
+  offset_t off = 0;
+  for (std::size_t k = 0; k < nchunks; ++k) {
+    s.chunk_off_[k] = off;
+    off += static_cast<offset_t>(s.chunk_len_[k]) * chunk;
+  }
+
+  // Fill pass: chunks are disjoint slices of colind/values. Each chunk slice
+  // is zeroed contiguously (the padding bytes, and the first touch of the
+  // default-init storage), then the real elements scatter over it — the same
+  // prefill-then-scatter order as the serial builder, bit for bit.
+  rec.phase("fill");
+  s.colind_ = numa_vector<index_t>(static_cast<std::size_t>(off));
+  s.values_ = numa_vector<value_t>(static_cast<std::size_t>(off));
+#pragma omp parallel for default(none) shared(s, m, n, nchunks_s, chunk) \
+    num_threads(nthreads) schedule(static)
+  for (std::ptrdiff_t k = 0; k < nchunks_s; ++k) {
+    const auto base = static_cast<std::size_t>(s.chunk_off_[static_cast<std::size_t>(k)]);
+    const auto width = static_cast<std::size_t>(s.chunk_len_[static_cast<std::size_t>(k)]);
+    const auto slice = width * static_cast<std::size_t>(chunk);
+    std::fill_n(s.colind_.begin() + static_cast<std::ptrdiff_t>(base), slice, index_t{0});
+    std::fill_n(s.values_.begin() + static_cast<std::ptrdiff_t>(base), slice, value_t{0});
+    for (index_t lane = 0; lane < chunk; ++lane) {
+      const auto p = static_cast<std::size_t>(k) * static_cast<std::size_t>(chunk) +
+                     static_cast<std::size_t>(lane);
+      if (p >= n) continue;
+      const auto cols = m.row_cols(s.perm_[p]);
+      const auto vals = m.row_vals(s.perm_[p]);
+      for (std::size_t j = 0; j < cols.size(); ++j) {
+        const auto dst = base + j * static_cast<std::size_t>(chunk) +
+                         static_cast<std::size_t>(lane);
+        s.colind_[dst] = cols[j];
+        s.values_[dst] = vals[j];
+      }
+    }
+  }
+  rec.finish(s.bytes());
+  SPARTA_CHECK_STRUCTURE(s);
+  return s;
+}
+
+SellMatrix SellMatrix::from_csr_serial(const CsrMatrix& m, index_t chunk, index_t sigma) {
+  sigma = checked_sigma(chunk, sigma);
 
   SellMatrix s;
   s.nrows_ = m.nrows();

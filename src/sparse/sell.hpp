@@ -15,6 +15,7 @@
 
 #include <span>
 
+#include "common/numa.hpp"
 #include "common/types.hpp"
 #include "sparse/csr.hpp"
 
@@ -25,7 +26,16 @@ class SellMatrix {
   /// Convert from CSR. `chunk` is C (rows per chunk, typically the SIMD
   /// width), `sigma` the sorting window in rows (rounded up to a multiple
   /// of `chunk`). Throws std::invalid_argument on non-positive parameters.
-  static SellMatrix from_csr(const CsrMatrix& m, index_t chunk = 8, index_t sigma = 256);
+  /// The conversion is a parallel builder (window sorts and chunk packing
+  /// are independent); `threads` = 0 means omp_get_max_threads() and the
+  /// output is bit-identical to from_csr_serial for every thread count.
+  static SellMatrix from_csr(const CsrMatrix& m, index_t chunk = 8, index_t sigma = 256,
+                             int threads = 0);
+
+  /// Single-threaded reference builder (the pre-pipeline implementation);
+  /// kept as the bit-identity oracle for tests and the preprocessing bench.
+  static SellMatrix from_csr_serial(const CsrMatrix& m, index_t chunk = 8,
+                                    index_t sigma = 256);
 
   [[nodiscard]] index_t nrows() const { return nrows_; }
   [[nodiscard]] index_t ncols() const { return ncols_; }
@@ -75,12 +85,12 @@ class SellMatrix {
   index_t chunk_ = 8;
   index_t sigma_ = 256;
   offset_t nnz_ = 0;
-  aligned_vector<index_t> perm_;      // sorted position -> original row
-  aligned_vector<index_t> row_len_;   // per sorted position
-  aligned_vector<index_t> chunk_len_; // per chunk: padded width
-  aligned_vector<offset_t> chunk_off_;
-  aligned_vector<index_t> colind_;    // column-major per chunk, padded
-  aligned_vector<value_t> values_;
+  numa_vector<index_t> perm_;      // sorted position -> original row
+  numa_vector<index_t> row_len_;   // per sorted position
+  numa_vector<index_t> chunk_len_; // per chunk: padded width
+  numa_vector<offset_t> chunk_off_;
+  numa_vector<index_t> colind_;    // column-major per chunk, padded
+  numa_vector<value_t> values_;
 };
 
 /// Serial reference SpMV on SELL (golden implementation for tests).

@@ -35,11 +35,13 @@
 #include "sim/simulator.hpp"        // IWYU pragma: export
 #include "solvers/cg.hpp"           // IWYU pragma: export
 #include "solvers/gmres.hpp"        // IWYU pragma: export
+#include "sparse/build.hpp"         // IWYU pragma: export
 #include "sparse/csr.hpp"           // IWYU pragma: export
 #include "sparse/matrix_market.hpp" // IWYU pragma: export
 #include "tuner/grid_search.hpp"    // IWYU pragma: export
 #include "tuner/host_profiler.hpp"  // IWYU pragma: export
 #include "tuner/optimizer.hpp"      // IWYU pragma: export
+#include "tuner/plan_cache.hpp"     // IWYU pragma: export
 #include "tuner/partitioned_bounds.hpp"  // IWYU pragma: export
 #include "vendor/inspector_executor.hpp"  // IWYU pragma: export
 #include "vendor/vendor_csr.hpp"    // IWYU pragma: export

@@ -133,29 +133,33 @@ Autotuner::Evaluation Autotuner::evaluate(const std::string& name, const CsrMatr
 }
 
 double Autotuner::setup_seconds(const std::vector<Optimization>& ops, double t_csr) const {
-  double sec = 0.0;
+  // Conversion work runs through the parallel inspector pipeline and is
+  // divided by its modeled speedup; the fixed JIT cost is serial codegen.
+  double conversion = 0.0;
   bool codegen = false;
   for (Optimization o : ops) {
     switch (o) {
       case Optimization::kDeltaVec:
-        sec += cost_.delta_setup_spmv * t_csr;
+        conversion += cost_.delta_setup_spmv * t_csr;
         codegen = true;
         break;
       case Optimization::kPrefetch:
         codegen = true;
         break;
       case Optimization::kDecompose:
-        sec += cost_.decompose_setup_spmv * t_csr;
+        conversion += cost_.decompose_setup_spmv * t_csr;
         break;
       case Optimization::kAutoSched:
-        sec += cost_.autosched_setup_spmv * t_csr;
+        conversion += cost_.autosched_setup_spmv * t_csr;
         break;
       case Optimization::kUnrollVec:
         codegen = true;
         break;
     }
   }
-  if (codegen) sec += cost_.jit_fixed_seconds + cost_.codegen_setup_spmv * t_csr;
+  if (codegen) conversion += cost_.codegen_setup_spmv * t_csr;
+  double sec = conversion / cost_.inspector_speedup();
+  if (codegen) sec += cost_.jit_fixed_seconds;
   return sec;
 }
 
@@ -195,7 +199,7 @@ OptimizationPlan Autotuner::plan_feature_impl(const Evaluation& e,
       });
   const double selection = (needs_nnz_pass ? cost_.feat_extract_full_spmv
                                            : cost_.feat_extract_linear_spmv) *
-                           e.bounds.t_csr_seconds;
+                           e.bounds.t_csr_seconds / cost_.inspector_speedup();
   return plan_from_classes(e, classes, "feature", selection);
 }
 
@@ -298,33 +302,6 @@ OptimizationPlan Autotuner::plan(const Evaluation& e, const TuneOptions& opts) c
 
 OptimizationPlan Autotuner::tune(const CsrMatrix& m, const TuneOptions& opts) const {
   return plan(evaluate(opts.name, m), opts);
-}
-
-OptimizationPlan Autotuner::plan_profile_guided(const Evaluation& e) const {
-  return plan(e, TuneOptions{.policy = TunePolicy::kProfile});
-}
-
-OptimizationPlan Autotuner::plan_feature_guided(const Evaluation& e,
-                                                const FeatureClassifier& fc) const {
-  return plan(e, TuneOptions{.policy = TunePolicy::kFeature, .classifier = &fc});
-}
-
-OptimizationPlan Autotuner::plan_oracle(const Evaluation& e) const {
-  return plan(e, TuneOptions{.policy = TunePolicy::kOracle});
-}
-
-OptimizationPlan Autotuner::plan_trivial(const Evaluation& e, bool combined) const {
-  return plan(e, TuneOptions{.policy = combined ? TunePolicy::kTrivialCombined
-                                                : TunePolicy::kTrivialSingle});
-}
-
-OptimizationPlan Autotuner::tune_profile_guided(const CsrMatrix& m) const {
-  return tune(m, TuneOptions{.policy = TunePolicy::kProfile});
-}
-
-OptimizationPlan Autotuner::tune_feature_guided(const CsrMatrix& m,
-                                                const FeatureClassifier& fc) const {
-  return tune(m, TuneOptions{.policy = TunePolicy::kFeature, .classifier = &fc});
 }
 
 TrainingSample Autotuner::label(const Evaluation& e) const {

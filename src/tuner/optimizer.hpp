@@ -57,6 +57,21 @@ struct CostModelParams {
   double codegen_setup_spmv = 0.5;
   /// Vendor inspector-executor inspection cost, multiples of t_csr.
   double ie_inspection_spmv = 40.0;
+  /// Parallel inspector pipeline (DESIGN.md §13): threads available to the
+  /// optimizer's own preprocessing (format conversion, feature extraction)
+  /// and the parallel efficiency of the two-pass builders. The modeled
+  /// speedup 1 + (threads - 1) * efficiency divides every conversion and
+  /// extraction cost. The vendor inspection (ie_inspection_spmv) is opaque
+  /// third-party code and stays serial in the model.
+  int inspector_threads = 1;
+  double inspector_parallel_efficiency = 0.6;
+
+  /// Conversion/extraction speedup implied by the inspector fields.
+  [[nodiscard]] double inspector_speedup() const {
+    return inspector_threads > 1
+               ? 1.0 + (inspector_threads - 1) * inspector_parallel_efficiency
+               : 1.0;
+  }
 };
 
 /// Outcome of one optimizer invocation for one matrix.
@@ -140,23 +155,6 @@ class Autotuner {
   [[nodiscard]] OptimizationPlan tune(const CsrMatrix& m, const TuneOptions& opts = {}) const;
   /// Plan from a precomputed evaluation (pure lookups).
   [[nodiscard]] OptimizationPlan plan(const Evaluation& e, const TuneOptions& opts = {}) const;
-
-  // --- Deprecated per-strategy methods (thin wrappers over plan/tune) -----
-  [[deprecated("use plan(e, TuneOptions{.policy = TunePolicy::kProfile})")]]
-  [[nodiscard]] OptimizationPlan plan_profile_guided(const Evaluation& e) const;
-  [[deprecated("use plan(e, TuneOptions{.policy = TunePolicy::kFeature, .classifier = &fc})")]]
-  [[nodiscard]] OptimizationPlan plan_feature_guided(const Evaluation& e,
-                                                     const FeatureClassifier& fc) const;
-  [[deprecated("use plan(e, TuneOptions{.policy = TunePolicy::kOracle})")]]
-  [[nodiscard]] OptimizationPlan plan_oracle(const Evaluation& e) const;
-  /// trivial-single (combined = false) or trivial-combined (true).
-  [[deprecated("use plan(e, TuneOptions{.policy = TunePolicy::kTrivialSingle/kTrivialCombined})")]]
-  [[nodiscard]] OptimizationPlan plan_trivial(const Evaluation& e, bool combined) const;
-  [[deprecated("use tune(m)")]]
-  [[nodiscard]] OptimizationPlan tune_profile_guided(const CsrMatrix& m) const;
-  [[deprecated("use tune(m, TuneOptions{.policy = TunePolicy::kFeature, .classifier = &fc})")]]
-  [[nodiscard]] OptimizationPlan tune_feature_guided(const CsrMatrix& m,
-                                                     const FeatureClassifier& fc) const;
 
   /// Simulate one configuration directly.
   [[nodiscard]] double simulate_gflops(const CsrMatrix& m, const sim::KernelConfig& cfg) const;

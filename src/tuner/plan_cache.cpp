@@ -1,0 +1,173 @@
+#include "tuner/plan_cache.hpp"
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "sparse/build.hpp"
+
+namespace sparta::tuner {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t fnv1a(const void* data, std::size_t n, std::uint64_t h) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+template <class T>
+std::uint64_t hash_chunk(std::span<const T> s, int nchunks, int c, std::uint64_t h) {
+  const auto b = build::chunk_begin(s.size(), nchunks, c);
+  const auto e = build::chunk_begin(s.size(), nchunks, c + 1);
+  return fnv1a(s.data() + b, (e - b) * sizeof(T), h);
+}
+
+}  // namespace
+
+Fingerprint fingerprint(const CsrMatrix& m, int threads) {
+  const int nthreads = build::resolve_threads(threads);
+  // Chunk count is a function of nnz alone and the per-chunk hashes combine
+  // in chunk order, so the result is independent of the thread count.
+  const auto nnz = static_cast<std::size_t>(m.nnz());
+  const int nchunks = static_cast<int>(std::clamp<std::size_t>(nnz / 65536, 1, 256));
+  const auto rowptr = m.rowptr();
+  const auto colind = m.colind();
+  const auto values = m.values();
+  std::vector<std::uint64_t> chunk_hash(static_cast<std::size_t>(nchunks));
+#pragma omp parallel for default(none) \
+    shared(chunk_hash, rowptr, colind, values, nchunks) num_threads(nthreads) \
+    schedule(static)
+  for (int c = 0; c < nchunks; ++c) {
+    std::uint64_t h = kFnvOffset;
+    h = hash_chunk(rowptr, nchunks, c, h);
+    h = hash_chunk(colind, nchunks, c, h);
+    h = hash_chunk(values, nchunks, c, h);
+    chunk_hash[static_cast<std::size_t>(c)] = h;
+  }
+  std::uint64_t h = kFnvOffset;
+  for (const std::uint64_t ch : chunk_hash) {
+    h ^= ch;
+    h *= kFnvPrime;
+  }
+  return Fingerprint{h, m.nrows(), m.ncols(), m.nnz()};
+}
+
+PlanCache::PlanCache(std::size_t capacity) : capacity_(capacity > 0 ? capacity : 1) {}
+
+PlanCache& PlanCache::global() {
+  static PlanCache cache;
+  return cache;
+}
+
+void PlanCache::note_hit() {
+  ++stats_.hits;
+  if (obs::enabled()) obs::Registry::global().counter("tuner.plan_cache.hit").add();
+}
+
+void PlanCache::note_miss() {
+  ++stats_.misses;
+  if (obs::enabled()) obs::Registry::global().counter("tuner.plan_cache.miss").add();
+}
+
+void PlanCache::evict_locked() {
+  while (plans_.size() + prepared_.size() > capacity_) {
+    // Evict the globally least-recently-used entry across both maps. The
+    // maps are capacity-bounded vectors, so a linear scan is the whole cost.
+    const auto plan_it =
+        std::min_element(plans_.begin(), plans_.end(),
+                         [](const PlanEntry& a, const PlanEntry& b) {
+                           return a.last_used < b.last_used;
+                         });
+    const auto prep_it =
+        std::min_element(prepared_.begin(), prepared_.end(),
+                         [](const PreparedEntry& a, const PreparedEntry& b) {
+                           return a.last_used < b.last_used;
+                         });
+    const std::uint64_t plan_age =
+        plan_it != plans_.end() ? plan_it->last_used : ~std::uint64_t{0};
+    const std::uint64_t prep_age =
+        prep_it != prepared_.end() ? prep_it->last_used : ~std::uint64_t{0};
+    if (plan_age <= prep_age) {
+      plans_.erase(plan_it);
+    } else {
+      prepared_.erase(prep_it);
+    }
+  }
+}
+
+OptimizationPlan PlanCache::tune(const Autotuner& tuner, const CsrMatrix& m,
+                                 const TuneOptions& opts) {
+  const PlanKey key{&tuner, fingerprint(m), opts.policy, opts.classifier,
+                    opts.collect_trace};
+  {
+    std::lock_guard<std::mutex> lock{mutex_};
+    for (PlanEntry& e : plans_) {
+      if (e.key == key) {
+        e.last_used = ++tick_;
+        note_hit();
+        return e.plan;
+      }
+    }
+    note_miss();
+  }
+  // Tune outside the lock: concurrent misses may duplicate work, never block
+  // each other behind a long inspection.
+  OptimizationPlan plan = tuner.tune(m, opts);
+  std::lock_guard<std::mutex> lock{mutex_};
+  plans_.push_back(PlanEntry{key, plan, ++tick_});
+  evict_locked();
+  return plan;
+}
+
+std::shared_ptr<const kernels::PreparedSpmv> PlanCache::prepare(
+    const CsrMatrix& m, const kernels::SpmvOptions& opts) {
+  const PreparedKey key{&m,
+                        m.rowptr().data(),
+                        m.colind().data(),
+                        m.values().data(),
+                        fingerprint(m),
+                        opts.config,
+                        opts.threads,
+                        opts.first_touch};
+  {
+    std::lock_guard<std::mutex> lock{mutex_};
+    for (PreparedEntry& e : prepared_) {
+      if (e.key == key) {
+        e.last_used = ++tick_;
+        note_hit();
+        return e.prepared;
+      }
+    }
+    note_miss();
+  }
+  auto prepared = std::make_shared<const kernels::PreparedSpmv>(m, opts);
+  std::lock_guard<std::mutex> lock{mutex_};
+  prepared_.push_back(PreparedEntry{key, prepared, ++tick_});
+  evict_locked();
+  return prepared;
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock{mutex_};
+  return stats_;
+}
+
+std::size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock{mutex_};
+  return plans_.size() + prepared_.size();
+}
+
+void PlanCache::clear() {
+  std::lock_guard<std::mutex> lock{mutex_};
+  plans_.clear();
+  prepared_.clear();
+}
+
+}  // namespace sparta::tuner

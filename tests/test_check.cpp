@@ -617,7 +617,7 @@ TEST(RejectPlan, NamedViolations) {
 // ---------------------------------------------------------------------------
 
 TEST(Wiring, CsrConstructorNamesTheViolation) {
-  aligned_vector<offset_t> rowptr{1, 1};
+  numa_vector<offset_t> rowptr{1, 1};
   try {
     const CsrMatrix bad{1, 1, std::move(rowptr), {}, {}};
     FAIL() << "malformed CSR accepted";
@@ -625,7 +625,7 @@ TEST(Wiring, CsrConstructorNamesTheViolation) {
     EXPECT_EQ(e.violation(), "csr.rowptr.front");
   }
   // ...and it still reads as the documented std::invalid_argument.
-  aligned_vector<offset_t> rowptr2{0, 2};
+  numa_vector<offset_t> rowptr2{0, 2};
   EXPECT_THROW((CsrMatrix{1, 1, std::move(rowptr2), {0}, {1.0}}), std::invalid_argument);
 }
 

@@ -103,44 +103,44 @@ TEST(Csr, RowAccessors) {
 }
 
 TEST(Csr, ValidateRejectsBadRowptr) {
-  aligned_vector<offset_t> rowptr{0, 2, 1};  // decreasing
-  aligned_vector<index_t> colind{0, 1};
-  aligned_vector<value_t> values{1.0, 2.0};
+  numa_vector<offset_t> rowptr{0, 2, 1};  // decreasing
+  numa_vector<index_t> colind{0, 1};
+  numa_vector<value_t> values{1.0, 2.0};
   EXPECT_THROW(CsrMatrix(2, 2, rowptr, colind, values), std::invalid_argument);
 }
 
 TEST(Csr, ValidateRejectsWrongRowptrStart) {
-  aligned_vector<offset_t> rowptr{1, 2};
-  aligned_vector<index_t> colind{0, 0};
-  aligned_vector<value_t> values{1.0, 2.0};
+  numa_vector<offset_t> rowptr{1, 2};
+  numa_vector<index_t> colind{0, 0};
+  numa_vector<value_t> values{1.0, 2.0};
   EXPECT_THROW(CsrMatrix(1, 1, rowptr, colind, values), std::invalid_argument);
 }
 
 TEST(Csr, ValidateRejectsColumnOutOfRange) {
-  aligned_vector<offset_t> rowptr{0, 1};
-  aligned_vector<index_t> colind{5};
-  aligned_vector<value_t> values{1.0};
+  numa_vector<offset_t> rowptr{0, 1};
+  numa_vector<index_t> colind{5};
+  numa_vector<value_t> values{1.0};
   EXPECT_THROW(CsrMatrix(1, 2, rowptr, colind, values), std::invalid_argument);
 }
 
 TEST(Csr, ValidateRejectsUnsortedColumns) {
-  aligned_vector<offset_t> rowptr{0, 2};
-  aligned_vector<index_t> colind{1, 0};
-  aligned_vector<value_t> values{1.0, 2.0};
+  numa_vector<offset_t> rowptr{0, 2};
+  numa_vector<index_t> colind{1, 0};
+  numa_vector<value_t> values{1.0, 2.0};
   EXPECT_THROW(CsrMatrix(1, 2, rowptr, colind, values), std::invalid_argument);
 }
 
 TEST(Csr, ValidateRejectsDuplicateColumns) {
-  aligned_vector<offset_t> rowptr{0, 2};
-  aligned_vector<index_t> colind{1, 1};
-  aligned_vector<value_t> values{1.0, 2.0};
+  numa_vector<offset_t> rowptr{0, 2};
+  numa_vector<index_t> colind{1, 1};
+  numa_vector<value_t> values{1.0, 2.0};
   EXPECT_THROW(CsrMatrix(1, 2, rowptr, colind, values), std::invalid_argument);
 }
 
 TEST(Csr, ValidateRejectsNnzMismatch) {
-  aligned_vector<offset_t> rowptr{0, 1};
-  aligned_vector<index_t> colind{0, 1};
-  aligned_vector<value_t> values{1.0, 2.0};
+  numa_vector<offset_t> rowptr{0, 1};
+  numa_vector<index_t> colind{0, 1};
+  numa_vector<value_t> values{1.0, 2.0};
   EXPECT_THROW(CsrMatrix(1, 2, rowptr, colind, values), std::invalid_argument);
 }
 

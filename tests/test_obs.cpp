@@ -236,7 +236,7 @@ TEST(TuneTrace, ScopedPhaseAppendsOnDestruction) {
   EXPECT_GE(phases[0].micros, 0.0);
 }
 
-// --- Unified API vs deprecated wrappers ------------------------------------
+// --- Unified tune/plan API ---------------------------------------------------
 
 class ApiEquivalence : public ::testing::Test {
  protected:
@@ -269,55 +269,23 @@ class ApiEquivalence : public ::testing::Test {
   }
 };
 
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-// These tests exist to pin wrapper equivalence, so calling the deprecated
-// entry points is the point — suppress the repo lint on each call site.
-
-TEST_F(ApiEquivalence, DeprecatedPlanWrappersMatchUnifiedPlan) {
-  expect_same(tuner().plan_profile_guided(eval()), tuner().plan(eval()));  // sparta-lint: allow(deprecated-call)
-  expect_same(tuner().plan_feature_guided(eval(), classifier()),  // sparta-lint: allow(deprecated-call)
-              tuner().plan(eval(), {.policy = TunePolicy::kFeature,
-                                    .classifier = &classifier()}));
-  expect_same(tuner().plan_oracle(eval()),  // sparta-lint: allow(deprecated-call)
-              tuner().plan(eval(), {.policy = TunePolicy::kOracle}));
-  expect_same(tuner().plan_trivial(eval(), false),  // sparta-lint: allow(deprecated-call)
-              tuner().plan(eval(), {.policy = TunePolicy::kTrivialSingle}));
-  expect_same(tuner().plan_trivial(eval(), true),  // sparta-lint: allow(deprecated-call)
-              tuner().plan(eval(), {.policy = TunePolicy::kTrivialCombined}));
+TEST_F(ApiEquivalence, PolicySelectsStrategy) {
+  EXPECT_EQ(tuner().plan(eval()).strategy, "profile");
+  EXPECT_EQ(tuner()
+                .plan(eval(), {.policy = TunePolicy::kFeature, .classifier = &classifier()})
+                .strategy,
+            "feature");
+  EXPECT_EQ(tuner().plan(eval(), {.policy = TunePolicy::kOracle}).strategy, "oracle");
+  EXPECT_EQ(tuner().plan(eval(), {.policy = TunePolicy::kTrivialSingle}).strategy,
+            "trivial-single");
+  EXPECT_EQ(tuner().plan(eval(), {.policy = TunePolicy::kTrivialCombined}).strategy,
+            "trivial-combined");
 }
 
-TEST_F(ApiEquivalence, DeprecatedTuneWrappersMatchUnifiedTune) {
+TEST_F(ApiEquivalence, TuneMatchesEvaluateThenPlan) {
   const CsrMatrix m = gen::random_uniform(6000, 10, 234);
-  expect_same(tuner().tune_profile_guided(m), tuner().tune(m));  // sparta-lint: allow(deprecated-call)
-  expect_same(tuner().tune_feature_guided(m, classifier()),  // sparta-lint: allow(deprecated-call)
-              tuner().tune(m, {.policy = TunePolicy::kFeature, .classifier = &classifier()}));
+  expect_same(tuner().tune(m), tuner().plan(tuner().evaluate("", m)));
 }
-
-TEST_F(ApiEquivalence, DeprecatedPreparedSpmvCtorMatchesOptionsCtor) {
-  const CsrMatrix m = gen::random_uniform(2000, 8, 235);
-  sim::KernelConfig cfg;
-  cfg.delta = true;
-  const kernels::PreparedSpmv old_api{m, cfg, 3};
-  const kernels::PreparedSpmv new_api{m, kernels::SpmvOptions{.config = cfg, .threads = 3}};
-  EXPECT_EQ(old_api.threads(), new_api.threads());
-  EXPECT_EQ(old_api.config().describe(), new_api.config().describe());
-  EXPECT_EQ(old_api.delta_applied(), new_api.delta_applied());
-  EXPECT_DOUBLE_EQ(old_api.bytes_per_run(), new_api.bytes_per_run());
-
-  aligned_vector<value_t> x(static_cast<std::size_t>(m.ncols()), 1.0);
-  aligned_vector<value_t> y0(static_cast<std::size_t>(m.nrows()));
-  aligned_vector<value_t> y1(static_cast<std::size_t>(m.nrows()));
-  old_api.run(x, y0);
-  new_api.run(x, y1);
-  for (std::size_t i = 0; i < y0.size(); ++i) EXPECT_DOUBLE_EQ(y0[i], y1[i]);
-
-  // The positional ctor keeps its historical contract: threads must be > 0.
-  EXPECT_THROW(kernels::PreparedSpmv(m, cfg, 0), std::invalid_argument);
-}
-
-#pragma GCC diagnostic pop
 
 TEST_F(ApiEquivalence, FeaturePolicyRequiresClassifier) {
   EXPECT_THROW((void)tuner().plan(eval(), {.policy = TunePolicy::kFeature}),

@@ -16,11 +16,11 @@ Rules (each suppressible on a line, or the line above it, with
                    of the region. Telemetry belongs in sparta::obs, which
                    already pads per-thread slots.
 
-  deprecated-call  Calls to the [[deprecated]] tuner/kernel entry points
+  deprecated-call  Calls to the removed tuner per-strategy entry points
                    (plan_profile_guided, tune_feature_guided, ... — replaced
-                   by Autotuner::tune/plan(TuneOptions) in PR 2). New code
-                   must use the unified surface; the wrappers exist only so
-                   old call sites fail soft.
+                   by Autotuner::tune/plan(TuneOptions) in PR 2, deleted in
+                   PR 6). The rule stays armed so reintroductions are caught;
+                   there are no in-tree targets.
 
   raw-assert       `assert(...)` in src/. Raw asserts vanish under NDEBUG
                    and abort without context otherwise; use SPARTA_REQUIRE /
@@ -62,9 +62,9 @@ DEPRECATED_ENTRY_POINTS = (
     "tune_feature_guided",
 )
 
-# The deprecated wrappers are declared and defined here; those mentions are
-# the wrappers themselves, not call sites.
-DEPRECATED_DEFINITION_FILES = {"src/tuner/optimizer.hpp", "src/tuner/optimizer.cpp"}
+# Files where mentions of the names above are definitions rather than call
+# sites. Empty since the wrappers were deleted outright in PR 6.
+DEPRECATED_DEFINITION_FILES: set[str] = set()
 
 ALLOW_RE = re.compile(r"sparta-lint:\s*allow\(([a-z0-9.-]+(?:\s*,\s*[a-z0-9.-]+)*)\)")
 
