@@ -31,6 +31,7 @@
 #include "common/statistics.hpp"
 #include "common/table.hpp"
 #include "gen/suite.hpp"
+#include "sim/traffic_model.hpp"
 #include "vendor/inspector_executor.hpp"
 #include "vendor/vendor_csr.hpp"
 
@@ -137,6 +138,35 @@ int main(int argc, char** argv) {
   print_rows(rows_after, std::cout);
 
   bool ok = true;
+
+  // SpMM amortization: modeled speedup of one k-wide block multiply over k
+  // sequential SpMVs (CostModelParams::spmm_speedup with each matrix's
+  // measured matrix-traffic fraction). The matrix stream is read once per k
+  // columns, so the speedup must clear break-even (> 1) for every suite
+  // matrix and grow with k on the aggregate.
+  const CostModelParams spmm_cost{};
+  std::cout << "\n-- SpMM break-even: one k-wide SpMM vs k sequential SpMVs (modeled) --\n";
+  Table spmm_table{{"k", "S_best", "S_avg", "S_worst"}};
+  double prev_avg = 1.0;  // k = 1 is exactly one SpMV
+  for (const int k : {2, 4, 8}) {
+    std::vector<double> speedups;
+    for (const auto& m : suite) {
+      speedups.push_back(spmm_cost.spmm_speedup(k, sim::matrix_traffic_fraction(m.matrix)));
+    }
+    spmm_table.add_row({std::to_string(k), Table::num(stats::max(speedups), 2),
+                        Table::num(stats::mean(speedups), 2),
+                        Table::num(stats::min(speedups), 2)});
+    if (!(stats::min(speedups) > 1.0)) {
+      std::cerr << "FAIL: modeled k=" << k << " SpMM does not amortize on every matrix\n";
+      ok = false;
+    }
+    if (!(stats::mean(speedups) > prev_avg)) {
+      std::cerr << "FAIL: modeled SpMM speedup not increasing at k=" << k << "\n";
+      ok = false;
+    }
+    prev_avg = stats::mean(speedups);
+  }
+  spmm_table.print(std::cout);
   for (std::size_t r = 0; r + 1 < rows_before.size(); ++r) {  // optimizer rows only
     const double avg_before = stats::mean(rows_before[r].finite());
     const double avg_after = stats::mean(rows_after[r].finite());

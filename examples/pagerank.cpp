@@ -47,19 +47,19 @@ int main() {
   int iter = 0;
   double delta = 1.0;
   for (; iter < kMaxIters && delta > kTol; ++iter) {
-    spmv.run(rank, next);
     // Dangling nodes and teleportation.
     double dangling = 0.0;
     for (index_t j = 0; j < kNodes; ++j) {
       if (adj.row_nnz(j) == 0) dangling += rank[static_cast<std::size_t>(j)];
     }
     const double base = (1.0 - kDamping) / kNodes + kDamping * dangling / kNodes;
+    // next = d * P^T rank + base in one kernel pass: the damping and
+    // teleportation fold into the kernel's alpha/beta form.
+    std::fill(next.begin(), next.end(), base);
+    spmv.run(rank, next, kDamping, 1.0);
     delta = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      const double v = kDamping * next[i] + base;
-      delta += std::abs(v - rank[i]);
-      rank[i] = v;
-    }
+    for (std::size_t i = 0; i < n; ++i) delta += std::abs(next[i] - rank[i]);
+    std::swap(rank, next);
   }
   std::cout << "pagerank converged in " << iter << " iterations ("
             << Table::num(timer.seconds() * 1e3, 1) << " ms), L1 delta " << delta << "\n";

@@ -269,6 +269,26 @@ solvers::SolveResult SolverEngine::cg(std::span<const value_t> b,
   return result;
 }
 
+void SolverEngine::spmm(kernels::ConstDenseBlockView x, kernels::DenseBlockView y,
+                        value_t alpha, value_t beta) const {
+  if (x.width != y.width) {
+    throw std::invalid_argument{"engine spmm: operand width mismatch"};
+  }
+  const auto parts = prepared_->region_parts();
+  const int nparts = static_cast<int>(parts.size());
+  const kernels::PreparedSpmv& spmv = *prepared_;
+#pragma omp parallel default(none) num_threads(threads_) shared(spmv, x, y, alpha, beta, nparts)
+  {
+    const int nt = omp_get_num_threads();
+    for (int pi = omp_get_thread_num(); pi < nparts; pi += nt) {
+      spmv.run_local(pi, x, y, alpha, beta);
+    }
+  }
+  auto& reg = obs::Registry::global();
+  reg.counter("engine.spmm.calls").add();
+  reg.counter("engine.spmm.columns").add(static_cast<double>(x.width));
+}
+
 solvers::SolveResult SolverEngine::bicgstab(std::span<const value_t> b,
                                             std::span<value_t> x) const {
   const CsrMatrix& a = *a_;

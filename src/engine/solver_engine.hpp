@@ -67,6 +67,15 @@ class SolverEngine {
   /// Fused BiCGSTAB. Same iteration semantics as solvers::bicgstab.
   solvers::SolveResult bicgstab(std::span<const value_t> b, std::span<value_t> x) const;
 
+  /// Y = alpha * A * X + beta * Y over dense operand blocks (X: ncols x k,
+  /// Y: nrows x k), executed inside one persistent parallel region: each
+  /// thread drives the region-reentrant block path over its owned row
+  /// ranges, so a k-wide multiply costs one fork/join — not one per column
+  /// — and reads the matrix stream once per k columns. Throws
+  /// std::invalid_argument on an operand width mismatch.
+  void spmm(kernels::ConstDenseBlockView x, kernels::DenseBlockView y, value_t alpha = 1.0,
+            value_t beta = 0.0) const;
+
   [[nodiscard]] const kernels::PreparedSpmv& prepared() const { return *prepared_; }
   /// The engine's owning handle — shareable with other engines/callers.
   [[nodiscard]] const std::shared_ptr<const kernels::PreparedSpmv>& prepared_ptr() const {

@@ -3,6 +3,7 @@
 #include <omp.h>
 
 #include <algorithm>
+#include <array>
 #include <optional>
 #include <stdexcept>
 
@@ -36,11 +37,23 @@ struct Prepared {
   NumaArray<std::uint8_t> ft_deltas8;
   NumaArray<std::uint16_t> ft_deltas16;
 
-  // Region-reentrant dispatch (one owned RowRange per call, no pragmas).
-  void (*local)(const Prepared&, RowRange, std::span<const value_t>,
-                std::span<value_t>) = nullptr;
+  /// One row-range block runner per specialized chunk width — slot i handles
+  /// width 1 << i (1, 2, 4, 8). This is the k-specialized impl table the
+  /// block_width hint preallocates: every execution path (one-shot and
+  /// region-reentrant) decomposes its operand width into these chunks.
+  using BlockRowsFn = void (*)(const Prepared&, RowRange, ConstDenseBlockView,
+                               DenseBlockView, value_t, value_t);
+  std::array<BlockRowsFn, 4> block_rows{};
+
+  /// Preplanned greedy chunk schedule for the hinted operand width; runs
+  /// whose width matches the hint walk this instead of re-deriving it.
+  index_t hint_width = 1;
+  std::vector<index_t> hint_chunks;
+
+  // Region-reentrant fused SpMV+dot (one owned RowRange per call, no
+  // pragmas; single-vector by nature).
   double (*local_dot)(const Prepared&, RowRange, std::span<const value_t>, std::span<value_t>,
-                      std::span<const value_t>) = nullptr;
+                      std::span<const value_t>, value_t, value_t) = nullptr;
 };
 
 }  // namespace detail_registry
@@ -49,28 +62,73 @@ namespace {
 
 using detail_registry::Prepared;
 
-template <bool V, bool U, bool P>
-void run_csr(const Prepared& p, std::span<const value_t> x, std::span<value_t> y) {
-  spmv_csr_partitioned<V, U, P>(p.view, x, y, p.parts);
+/// Slot of the k-specialized table that handles chunk width w (1/2/4/8).
+int chunk_slot(index_t w) {
+  return w == 8 ? 3 : w == 4 ? 2 : w == 2 ? 1 : 0;
 }
 
-template <bool V, bool U, bool P>
-void run_decomposed(const Prepared& p, std::span<const value_t> x, std::span<value_t> y) {
-  spmv_csr_partitioned<V, U, P>(p.decomposed->short_part(), x, y, p.parts);
-  const auto rowptr = p.decomposed->long_rowptr();
-  const auto colind = p.decomposed->long_colind();
-  const auto values = p.decomposed->long_values();
-  for (std::size_t k = 0; k < p.decomposed->long_rows().size(); ++k) {
-    value_t total = 0.0;
-    const auto b = rowptr[k];
-    const auto e = rowptr[k + 1];
-#pragma omp parallel for default(none) shared(values, colind, x, b, e) \
-    reduction(+ : total) schedule(static)
-    for (offset_t j = b; j < e; ++j) {
-      const auto idx = static_cast<std::size_t>(j);
-      total += values[idx] * x[static_cast<std::size_t>(colind[idx])];
+/// Greedy decomposition of an operand width into specialized chunk widths.
+std::vector<index_t> plan_chunks(index_t width) {
+  // Chunk count is known up front: width / 8 eights plus at most one each
+  // of 4, 2, 1 for the remainder bits — size once, then fill.
+  const index_t rem = width % 8;
+  const auto count = static_cast<std::size_t>(width / 8 + ((rem & 4) != 0 ? 1 : 0) +
+                                              ((rem & 2) != 0 ? 1 : 0) + ((rem & 1) != 0 ? 1 : 0));
+  std::vector<index_t> plan(count);
+  std::size_t slot = 0;
+  index_t c = 0;
+  while (c < width) {
+    const index_t left = width - c;
+    const index_t w = left >= 8 ? 8 : left >= 4 ? 4 : left >= 2 ? 2 : 1;
+    plan[slot++] = w;
+    c += w;
+  }
+  return plan;
+}
+
+/// Rows `r` of Y = alpha A X + beta Y through the k-specialized impl table:
+/// the preplanned chunk schedule when the width matches the preparation
+/// hint, the same greedy decomposition derived on the fly otherwise.
+void run_rows_blocked(const Prepared& p, RowRange r, ConstDenseBlockView x, DenseBlockView y,
+                      value_t alpha, value_t beta) {
+  if (x.width == p.hint_width) {
+    index_t c = 0;
+    for (const index_t w : p.hint_chunks) {
+      p.block_rows[static_cast<std::size_t>(chunk_slot(w))](p, r, x.columns(c, w),
+                                                            y.columns(c, w), alpha, beta);
+      c += w;
     }
-    y[static_cast<std::size_t>(p.decomposed->long_rows()[k])] = total;
+    return;
+  }
+  index_t c = 0;
+  while (c < x.width) {
+    const index_t rem = x.width - c;
+    const index_t w = rem >= 8 ? 8 : rem >= 4 ? 4 : rem >= 2 ? 2 : 1;
+    p.block_rows[static_cast<std::size_t>(chunk_slot(w))](p, r, x.columns(c, w),
+                                                          y.columns(c, w), alpha, beta);
+    c += w;
+  }
+}
+
+/// One-shot partitioned driver (CSR or delta — the impl table decides):
+/// one partition per thread, same region shape as the historical
+/// spmv_csr_partitioned / spmv_delta_partitioned.
+void run_parts_blocked(const Prepared& p, ConstDenseBlockView x, DenseBlockView y,
+                       value_t alpha, value_t beta) {
+  const auto parts = std::span<const RowRange>{p.parts};
+#pragma omp parallel for default(none) shared(p, x, y, alpha, beta, parts) schedule(static, 1)
+  for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(parts.size()); ++i) {
+    run_rows_blocked(p, parts[static_cast<std::size_t>(i)], x, y, alpha, beta);
+  }
+}
+
+/// One-shot dynamic (auto-like) self-scheduling driver over rows.
+void run_dynamic_blocked(const Prepared& p, ConstDenseBlockView x, DenseBlockView y,
+                         value_t alpha, value_t beta) {
+  const index_t n = p.view.nrows;
+#pragma omp parallel for default(none) shared(p, x, y, alpha, beta, n) schedule(dynamic, 64)
+  for (index_t i = 0; i < n; ++i) {
+    run_rows_blocked(p, RowRange{i, i + 1}, x, y, alpha, beta);
   }
 }
 
@@ -89,53 +147,65 @@ auto pick(bool vec, bool unroll, bool prefetch) {
   return table[vec][unroll][prefetch];
 }
 
-template <bool V, bool U, bool P>
-struct CsrRunner {
-  static void run(const Prepared& p, std::span<const value_t> x, std::span<value_t> y) {
-    run_csr<V, U, P>(p, x, y);
-  }
+/// K-specialized CSR row-range runner family, nested so `pick` can select
+/// the scalar transformations per chunk width.
+template <index_t K>
+struct CsrBlock {
+  template <bool V, bool U, bool P>
+  struct Fn {
+    static void run(const Prepared& p, RowRange r, ConstDenseBlockView x, DenseBlockView y,
+                    value_t alpha, value_t beta) {
+      csr_rows_block<K, V, U, P>(p.view, x, y, alpha, beta, r);
+    }
+  };
 };
+
+template <index_t K, bool V>
+void delta_block_rows(const Prepared& p, RowRange r, ConstDenseBlockView x, DenseBlockView y,
+                      value_t alpha, value_t beta) {
+  delta_rows_block<K, V>(p.delta_view, x, y, alpha, beta, r);
+}
 
 template <bool V, bool U, bool P>
 struct DecompRunner {
-  static void run(const Prepared& p, std::span<const value_t> x, std::span<value_t> y) {
-    run_decomposed<V, U, P>(p, x, y);
-  }
-};
-
-template <bool V, bool U, bool P>
-struct DynRunner {
-  static void run(const Prepared& p, std::span<const value_t> x, std::span<value_t> y) {
-    spmv_csr_dynamic<V, U, P>(p.view, x, y);
-  }
-};
-
-template <bool V, bool U, bool P>
-struct LocalCsr {
-  static void run(const Prepared& p, RowRange r, std::span<const value_t> x,
-                  std::span<value_t> y) {
-    csr_rows_local<V, U, P>(p.view, x, y, r);
+  static void run(const Prepared& p, ConstDenseBlockView x, DenseBlockView y, value_t alpha,
+                  value_t beta) {
+    spmm_decomposed<V, U, P>(*p.decomposed, x, y, alpha, beta, p.parts);
   }
 };
 
 template <bool V, bool U, bool P>
 struct LocalCsrDot {
   static double run(const Prepared& p, RowRange r, std::span<const value_t> x,
-                    std::span<value_t> y, std::span<const value_t> w) {
-    return csr_rows_local_dot<V, U, P>(p.view, x, y, w, r);
+                    std::span<value_t> y, std::span<const value_t> w, value_t alpha,
+                    value_t beta) {
+    return csr_rows_local_dot<V, U, P>(p.view, x, y, w, r, alpha, beta);
   }
 };
 
 template <bool V>
-void local_delta(const Prepared& p, RowRange r, std::span<const value_t> x,
-                 std::span<value_t> y) {
-  delta_rows_local<V>(p.delta_view, x, y, r);
+double local_delta_dot(const Prepared& p, RowRange r, std::span<const value_t> x,
+                       std::span<value_t> y, std::span<const value_t> w, value_t alpha,
+                       value_t beta) {
+  return delta_rows_local_dot<V>(p.delta_view, x, y, w, r, alpha, beta);
 }
 
-template <bool V>
-double local_delta_dot(const Prepared& p, RowRange r, std::span<const value_t> x,
-                       std::span<value_t> y, std::span<const value_t> w) {
-  return delta_rows_local_dot<V>(p.delta_view, x, y, w, r);
+/// Fill the k-specialized impl table for the plain-CSR kernels.
+std::array<Prepared::BlockRowsFn, 4> csr_block_table(bool vec, bool unroll, bool prefetch) {
+  return {pick<CsrBlock<1>::template Fn>(vec, unroll, prefetch),
+          pick<CsrBlock<2>::template Fn>(vec, unroll, prefetch),
+          pick<CsrBlock<4>::template Fn>(vec, unroll, prefetch),
+          pick<CsrBlock<8>::template Fn>(vec, unroll, prefetch)};
+}
+
+/// Fill the k-specialized impl table for the delta-compressed kernels.
+std::array<Prepared::BlockRowsFn, 4> delta_block_table(bool vec) {
+  if (vec) {
+    return {&delta_block_rows<1, true>, &delta_block_rows<2, true>, &delta_block_rows<4, true>,
+            &delta_block_rows<8, true>};
+  }
+  return {&delta_block_rows<1, false>, &delta_block_rows<2, false>,
+          &delta_block_rows<4, false>, &delta_block_rows<8, false>};
 }
 
 /// Copy `src` ranges into untouched `dst` storage from the threads that own
@@ -165,8 +235,10 @@ struct ElemRange {
 
 PreparedSpmv::PreparedSpmv(const CsrMatrix& a, const SpmvOptions& opts) : config_(opts.config) {
   if (opts.threads < 0) throw std::invalid_argument{"PreparedSpmv: threads < 0"};
+  if (opts.block_width < 1) throw std::invalid_argument{"PreparedSpmv: block_width < 1"};
   const int threads = opts.threads > 0 ? opts.threads : omp_get_max_threads();
   threads_ = threads;
+  block_width_ = opts.block_width;
   const KernelConfig& cfg = config_;
   const bool first_touch = opts.first_touch;
   Timer timer;
@@ -174,6 +246,8 @@ PreparedSpmv::PreparedSpmv(const CsrMatrix& a, const SpmvOptions& opts) : config
   prepared->source = &a;
   prepared->view = make_view(a);
   prepared->region_parts = partition_balanced_nnz(a, threads);
+  prepared->hint_width = static_cast<index_t>(block_width_);
+  prepared->hint_chunks = plan_chunks(prepared->hint_width);
 
   bool use_delta = cfg.delta;
   if (use_delta) {
@@ -251,43 +325,34 @@ PreparedSpmv::PreparedSpmv(const CsrMatrix& a, const SpmvOptions& opts) : config
     first_touch_applied_ = true;
   }
 
-  // Region-reentrant dispatch: delta when applied, otherwise the plain-CSR
-  // row kernels with the config's scalar transformations (decomposed and
-  // dynamic configs fall back to these — row results are identical).
+  // The k-specialized impl table: delta when applied, otherwise the
+  // plain-CSR row kernels with the config's scalar transformations
+  // (decomposed and dynamic configs fall back to these on the
+  // region-reentrant path — row results are identical).
   if (use_delta) {
-    prepared->local = cfg.vectorized ? &local_delta<true> : &local_delta<false>;
+    prepared->block_rows = delta_block_table(cfg.vectorized);
     prepared->local_dot = cfg.vectorized ? &local_delta_dot<true> : &local_delta_dot<false>;
   } else {
     const bool vec = cfg.vectorized && !cfg.decomposed;
-    prepared->local = pick<LocalCsr>(vec, cfg.unrolled, cfg.prefetch);
+    prepared->block_rows = csr_block_table(vec, cfg.unrolled, cfg.prefetch);
     prepared->local_dot = pick<LocalCsrDot>(vec, cfg.unrolled, cfg.prefetch);
   }
 
-  // Dispatch. Delta excludes decomposition/dynamic in the host registry (the
-  // tuner never combines MB with IMB formats; see tuner/optimizations.cpp).
-  if (use_delta) {
-    const bool vec = cfg.vectorized;
-    impl_ = [prepared, vec](std::span<const value_t> x, std::span<value_t> y) {
-      if (vec) {
-        spmv_delta_partitioned<true>(prepared->delta_view, x, y, prepared->parts);
-      } else {
-        spmv_delta_partitioned<false>(prepared->delta_view, x, y, prepared->parts);
-      }
-    };
-  } else if (cfg.decomposed) {
+  // One-shot dispatch. Delta excludes decomposition/dynamic in the host
+  // registry (the tuner never combines MB with IMB formats; see
+  // tuner/optimizations.cpp). Partitioned configs — plain or delta — share
+  // the blocked partition driver; the impl table already carries the format.
+  if (cfg.decomposed && !use_delta) {
     auto runner = pick<DecompRunner>(cfg.vectorized, cfg.unrolled, cfg.prefetch);
-    impl_ = [prepared, runner](std::span<const value_t> x, std::span<value_t> y) {
-      runner(*prepared, x, y);
-    };
-  } else if (cfg.schedule == Schedule::kDynamicChunks) {
-    auto runner = pick<DynRunner>(cfg.vectorized, cfg.unrolled, cfg.prefetch);
-    impl_ = [prepared, runner](std::span<const value_t> x, std::span<value_t> y) {
-      runner(*prepared, x, y);
+    impl_ = [prepared, runner](ConstDenseBlockView x, DenseBlockView y, value_t alpha,
+                               value_t beta) { runner(*prepared, x, y, alpha, beta); };
+  } else if (!use_delta && cfg.schedule == Schedule::kDynamicChunks) {
+    impl_ = [prepared](ConstDenseBlockView x, DenseBlockView y, value_t alpha, value_t beta) {
+      run_dynamic_blocked(*prepared, x, y, alpha, beta);
     };
   } else {
-    auto runner = pick<CsrRunner>(cfg.vectorized, cfg.unrolled, cfg.prefetch);
-    impl_ = [prepared, runner](std::span<const value_t> x, std::span<value_t> y) {
-      runner(*prepared, x, y);
+    impl_ = [prepared](ConstDenseBlockView x, DenseBlockView y, value_t alpha, value_t beta) {
+      run_parts_blocked(*prepared, x, y, alpha, beta);
     };
   }
   // Post-preparation structural contracts: the thread-ownership partition
@@ -301,8 +366,10 @@ PreparedSpmv::PreparedSpmv(const CsrMatrix& a, const SpmvOptions& opts) : config
   prepared_ = std::move(prepared);
   prep_seconds_ = timer.seconds();
 
-  // Streaming-byte estimate for one run(): the matrix arrays in the format
-  // the kernel actually reads, plus the dense vectors (x read, y written).
+  // Streaming-byte model for one run(): the matrix arrays in the format the
+  // kernel actually reads are streamed once regardless of the operand width
+  // (the SpMM amortization), while the dense operands (x read, y written)
+  // cost their footprint per column. bytes_per_run(width) combines the two.
   const auto dnnz = static_cast<double>(a.nnz());
   const auto dnrows = static_cast<double>(a.nrows());
   double index_bytes = dnnz * static_cast<double>(sizeof(index_t));
@@ -310,36 +377,61 @@ PreparedSpmv::PreparedSpmv(const CsrMatrix& a, const SpmvOptions& opts) : config
     index_bytes = dnnz * (prepared_->delta->width() == DeltaWidth::k8 ? 1.0 : 2.0) +
                   dnrows * static_cast<double>(sizeof(index_t));  // first_col
   }
-  bytes_per_run_ = (dnrows + 1.0) * static_cast<double>(sizeof(offset_t)) + index_bytes +
-                   dnnz * static_cast<double>(sizeof(value_t)) +
-                   static_cast<double>(a.ncols() + a.nrows()) * static_cast<double>(sizeof(value_t));
+  matrix_bytes_ = (dnrows + 1.0) * static_cast<double>(sizeof(offset_t)) + index_bytes +
+                  dnnz * static_cast<double>(sizeof(value_t));
+  vector_bytes_per_column_ =
+      static_cast<double>(a.ncols() + a.nrows()) * static_cast<double>(sizeof(value_t));
 
   auto& reg = obs::Registry::global();
   reg.counter("kernels.prepare.calls").add();
   reg.histogram("kernels.prepare.micros").record(prep_seconds_ * 1e6);
   run_calls_ = reg.counter("kernels.run.calls");
   run_bytes_ = reg.counter("kernels.run.bytes");
+  run_width_ = reg.gauge("kernels.run.block_width");
 }
 
-void PreparedSpmv::run(std::span<const value_t> x, std::span<value_t> y) const {
+double PreparedSpmv::bytes_per_run(int width) const {
+  return matrix_bytes_ + vector_bytes_per_column_ * static_cast<double>(width);
+}
+
+void PreparedSpmv::run(ConstDenseBlockView x, DenseBlockView y, value_t alpha,
+                       value_t beta) const {
+  if (x.width != y.width) {
+    throw std::invalid_argument{"PreparedSpmv::run: operand width mismatch"};
+  }
   run_calls_.add();
-  run_bytes_.add(bytes_per_run_);
-  impl_(x, y);
+  run_bytes_.add(bytes_per_run(static_cast<int>(x.width)));
+  run_width_.set(static_cast<double>(x.width));
+  impl_(x, y, alpha, beta);
+}
+
+void PreparedSpmv::run(std::span<const value_t> x, std::span<value_t> y, value_t alpha,
+                       value_t beta) const {
+  run(ConstDenseBlockView::from_vector(x), DenseBlockView::from_vector(y), alpha, beta);
 }
 
 std::span<const RowRange> PreparedSpmv::region_parts() const {
   return prepared_->region_parts;
 }
 
-void PreparedSpmv::run_local(int part, std::span<const value_t> x,
-                             std::span<value_t> y) const {
-  prepared_->local(*prepared_, prepared_->region_parts[static_cast<std::size_t>(part)], x, y);
+void PreparedSpmv::run_local(int part, ConstDenseBlockView x, DenseBlockView y, value_t alpha,
+                             value_t beta) const {
+  run_rows_blocked(*prepared_, prepared_->region_parts[static_cast<std::size_t>(part)], x, y,
+                   alpha, beta);
+}
+
+void PreparedSpmv::run_local(int part, std::span<const value_t> x, std::span<value_t> y,
+                             value_t alpha, value_t beta) const {
+  run_local(part, ConstDenseBlockView::from_vector(x), DenseBlockView::from_vector(y), alpha,
+            beta);
 }
 
 double PreparedSpmv::run_local_dot(int part, std::span<const value_t> x, std::span<value_t> y,
-                                   std::span<const value_t> w) const {
+                                   std::span<const value_t> w, value_t alpha,
+                                   value_t beta) const {
   return prepared_->local_dot(*prepared_,
-                              prepared_->region_parts[static_cast<std::size_t>(part)], x, y, w);
+                              prepared_->region_parts[static_cast<std::size_t>(part)], x, y, w,
+                              alpha, beta);
 }
 
 }  // namespace sparta::kernels

@@ -1,8 +1,9 @@
 // Host kernel registry: turns a KernelConfig (any joint application of
-// optimizations the tuner can select) into a ready-to-run SpMV callable,
-// performing whatever preprocessing the configuration needs (delta
-// compression, long-row decomposition, partitioning) and recording its cost
-// — the t_pre that the amortization analysis (paper Table V) charges.
+// optimizations the tuner can select) into a ready-to-run SpMV/SpMM
+// callable, performing whatever preprocessing the configuration needs
+// (delta compression, long-row decomposition, partitioning) and recording
+// its cost — the t_pre that the amortization analysis (paper Table V)
+// charges.
 #pragma once
 
 #include <functional>
@@ -10,6 +11,7 @@
 #include <span>
 
 #include "obs/telemetry.hpp"
+#include "kernels/block_view.hpp"
 #include "kernels/kernel_config.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/partition.hpp"
@@ -28,19 +30,35 @@ struct SpmvOptions {
   int threads = 0;
   /// NUMA first-touch copies of the streaming arrays (see class comment).
   bool first_touch = false;
+  /// Expected operand width k of run() calls (Y = alpha A X + beta Y with
+  /// X/Y being k columns wide). Preparation preplans the register-blocked
+  /// chunk schedule for this width (the k-specialized impl table), and the
+  /// tuner::PlanCache keys prepared entries on it so cached plans are never
+  /// shared across incompatible block widths. Any width still executes —
+  /// non-hinted widths take the generic greedy chunking. Must be >= 1.
+  int block_width = 1;
 };
 
-/// A prepared host SpMV instance. Holds converted formats and partitions;
-/// the source matrix must outlive it.
+/// A prepared host SpMV/SpMM instance. Holds converted formats and
+/// partitions; the source matrix must outlive it.
+///
+/// One operand model: every execution signature takes dense rows x k blocks
+/// (block_view.hpp) and computes Y = alpha * A * X + beta * Y, reading the
+/// matrix stream once per k operand columns (register-blocked for k in
+/// {1, 2, 4, 8}, greedy chunks of those otherwise). The historical
+/// single-vector signatures are thin width-1 wrappers over the block path,
+/// and alpha = 1, beta = 0 (the defaults) store directly, so a width-1
+/// run() is bit-identical to the pre-block vector path.
 ///
 /// Two execution surfaces are exposed:
 ///  - the one-shot `run()` opens its own parallel region per call (the
 ///    historical entry point, kept for the benches and tests);
 ///  - the region-reentrant `run_local()` / `run_local_dot()` compute one
 ///    owned RowRange with no pragmas, so a persistent parallel region (the
-///    solver engine, src/engine/) can drive whole solver iterations without
-///    fork/join. Ownership is the balanced-nnz partition returned by
-///    `region_parts()` — one range per requested thread, always built.
+///    solver engine, src/engine/) can drive whole solver (or block)
+///    iterations without fork/join. Ownership is the balanced-nnz partition
+///    returned by `region_parts()` — one range per requested thread, always
+///    built.
 ///
 /// With `first_touch` set, the CSR (or delta) streams are copied into
 /// untouched storage and initialized range-by-range from the threads that
@@ -56,23 +74,36 @@ class PreparedSpmv {
   /// false).
   explicit PreparedSpmv(const CsrMatrix& a, const SpmvOptions& opts = {});
 
-  /// Run y = A * x.
-  void run(std::span<const value_t> x, std::span<value_t> y) const;
+  /// Run Y = alpha * A * X + beta * Y. X is ncols x k, Y is nrows x k; the
+  /// widths must match. Throws std::invalid_argument on a width mismatch.
+  void run(ConstDenseBlockView x, DenseBlockView y, value_t alpha = 1.0,
+           value_t beta = 0.0) const;
+
+  /// Run y = alpha * A * x + beta * y — the width-1 block special case.
+  void run(std::span<const value_t> x, std::span<value_t> y, value_t alpha = 1.0,
+           value_t beta = 0.0) const;
 
   /// Per-thread row ownership of the region-reentrant path (balanced nnz,
   /// one entry per requested thread; some ranges possibly empty).
   [[nodiscard]] std::span<const RowRange> region_parts() const;
 
-  /// Compute rows region_parts()[part] of y = A * x. No pragmas: callable
-  /// from inside an existing parallel region. Reads all of `x`, writes only
-  /// the owned rows of `y`.
-  void run_local(int part, std::span<const value_t> x, std::span<value_t> y) const;
+  /// Compute rows region_parts()[part] of Y = alpha A X + beta Y. No
+  /// pragmas: callable from inside an existing parallel region. Reads all
+  /// of `x`, writes only the owned rows of `y`.
+  void run_local(int part, ConstDenseBlockView x, DenseBlockView y, value_t alpha = 1.0,
+                 value_t beta = 0.0) const;
+
+  /// Width-1 form of the block run_local.
+  void run_local(int part, std::span<const value_t> x, std::span<value_t> y,
+                 value_t alpha = 1.0, value_t beta = 0.0) const;
 
   /// Same, fused with the dependent reduction: returns the partial dot
-  /// sum over owned rows i of w[i] * y[i], accumulated in the same pass that
-  /// writes y (the SpMV+BLAS-1 fusion point of the solver engine).
+  /// sum over owned rows i of w[i] * y[i] (the updated y), accumulated in
+  /// the same pass that writes y (the SpMV+BLAS-1 fusion point of the
+  /// solver engine). Single-vector by nature.
   [[nodiscard]] double run_local_dot(int part, std::span<const value_t> x,
-                                     std::span<value_t> y, std::span<const value_t> w) const;
+                                     std::span<value_t> y, std::span<const value_t> w,
+                                     value_t alpha = 1.0, value_t beta = 0.0) const;
 
   /// Wall-clock seconds the preprocessing took.
   [[nodiscard]] double prep_seconds() const { return prep_seconds_; }
@@ -81,22 +112,31 @@ class PreparedSpmv {
   [[nodiscard]] int threads() const { return threads_; }
   [[nodiscard]] bool delta_applied() const { return delta_applied_; }
   [[nodiscard]] bool first_touch_applied() const { return first_touch_applied_; }
-  /// Estimated bytes streamed from memory by one run() (matrix arrays in the
-  /// prepared format + x read + y written) — feeds the kernels.run.bytes
-  /// telemetry counter.
-  [[nodiscard]] double bytes_per_run() const { return bytes_per_run_; }
+  /// The operand-width hint preparation planned for (>= 1).
+  [[nodiscard]] int block_width() const { return block_width_; }
+  /// Estimated bytes streamed from memory by one run() of the given operand
+  /// width: the matrix arrays in the prepared format once (the SpMM
+  /// amortization — they are not re-read per column), plus x read and y
+  /// written per operand column — feeds the kernels.run.bytes telemetry
+  /// counter with the actual width of each call.
+  [[nodiscard]] double bytes_per_run(int width) const;
+  /// Default form: the prepared block_width hint.
+  [[nodiscard]] double bytes_per_run() const { return bytes_per_run(block_width_); }
 
  private:
   KernelConfig config_;
   int threads_ = 0;
+  int block_width_ = 1;
   double prep_seconds_ = 0.0;
   bool delta_applied_ = false;
   bool first_touch_applied_ = false;
-  double bytes_per_run_ = 0.0;
+  double matrix_bytes_ = 0.0;
+  double vector_bytes_per_column_ = 0.0;
   std::shared_ptr<detail_registry::Prepared> prepared_;
-  std::function<void(std::span<const value_t>, std::span<value_t>)> impl_;
+  std::function<void(ConstDenseBlockView, DenseBlockView, value_t, value_t)> impl_;
   obs::Counter run_calls_;
   obs::Counter run_bytes_;
+  obs::Gauge run_width_;
 };
 
 }  // namespace sparta::kernels

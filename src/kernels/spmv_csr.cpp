@@ -6,16 +6,19 @@ namespace sparta::kernels {
 
 void spmv_csr(const CsrMatrix& a, std::span<const value_t> x, std::span<value_t> y,
               std::span<const RowRange> parts) {
-  spmv_csr_partitioned<false, false, false>(a, x, y, parts);
+  spmm_csr_partitioned<false, false, false>(a, ConstDenseBlockView::from_vector(x),
+                                            DenseBlockView::from_vector(y), 1.0, 0.0, parts);
 }
 
 void spmv_csr_vectorized(const CsrMatrix& a, std::span<const value_t> x, std::span<value_t> y,
                          std::span<const RowRange> parts) {
-  spmv_csr_partitioned<true, false, false>(a, x, y, parts);
+  spmm_csr_partitioned<true, false, false>(a, ConstDenseBlockView::from_vector(x),
+                                           DenseBlockView::from_vector(y), 1.0, 0.0, parts);
 }
 
 void spmv_csr_auto(const CsrMatrix& a, std::span<const value_t> x, std::span<value_t> y) {
-  spmv_csr_dynamic<false, false, false>(a, x, y);
+  spmm_csr_dynamic<false, false, false>(a, ConstDenseBlockView::from_vector(x),
+                                        DenseBlockView::from_vector(y), 1.0, 0.0);
 }
 
 }  // namespace sparta::kernels

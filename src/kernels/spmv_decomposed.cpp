@@ -4,41 +4,16 @@
 
 namespace sparta::kernels {
 
-namespace {
-
-template <bool Vectorize>
-void run(const DecomposedCsrMatrix& a, std::span<const value_t> x, std::span<value_t> y,
-         std::span<const RowRange> parts) {
-  spmv_csr_partitioned<Vectorize, false, false>(a.short_part(), x, y, parts);
-
-  const auto rowptr = a.long_rowptr();
-  const auto colind = a.long_colind();
-  const auto values = a.long_values();
-  for (std::size_t k = 0; k < a.long_rows().size(); ++k) {
-    const auto b = rowptr[k];
-    const auto e = rowptr[k + 1];
-    value_t total = 0.0;
-#pragma omp parallel for default(none) shared(values, colind, x, b, e) \
-    reduction(+ : total) schedule(static)
-    for (offset_t j = b; j < e; ++j) {
-      const auto idx = static_cast<std::size_t>(j);
-      total += values[idx] * x[static_cast<std::size_t>(colind[idx])];
-    }
-    // Long rows were emptied in the short part, so y[row] currently holds 0.
-    y[static_cast<std::size_t>(a.long_rows()[k])] = total;
-  }
-}
-
-}  // namespace
-
 void spmv_decomposed(const DecomposedCsrMatrix& a, std::span<const value_t> x,
                      std::span<value_t> y, std::span<const RowRange> parts) {
-  run<false>(a, x, y, parts);
+  spmm_decomposed<false, false, false>(a, ConstDenseBlockView::from_vector(x),
+                                       DenseBlockView::from_vector(y), 1.0, 0.0, parts);
 }
 
 void spmv_decomposed_vectorized(const DecomposedCsrMatrix& a, std::span<const value_t> x,
                                 std::span<value_t> y, std::span<const RowRange> parts) {
-  run<true>(a, x, y, parts);
+  spmm_decomposed<true, false, false>(a, ConstDenseBlockView::from_vector(x),
+                                      DenseBlockView::from_vector(y), 1.0, 0.0, parts);
 }
 
 }  // namespace sparta::kernels

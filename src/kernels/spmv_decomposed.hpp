@@ -1,7 +1,10 @@
 // Decomposed-CSR host kernel — the IMB-class optimization for matrices with
 // highly uneven row lengths (paper Fig. 6/7). Short rows run through the
 // usual partitioned kernel; each long row is computed cooperatively by all
-// threads with an OpenMP reduction of the partial sums.
+// threads with an OpenMP reduction of the partial sums. The templated block
+// form (Y = alpha A X + beta Y over operand views) lives in
+// spmv_kernels.hpp as `spmm_decomposed`; these are the concrete
+// single-vector symbols the benches link.
 #pragma once
 
 #include <span>

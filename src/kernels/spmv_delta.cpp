@@ -6,7 +6,8 @@ namespace sparta::kernels {
 
 void spmv_delta(const DeltaCsrMatrix& a, std::span<const value_t> x, std::span<value_t> y,
                 std::span<const RowRange> parts) {
-  spmv_delta_partitioned<false>(a, x, y, parts);
+  spmm_delta_partitioned<false>(a, ConstDenseBlockView::from_vector(x),
+                                DenseBlockView::from_vector(y), 1.0, 0.0, parts);
 }
 
 }  // namespace sparta::kernels

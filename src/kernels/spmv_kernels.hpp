@@ -1,4 +1,4 @@
-// Host SpMV kernel templates.
+// Host SpMV/SpMM kernel templates.
 //
 // One templated inner loop per storage format, parameterized on the three
 // orthogonal code transformations of the optimization pool:
@@ -11,18 +11,32 @@
 // one of them is validated against spmv_reference in the test suite. The
 // modeled platforms use their cost descriptors instead (sim/kernel_model).
 //
+// Every kernel computes Y = alpha * A * X + beta * Y over dense operand
+// blocks (block_view.hpp): X is ncols x k, Y is nrows x k. The matrix stream
+// (rowptr/colind/values) is read ONCE per k operand columns — the SpMM
+// amortization of Saule/Kaya/Catalyurek (arXiv:1302.1078) — with the column
+// count register-blocked at compile time for k in {1, 2, 4, 8}; other widths
+// decompose greedily into those chunks (`*_rows_block_any`). The k = 1
+// instantiation delegates to the same scalar row bodies the historical
+// single-vector path compiled to, and alpha = 1, beta = 0 takes a branch to
+// the direct store, so the vector API (a width-1 block) is bit-identical to
+// the pre-block code.
+//
 // Two entry-point families exist per format:
-//  - `spmv_*` open their own OpenMP parallel region (one-shot calls);
-//  - `*_rows_local` compute a single RowRange with no pragmas, so a caller
-//    that already owns a persistent parallel region (the solver engine) can
-//    drive them once per owned range without fork/join. The `_dot` variants
-//    additionally fuse the dependent reduction w·y into the same row pass.
+//  - `spmm_*` open their own OpenMP parallel region (one-shot calls);
+//  - `*_rows_block` / `*_rows_block_any` compute a single RowRange with no
+//    pragmas, so a caller that already owns a persistent parallel region
+//    (the solver engine) can drive them once per owned range without
+//    fork/join. The `*_dot` variants additionally fuse the dependent
+//    reduction w·y into the same row pass (single-vector by nature).
 #pragma once
 
 #include <omp.h>
 
+#include <array>
 #include <span>
 
+#include "kernels/block_view.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/decomposed_csr.hpp"
 #include "sparse/delta_csr.hpp"
@@ -156,6 +170,81 @@ inline value_t delta_row(index_t first_col, const Width* SPARTA_RESTRICT deltas,
   return acc;
 }
 
+/// K-column row body for plain CSR: one pass over the row's nonzeros feeds
+/// all K accumulators, so each matrix entry (value + column index) is loaded
+/// once per K multiply-adds. The K operand values x[col*ldx + c] are
+/// contiguous across c — the register-blocked SIMD axis — so the column loop
+/// is always vectorized; the scalar-path Vectorize/Unroll toggles only
+/// distinguish k = 1 code (see csr_rows_block).
+template <index_t K, bool Prefetch>
+inline void csr_row_block(const index_t* SPARTA_RESTRICT colind,
+                          const value_t* SPARTA_RESTRICT values,
+                          const value_t* SPARTA_RESTRICT x, index_t ldx, offset_t begin,
+                          offset_t end, value_t* SPARTA_RESTRICT acc) {
+  for (index_t c = 0; c < K; ++c) acc[c] = 0.0;
+  for (offset_t j = begin; j < end; ++j) {
+    const auto k = static_cast<std::size_t>(j);
+    if constexpr (Prefetch) {
+      if (j + kPrefetchDistance < end) {
+        __builtin_prefetch(
+            &x[static_cast<std::size_t>(colind[static_cast<std::size_t>(j + kPrefetchDistance)]) *
+               static_cast<std::size_t>(ldx)],
+            0, kPrefetchLocality);
+      }
+    }
+    const value_t v = values[k];
+    const value_t* SPARTA_RESTRICT xr =
+        &x[static_cast<std::size_t>(colind[k]) * static_cast<std::size_t>(ldx)];
+#pragma omp simd
+    for (index_t c = 0; c < K; ++c) acc[c] += v * xr[c];
+  }
+}
+
+/// K-column row body for delta-compressed CSR (see delta_row for the decode
+/// shape; see csr_row_block for the blocking rationale).
+template <index_t K, class Width>
+inline void delta_row_block(index_t first_col, const Width* SPARTA_RESTRICT deltas,
+                            const value_t* SPARTA_RESTRICT values,
+                            const value_t* SPARTA_RESTRICT x, index_t ldx, offset_t begin,
+                            offset_t end, value_t* SPARTA_RESTRICT acc) {
+  for (index_t c = 0; c < K; ++c) acc[c] = 0.0;
+  if (begin == end) return;
+  index_t col = first_col;
+  {
+    const value_t v = values[static_cast<std::size_t>(begin)];
+    const value_t* SPARTA_RESTRICT xr =
+        &x[static_cast<std::size_t>(col) * static_cast<std::size_t>(ldx)];
+#pragma omp simd
+    for (index_t c = 0; c < K; ++c) acc[c] += v * xr[c];
+  }
+  for (offset_t j = begin + 1; j < end; ++j) {
+    const auto k = static_cast<std::size_t>(j);
+    col += static_cast<index_t>(deltas[k]);
+    const value_t v = values[k];
+    const value_t* SPARTA_RESTRICT xr =
+        &x[static_cast<std::size_t>(col) * static_cast<std::size_t>(ldx)];
+#pragma omp simd
+    for (index_t c = 0; c < K; ++c) acc[c] += v * xr[c];
+  }
+}
+
+/// alpha/beta store of one K-wide accumulator row. The alpha = 1, beta = 0
+/// default takes the direct-store branch: computing alpha*acc + beta*y
+/// instead would flip -0.0 to +0.0 and manufacture NaNs from infinities in
+/// the overwritten y, breaking bit-identity with the historical y = A*x.
+template <index_t K>
+inline void store_row_block(value_t* SPARTA_RESTRICT y,
+                            const value_t* SPARTA_RESTRICT acc, value_t alpha,
+                            value_t beta, bool plain) {
+  if (plain) {
+#pragma omp simd
+    for (index_t c = 0; c < K; ++c) y[c] = acc[c];
+  } else {
+#pragma omp simd
+    for (index_t c = 0; c < K; ++c) y[c] = alpha * acc[c] + beta * y[c];
+  }
+}
+
 }  // namespace detail
 
 // ---------------------------------------------------------------------------
@@ -163,68 +252,174 @@ inline value_t delta_row(index_t first_col, const Width* SPARTA_RESTRICT deltas,
 // persistent parallel region, one RowRange per call).
 // ---------------------------------------------------------------------------
 
-/// Rows [r.begin, r.end) of y = A x.
-template <bool Vectorize, bool Unroll, bool Prefetch>
-inline void csr_rows_local(const CsrView& a, std::span<const value_t> x, std::span<value_t> y,
-                           RowRange r) {
+/// Rows [r.begin, r.end) of Y = alpha A X + beta Y for a compile-time column
+/// count K (X and Y must be K wide). K = 1 with a contiguous operand
+/// delegates per row to the identical `detail::csr_row` instantiation the
+/// single-vector path always compiled to, keeping the width-1 block path
+/// bit-identical to it; a strided width-1 sub-view (odd chunk of a wider
+/// operand) runs the generic block body instead.
+template <index_t K, bool Vectorize, bool Unroll, bool Prefetch>
+inline void csr_rows_block(const CsrView& a, ConstDenseBlockView x, DenseBlockView y,
+                           value_t alpha, value_t beta, RowRange r) {
+  const bool plain = alpha == 1.0 && beta == 0.0;
+  if constexpr (K == 1) {
+    if (x.stride == 1) {
+      for (index_t i = r.begin; i < r.end; ++i) {
+        const auto k = static_cast<std::size_t>(i);
+        const value_t acc = detail::csr_row<Vectorize, Unroll, Prefetch>(
+            a.colind.data(), a.values.data(), x.data, a.rowptr[k], a.rowptr[k + 1]);
+        value_t& yi = *y.row(i);
+        yi = plain ? acc : alpha * acc + beta * yi;
+      }
+      return;
+    }
+  }
   for (index_t i = r.begin; i < r.end; ++i) {
-    y[static_cast<std::size_t>(i)] = detail::csr_row<Vectorize, Unroll, Prefetch>(
-        a.colind.data(), a.values.data(), x.data(), a.rowptr[static_cast<std::size_t>(i)],
-        a.rowptr[static_cast<std::size_t>(i) + 1]);
+    const auto k = static_cast<std::size_t>(i);
+    std::array<value_t, static_cast<std::size_t>(K)> acc;
+    detail::csr_row_block<K, Prefetch>(a.colind.data(), a.values.data(), x.data, x.stride,
+                                       a.rowptr[k], a.rowptr[k + 1], acc.data());
+    detail::store_row_block<K>(y.row(i), acc.data(), alpha, beta, plain);
   }
 }
 
-/// Rows of y = A x fused with the dependent partial reduction: returns
-/// sum over i in [r.begin, r.end) of w[i] * y[i]. Each row result feeds the
-/// reduction in the same pass, so y is written and consumed while hot.
+/// Delta-compressed rows [r.begin, r.end) of Y = alpha A X + beta Y for a
+/// compile-time column count K (see csr_rows_block for the K = 1 rule).
+template <index_t K, bool Vectorize>
+inline void delta_rows_block(const DeltaView& a, ConstDenseBlockView x, DenseBlockView y,
+                             value_t alpha, value_t beta, RowRange r) {
+  const bool plain = alpha == 1.0 && beta == 0.0;
+  const bool narrow = a.width == DeltaWidth::k8;
+  if constexpr (K == 1) {
+    if (x.stride == 1) {
+      for (index_t i = r.begin; i < r.end; ++i) {
+        const auto k = static_cast<std::size_t>(i);
+        const auto b = a.rowptr[k];
+        const auto e = a.rowptr[k + 1];
+        const index_t fc = a.first_col[k];
+        const value_t acc =
+            narrow ? detail::delta_row<std::uint8_t, Vectorize>(fc, a.deltas8.data(),
+                                                                a.values.data(), x.data, b, e)
+                   : detail::delta_row<std::uint16_t, Vectorize>(
+                         fc, a.deltas16.data(), a.values.data(), x.data, b, e);
+        value_t& yi = *y.row(i);
+        yi = plain ? acc : alpha * acc + beta * yi;
+      }
+      return;
+    }
+  }
+  for (index_t i = r.begin; i < r.end; ++i) {
+    const auto k = static_cast<std::size_t>(i);
+    const auto b = a.rowptr[k];
+    const auto e = a.rowptr[k + 1];
+    const index_t fc = a.first_col[k];
+    std::array<value_t, static_cast<std::size_t>(K)> acc;
+    if (narrow) {
+      detail::delta_row_block<K, std::uint8_t>(fc, a.deltas8.data(), a.values.data(), x.data,
+                                               x.stride, b, e, acc.data());
+    } else {
+      detail::delta_row_block<K, std::uint16_t>(fc, a.deltas16.data(), a.values.data(),
+                                                x.data, x.stride, b, e, acc.data());
+    }
+    detail::store_row_block<K>(y.row(i), acc.data(), alpha, beta, plain);
+  }
+}
+
+/// Arbitrary-width driver: greedily decomposes the operand width into the
+/// specialized chunks (8, 4, 2, 1), re-reading the matrix stream once per
+/// chunk. Width 1 therefore takes exactly one K = 1 pass — the historical
+/// single-vector code path.
+template <bool Vectorize, bool Unroll, bool Prefetch>
+inline void csr_rows_block_any(const CsrView& a, ConstDenseBlockView x, DenseBlockView y,
+                               value_t alpha, value_t beta, RowRange r) {
+  index_t c = 0;
+  while (c < x.width) {
+    const index_t rem = x.width - c;
+    if (rem >= 8) {
+      csr_rows_block<8, Vectorize, Unroll, Prefetch>(a, x.columns(c, 8), y.columns(c, 8),
+                                                     alpha, beta, r);
+      c += 8;
+    } else if (rem >= 4) {
+      csr_rows_block<4, Vectorize, Unroll, Prefetch>(a, x.columns(c, 4), y.columns(c, 4),
+                                                     alpha, beta, r);
+      c += 4;
+    } else if (rem >= 2) {
+      csr_rows_block<2, Vectorize, Unroll, Prefetch>(a, x.columns(c, 2), y.columns(c, 2),
+                                                     alpha, beta, r);
+      c += 2;
+    } else {
+      csr_rows_block<1, Vectorize, Unroll, Prefetch>(a, x.columns(c, 1), y.columns(c, 1),
+                                                     alpha, beta, r);
+      c += 1;
+    }
+  }
+}
+
+/// Arbitrary-width driver over the delta format (see csr_rows_block_any).
+template <bool Vectorize>
+inline void delta_rows_block_any(const DeltaView& a, ConstDenseBlockView x, DenseBlockView y,
+                                 value_t alpha, value_t beta, RowRange r) {
+  index_t c = 0;
+  while (c < x.width) {
+    const index_t rem = x.width - c;
+    if (rem >= 8) {
+      delta_rows_block<8, Vectorize>(a, x.columns(c, 8), y.columns(c, 8), alpha, beta, r);
+      c += 8;
+    } else if (rem >= 4) {
+      delta_rows_block<4, Vectorize>(a, x.columns(c, 4), y.columns(c, 4), alpha, beta, r);
+      c += 4;
+    } else if (rem >= 2) {
+      delta_rows_block<2, Vectorize>(a, x.columns(c, 2), y.columns(c, 2), alpha, beta, r);
+      c += 2;
+    } else {
+      delta_rows_block<1, Vectorize>(a, x.columns(c, 1), y.columns(c, 1), alpha, beta, r);
+      c += 1;
+    }
+  }
+}
+
+/// Rows of y = alpha A x + beta y fused with the dependent partial
+/// reduction: returns sum over i in [r.begin, r.end) of w[i] * y[i] (the
+/// updated y). Each row result feeds the reduction in the same pass, so y is
+/// written and consumed while hot. Single-vector by nature — the solver
+/// recurrences it fuses are defined on one iterate.
 template <bool Vectorize, bool Unroll, bool Prefetch>
 inline double csr_rows_local_dot(const CsrView& a, std::span<const value_t> x,
-                                 std::span<value_t> y, std::span<const value_t> w, RowRange r) {
+                                 std::span<value_t> y, std::span<const value_t> w, RowRange r,
+                                 value_t alpha = 1.0, value_t beta = 0.0) {
+  const bool plain = alpha == 1.0 && beta == 0.0;
   double acc = 0.0;
   for (index_t i = r.begin; i < r.end; ++i) {
     const auto k = static_cast<std::size_t>(i);
-    const value_t yi = detail::csr_row<Vectorize, Unroll, Prefetch>(
+    const value_t ai = detail::csr_row<Vectorize, Unroll, Prefetch>(
         a.colind.data(), a.values.data(), x.data(), a.rowptr[k], a.rowptr[k + 1]);
+    const value_t yi = plain ? ai : alpha * ai + beta * y[k];
     y[k] = yi;
     acc += w[k] * yi;
   }
   return acc;
 }
 
-/// Delta-compressed rows [r.begin, r.end) of y = A x.
-template <bool Vectorize>
-inline void delta_rows_local(const DeltaView& a, std::span<const value_t> x,
-                             std::span<value_t> y, RowRange r) {
-  for (index_t i = r.begin; i < r.end; ++i) {
-    const auto k = static_cast<std::size_t>(i);
-    const auto b = a.rowptr[k];
-    const auto e = a.rowptr[k + 1];
-    const index_t fc = a.first_col[k];
-    y[k] = a.width == DeltaWidth::k8
-               ? detail::delta_row<std::uint8_t, Vectorize>(fc, a.deltas8.data(),
-                                                            a.values.data(), x.data(), b, e)
-               : detail::delta_row<std::uint16_t, Vectorize>(fc, a.deltas16.data(),
-                                                             a.values.data(), x.data(), b, e);
-  }
-}
-
 /// Delta-compressed rows fused with the partial reduction w·y (see
 /// csr_rows_local_dot).
 template <bool Vectorize>
 inline double delta_rows_local_dot(const DeltaView& a, std::span<const value_t> x,
-                                   std::span<value_t> y, std::span<const value_t> w, RowRange r) {
+                                   std::span<value_t> y, std::span<const value_t> w, RowRange r,
+                                   value_t alpha = 1.0, value_t beta = 0.0) {
+  const bool plain = alpha == 1.0 && beta == 0.0;
   double acc = 0.0;
   for (index_t i = r.begin; i < r.end; ++i) {
     const auto k = static_cast<std::size_t>(i);
     const auto b = a.rowptr[k];
     const auto e = a.rowptr[k + 1];
     const index_t fc = a.first_col[k];
-    const value_t yi =
+    const value_t ai =
         a.width == DeltaWidth::k8
             ? detail::delta_row<std::uint8_t, Vectorize>(fc, a.deltas8.data(),
                                                          a.values.data(), x.data(), b, e)
             : detail::delta_row<std::uint16_t, Vectorize>(fc, a.deltas16.data(),
                                                           a.values.data(), x.data(), b, e);
+    const value_t yi = plain ? ai : alpha * ai + beta * y[k];
     y[k] = yi;
     acc += w[k] * yi;
   }
@@ -235,53 +430,90 @@ inline double delta_rows_local_dot(const DeltaView& a, std::span<const value_t> 
 // One-shot entry points (open their own parallel region).
 // ---------------------------------------------------------------------------
 
-/// Plain CSR over precomputed row partitions (one partition per thread).
+/// Plain CSR over precomputed row partitions (one partition per thread):
+/// Y = alpha A X + beta Y.
 template <bool Vectorize, bool Unroll, bool Prefetch>
-void spmv_csr_partitioned(const CsrView& a, std::span<const value_t> x, std::span<value_t> y,
-                          std::span<const RowRange> parts) {
-#pragma omp parallel for default(none) shared(a, x, y, parts) schedule(static, 1)
+void spmm_csr_partitioned(const CsrView& a, ConstDenseBlockView x, DenseBlockView y,
+                          value_t alpha, value_t beta, std::span<const RowRange> parts) {
+#pragma omp parallel for default(none) shared(a, x, y, alpha, beta, parts) schedule(static, 1)
   for (std::ptrdiff_t p = 0; p < static_cast<std::ptrdiff_t>(parts.size()); ++p) {
-    csr_rows_local<Vectorize, Unroll, Prefetch>(a, x, y, parts[static_cast<std::size_t>(p)]);
+    csr_rows_block_any<Vectorize, Unroll, Prefetch>(a, x, y, alpha, beta,
+                                                    parts[static_cast<std::size_t>(p)]);
   }
 }
 
 template <bool Vectorize, bool Unroll, bool Prefetch>
-void spmv_csr_partitioned(const CsrMatrix& a, std::span<const value_t> x, std::span<value_t> y,
-                          std::span<const RowRange> parts) {
-  spmv_csr_partitioned<Vectorize, Unroll, Prefetch>(make_view(a), x, y, parts);
+void spmm_csr_partitioned(const CsrMatrix& a, ConstDenseBlockView x, DenseBlockView y,
+                          value_t alpha, value_t beta, std::span<const RowRange> parts) {
+  spmm_csr_partitioned<Vectorize, Unroll, Prefetch>(make_view(a), x, y, alpha, beta, parts);
 }
 
-/// Plain CSR with OpenMP dynamic (auto-like) self-scheduling over rows.
+/// Plain CSR with OpenMP dynamic (auto-like) self-scheduling over rows:
+/// Y = alpha A X + beta Y.
 template <bool Vectorize, bool Unroll, bool Prefetch>
-void spmv_csr_dynamic(const CsrView& a, std::span<const value_t> x, std::span<value_t> y) {
+void spmm_csr_dynamic(const CsrView& a, ConstDenseBlockView x, DenseBlockView y,
+                      value_t alpha, value_t beta) {
   const index_t n = a.nrows;
-#pragma omp parallel for default(none) shared(a, x, y, n) schedule(dynamic, 64)
+#pragma omp parallel for default(none) shared(a, x, y, alpha, beta, n) schedule(dynamic, 64)
   for (index_t i = 0; i < n; ++i) {
-    y[static_cast<std::size_t>(i)] = detail::csr_row<Vectorize, Unroll, Prefetch>(
-        a.colind.data(), a.values.data(), x.data(), a.rowptr[static_cast<std::size_t>(i)],
-        a.rowptr[static_cast<std::size_t>(i) + 1]);
+    csr_rows_block_any<Vectorize, Unroll, Prefetch>(a, x, y, alpha, beta,
+                                                    RowRange{i, i + 1});
   }
 }
 
 template <bool Vectorize, bool Unroll, bool Prefetch>
-void spmv_csr_dynamic(const CsrMatrix& a, std::span<const value_t> x, std::span<value_t> y) {
-  spmv_csr_dynamic<Vectorize, Unroll, Prefetch>(make_view(a), x, y);
+void spmm_csr_dynamic(const CsrMatrix& a, ConstDenseBlockView x, DenseBlockView y,
+                      value_t alpha, value_t beta) {
+  spmm_csr_dynamic<Vectorize, Unroll, Prefetch>(make_view(a), x, y, alpha, beta);
 }
 
-/// Delta-compressed CSR over row partitions.
+/// Delta-compressed CSR over row partitions: Y = alpha A X + beta Y.
 template <bool Vectorize>
-void spmv_delta_partitioned(const DeltaView& a, std::span<const value_t> x,
-                            std::span<value_t> y, std::span<const RowRange> parts) {
-#pragma omp parallel for default(none) shared(a, x, y, parts) schedule(static, 1)
+void spmm_delta_partitioned(const DeltaView& a, ConstDenseBlockView x, DenseBlockView y,
+                            value_t alpha, value_t beta, std::span<const RowRange> parts) {
+#pragma omp parallel for default(none) shared(a, x, y, alpha, beta, parts) schedule(static, 1)
   for (std::ptrdiff_t p = 0; p < static_cast<std::ptrdiff_t>(parts.size()); ++p) {
-    delta_rows_local<Vectorize>(a, x, y, parts[static_cast<std::size_t>(p)]);
+    delta_rows_block_any<Vectorize>(a, x, y, alpha, beta, parts[static_cast<std::size_t>(p)]);
   }
 }
 
 template <bool Vectorize>
-void spmv_delta_partitioned(const DeltaCsrMatrix& a, std::span<const value_t> x,
-                            std::span<value_t> y, std::span<const RowRange> parts) {
-  spmv_delta_partitioned<Vectorize>(make_view(a), x, y, parts);
+void spmm_delta_partitioned(const DeltaCsrMatrix& a, ConstDenseBlockView x, DenseBlockView y,
+                            value_t alpha, value_t beta, std::span<const RowRange> parts) {
+  spmm_delta_partitioned<Vectorize>(make_view(a), x, y, alpha, beta, parts);
+}
+
+/// Decomposed CSR (IMB class): Y = alpha A X + beta Y with short rows over
+/// the partitioned kernel and each long row computed cooperatively by all
+/// threads, column by column, with an OpenMP reduction. The short-part pass
+/// already deposited alpha*0 + beta*Y_old in the long-row slots (long rows
+/// are emptied in the short part), so the long-row store *adds* alpha*total
+/// to the slot instead of rescaling it by beta a second time.
+template <bool Vectorize, bool Unroll, bool Prefetch>
+void spmm_decomposed(const DecomposedCsrMatrix& a, ConstDenseBlockView x, DenseBlockView y,
+                     value_t alpha, value_t beta, std::span<const RowRange> parts) {
+  spmm_csr_partitioned<Vectorize, Unroll, Prefetch>(a.short_part(), x, y, alpha, beta, parts);
+
+  const bool plain = alpha == 1.0 && beta == 0.0;
+  const auto rowptr = a.long_rowptr();
+  const auto colind = a.long_colind();
+  const auto values = a.long_values();
+  for (std::size_t k = 0; k < a.long_rows().size(); ++k) {
+    const auto b = rowptr[k];
+    const auto e = rowptr[k + 1];
+    const index_t row = a.long_rows()[k];
+    for (index_t c = 0; c < x.width; ++c) {
+      value_t total = 0.0;
+#pragma omp parallel for default(none) shared(values, colind, x, b, e, c) \
+    reduction(+ : total) schedule(static)
+      for (offset_t j = b; j < e; ++j) {
+        const auto idx = static_cast<std::size_t>(j);
+        total += values[idx] * x.at(colind[idx], c);
+      }
+      value_t& yv = y.at(row, c);
+      yv = plain ? total : alpha * total + yv;
+    }
+  }
 }
 
 }  // namespace sparta::kernels

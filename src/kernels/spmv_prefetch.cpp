@@ -6,7 +6,8 @@ namespace sparta::kernels {
 
 void spmv_csr_prefetch(const CsrMatrix& a, std::span<const value_t> x, std::span<value_t> y,
                        std::span<const RowRange> parts) {
-  spmv_csr_partitioned<false, false, true>(a, x, y, parts);
+  spmm_csr_partitioned<false, false, true>(a, ConstDenseBlockView::from_vector(x),
+                                           DenseBlockView::from_vector(y), 1.0, 0.0, parts);
 }
 
 }  // namespace sparta::kernels

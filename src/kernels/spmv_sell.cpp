@@ -4,40 +4,75 @@
 
 namespace sparta::kernels {
 
-void spmv_sell(const SellMatrix& a, std::span<const value_t> x, std::span<value_t> y) {
+void spmm_sell(const SellMatrix& a, ConstDenseBlockView x, DenseBlockView y, value_t alpha,
+               value_t beta) {
   const auto colind = a.colind();
   const auto values = a.values();
   const index_t chunk = a.chunk_rows();
   const index_t nchunks = a.nchunks();
+  const index_t bw = x.width;
+  const bool plain = alpha == 1.0 && beta == 0.0;
 
-#pragma omp parallel default(none) shared(a, x, y, colind, values, chunk, nchunks)
+#pragma omp parallel default(none) \
+    shared(a, x, y, alpha, beta, colind, values, chunk, nchunks, bw, plain)
   {
-    // Per-thread lane accumulators, reused across chunks.
-    std::vector<value_t> acc(static_cast<std::size_t>(chunk));
+    // Per-thread lane accumulators (chunk lanes x operand width), reused
+    // across chunks.
+    std::vector<value_t> acc(static_cast<std::size_t>(chunk) * static_cast<std::size_t>(bw));
 #pragma omp for schedule(static)
     for (index_t k = 0; k < nchunks; ++k) {
       std::fill(acc.begin(), acc.end(), 0.0);
       const auto base = static_cast<std::size_t>(a.chunk_offset(k));
       const index_t width = a.chunk_len(k);
-      for (index_t j = 0; j < width; ++j) {
-        const std::size_t step = base + static_cast<std::size_t>(j) *
-                                            static_cast<std::size_t>(chunk);
+      if (bw == 1) {
+        // Width-1 operand: the historical SpMV loop shape — the lane axis is
+        // the SIMD axis — so the single-vector wrapper stays bit-identical
+        // to the pre-block spmv_sell.
+        for (index_t j = 0; j < width; ++j) {
+          const std::size_t step =
+              base + static_cast<std::size_t>(j) * static_cast<std::size_t>(chunk);
 #pragma omp simd
-        for (index_t lane = 0; lane < chunk; ++lane) {
-          const auto idx = step + static_cast<std::size_t>(lane);
-          // Padding slots carry value 0, so they contribute nothing.
-          acc[static_cast<std::size_t>(lane)] +=
-              values[idx] * x[static_cast<std::size_t>(colind[idx])];
+          for (index_t lane = 0; lane < chunk; ++lane) {
+            const auto idx = step + static_cast<std::size_t>(lane);
+            // Padding slots carry value 0, so they contribute nothing.
+            acc[static_cast<std::size_t>(lane)] += values[idx] * x.at(colind[idx], 0);
+          }
+        }
+      } else {
+        // Register-blocked operand: the SELL streams are read once for all
+        // bw columns; the contiguous operand row is the SIMD axis.
+        for (index_t j = 0; j < width; ++j) {
+          const std::size_t step =
+              base + static_cast<std::size_t>(j) * static_cast<std::size_t>(chunk);
+          for (index_t lane = 0; lane < chunk; ++lane) {
+            const auto idx = step + static_cast<std::size_t>(lane);
+            const value_t v = values[idx];
+            const value_t* SPARTA_RESTRICT xr = x.row(colind[idx]);
+            value_t* SPARTA_RESTRICT ar =
+                &acc[static_cast<std::size_t>(lane) * static_cast<std::size_t>(bw)];
+#pragma omp simd
+            for (index_t c = 0; c < bw; ++c) ar[c] += v * xr[c];
+          }
         }
       }
       for (index_t lane = 0; lane < chunk; ++lane) {
         const index_t p = k * chunk + lane;
-        if (p < a.nrows()) {
-          y[static_cast<std::size_t>(a.row_of(p))] = acc[static_cast<std::size_t>(lane)];
+        if (p >= a.nrows()) continue;
+        value_t* SPARTA_RESTRICT yr = y.row(a.row_of(p));
+        const value_t* SPARTA_RESTRICT ar =
+            &acc[static_cast<std::size_t>(lane) * static_cast<std::size_t>(bw)];
+        if (plain) {
+          for (index_t c = 0; c < bw; ++c) yr[c] = ar[c];
+        } else {
+          for (index_t c = 0; c < bw; ++c) yr[c] = alpha * ar[c] + beta * yr[c];
         }
       }
     }
   }
+}
+
+void spmv_sell(const SellMatrix& a, std::span<const value_t> x, std::span<value_t> y) {
+  spmm_sell(a, ConstDenseBlockView::from_vector(x), DenseBlockView::from_vector(y), 1.0, 0.0);
 }
 
 }  // namespace sparta::kernels

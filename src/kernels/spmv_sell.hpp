@@ -1,15 +1,21 @@
-// Host SELL-C-sigma SpMV kernel: chunk-parallel, lane-vectorized.
+// Host SELL-C-sigma kernels: chunk-parallel, lane-vectorized.
 #pragma once
 
 #include <span>
 
+#include "kernels/block_view.hpp"
 #include "sparse/sell.hpp"
 
 namespace sparta::kernels {
 
-/// y = A * x with A in SELL-C-sigma form. Parallel over chunks; the inner
-/// loop runs unit-stride over the C lanes of each chunk step and is
-/// annotated for vectorization.
+/// Y = alpha * A * X + beta * Y with A in SELL-C-sigma form and X/Y dense
+/// operand blocks. Parallel over chunks; the lane loop of each chunk step is
+/// unit-stride and annotated for vectorization, and the SELL value/column
+/// streams are read once per operand width (the SpMM amortization).
+void spmm_sell(const SellMatrix& a, ConstDenseBlockView x, DenseBlockView y,
+               value_t alpha = 1.0, value_t beta = 0.0);
+
+/// y = A * x — the width-1 operand special case of spmm_sell.
 void spmv_sell(const SellMatrix& a, std::span<const value_t> x, std::span<value_t> y);
 
 }  // namespace sparta::kernels

@@ -6,12 +6,14 @@ namespace sparta::kernels {
 
 void spmv_csr_unrolled(const CsrMatrix& a, std::span<const value_t> x, std::span<value_t> y,
                        std::span<const RowRange> parts) {
-  spmv_csr_partitioned<true, true, false>(a, x, y, parts);
+  spmm_csr_partitioned<true, true, false>(a, ConstDenseBlockView::from_vector(x),
+                                          DenseBlockView::from_vector(y), 1.0, 0.0, parts);
 }
 
 void spmv_csr_unrolled_prefetch(const CsrMatrix& a, std::span<const value_t> x,
                                 std::span<value_t> y, std::span<const RowRange> parts) {
-  spmv_csr_partitioned<true, true, true>(a, x, y, parts);
+  spmm_csr_partitioned<true, true, true>(a, ConstDenseBlockView::from_vector(x),
+                                         DenseBlockView::from_vector(y), 1.0, 0.0, parts);
 }
 
 }  // namespace sparta::kernels

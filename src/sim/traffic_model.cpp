@@ -71,4 +71,20 @@ ThreadTally simulate_rows(const CsrMatrix& m, RowRange range, const KernelConfig
   return t;
 }
 
+double spmm_stream_bytes(const CsrMatrix& m, int width) {
+  const auto nrows = static_cast<double>(m.nrows());
+  const auto ncols = static_cast<double>(m.ncols());
+  const auto nnz = static_cast<double>(m.nnz());
+  const double matrix = (nrows + 1.0) * sizeof(offset_t) +
+                        nnz * (sizeof(index_t) + sizeof(value_t));
+  const double per_column = (ncols + nrows) * sizeof(value_t);
+  return matrix + static_cast<double>(width) * per_column;
+}
+
+double matrix_traffic_fraction(const CsrMatrix& m) {
+  const double spmv = spmm_stream_bytes(m, 1);
+  const double vectors = static_cast<double>(m.ncols() + m.nrows()) * sizeof(value_t);
+  return spmv > 0.0 ? (spmv - vectors) / spmv : 0.0;
+}
+
 }  // namespace sparta::sim

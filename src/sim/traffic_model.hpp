@@ -44,4 +44,15 @@ ThreadTally simulate_rows(const CsrMatrix& m, RowRange range, const KernelConfig
 /// single sweep suffices.
 index_t distinct_lines(std::span<const index_t> cols, int values_per_line);
 
+/// Streamed bytes of one width-k block multiply (Y = A X) over `m` in CSR
+/// form: the matrix arrays (rowptr/colind/values) once — the SpMM
+/// amortization — plus the dense x read and y written per operand column.
+/// Width 1 is the plain SpMV stream.
+double spmm_stream_bytes(const CsrMatrix& m, int width);
+
+/// Fraction of the width-1 stream the matrix arrays account for — the f in
+/// CostModelParams::spmm_speedup. Approaches 1 for nnz-dominated matrices
+/// (where SpMM amortizes best) and 0 for hypersparse ones.
+double matrix_traffic_fraction(const CsrMatrix& m);
+
 }  // namespace sparta::sim

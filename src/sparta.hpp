@@ -12,7 +12,9 @@
 //   auto plan = tuner.tune(matrix);  // TuneOptions selects the strategy
 //   // plan.classes  — detected bottlenecks, plan.config — kernel variant
 //   sparta::kernels::PreparedSpmv spmv{matrix, {.config = plan.config}};
-//   spmv.run(x, y);
+//   spmv.run(x, y);              // y = A x (spans; alpha/beta optional)
+//   spmv.run(X, Y);              // Y = A X over rows x k operand views:
+//                                // one matrix read per k right-hand sides
 //
 // Telemetry (sparta::obs) is off by default; set SPARTA_TELEMETRY=1 (or call
 // obs::set_enabled(true)) to collect counters and tuning traces.

@@ -72,6 +72,31 @@ struct CostModelParams {
                ? 1.0 + (inspector_threads - 1) * inspector_parallel_efficiency
                : 1.0;
   }
+
+  /// Multi-vector (SpMM) traffic model (DESIGN.md §14): a k-wide SpMM
+  /// streams the matrix arrays once plus k dense-operand footprints, where
+  /// k sequential SpMVs stream both k times. Bandwidth-bound time is
+  /// traffic-proportional, so with f = the matrix fraction of one SpMV's
+  /// stream, t_spmm(k) / t_spmv = f + k (1 - f), plus a small per-extra-
+  /// column compute charge — the register-blocked FMA columns are cheap but
+  /// not free (register pressure, wider stores).
+  double spmm_column_overhead = 0.02;
+
+  /// Modeled time of one k-wide SpMM in units of one SpMV of the same
+  /// matrix. `matrix_traffic_fraction` is f above (sim::matrix_traffic_
+  /// fraction computes it from the CSR stream).
+  [[nodiscard]] double spmm_time_spmv(int k, double matrix_traffic_fraction) const {
+    const auto dk = static_cast<double>(k);
+    return matrix_traffic_fraction + dk * (1.0 - matrix_traffic_fraction) +
+           (dk - 1.0) * spmm_column_overhead;
+  }
+
+  /// Modeled speedup of one k-wide SpMM over k sequential SpMVs — the
+  /// break-even ratio bench/table5_amortization reports. > 1 whenever the
+  /// matrix stream dominates enough to amortize.
+  [[nodiscard]] double spmm_speedup(int k, double matrix_traffic_fraction) const {
+    return static_cast<double>(k) / spmm_time_spmv(k, matrix_traffic_fraction);
+  }
 };
 
 /// Outcome of one optimizer invocation for one matrix.

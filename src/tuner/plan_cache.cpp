@@ -135,7 +135,8 @@ std::shared_ptr<const kernels::PreparedSpmv> PlanCache::prepare(
                         fingerprint(m),
                         opts.config,
                         opts.threads,
-                        opts.first_touch};
+                        opts.first_touch,
+                        opts.block_width};
   {
     std::lock_guard<std::mutex> lock{mutex_};
     for (PreparedEntry& e : prepared_) {

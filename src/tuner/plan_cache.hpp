@@ -63,8 +63,11 @@ class PlanCache {
                         const TuneOptions& opts = {});
 
   /// Cached PreparedSpmv construction. Keyed on (matrix + array addresses,
-  /// fingerprint, config, threads, first_touch); see the invalidation rules
-  /// above. The matrix must outlive every holder of the returned pointer.
+  /// fingerprint, config, threads, first_touch, block_width); see the
+  /// invalidation rules above — the operand-width hint is part of the key so
+  /// a plan preplanned for one SpMM width is never shared with callers that
+  /// hinted another. The matrix must outlive every holder of the returned
+  /// pointer.
   std::shared_ptr<const kernels::PreparedSpmv> prepare(const CsrMatrix& m,
                                                        const kernels::SpmvOptions& opts = {});
 
@@ -100,6 +103,7 @@ class PlanCache {
     kernels::KernelConfig config;
     int threads = 0;
     bool first_touch = false;
+    int block_width = 1;
 
     friend bool operator==(const PreparedKey&, const PreparedKey&) = default;
   };

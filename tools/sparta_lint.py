@@ -60,6 +60,15 @@ DEPRECATED_ENTRY_POINTS = (
     "plan_trivial",
     "tune_profile_guided",
     "tune_feature_guided",
+    # Pre-block single-vector kernel entry points, replaced by the spmm_*
+    # operand-view forms (spmv_kernels.hpp) in the SpMM redesign. The kept
+    # *_dot names (csr_rows_local_dot / delta_rows_local_dot) do not match
+    # the word-boundary pattern of the deleted ones.
+    "spmv_csr_partitioned",
+    "spmv_csr_dynamic",
+    "spmv_delta_partitioned",
+    "csr_rows_local",
+    "delta_rows_local",
 )
 
 # Files where mentions of the names above are definitions rather than call
