@@ -1,0 +1,24 @@
+// Fixture: omp.barrier-divergence must fire — a barrier under `single` and
+// a worksharing loop under a thread-divergent branch both deadlock the team.
+int omp_get_thread_num();
+
+namespace fixture {
+
+inline void divergent(int n, double* y) {
+#pragma omp parallel default(none) shared(y, n)
+  {
+#pragma omp single
+    {
+#pragma omp barrier  // omp.barrier-divergence: only one thread arrives
+    }
+    const int tid = omp_get_thread_num();
+    if (tid > 0) {
+#pragma omp for      // omp.barrier-divergence: worksharing on a divergent path
+      for (int i = 0; i < n; ++i) {
+        y[i] = 0.0;
+      }
+    }
+  }
+}
+
+}  // namespace fixture

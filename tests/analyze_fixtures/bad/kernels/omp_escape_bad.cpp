@@ -1,0 +1,17 @@
+// Fixture: omp.private-escape must fire — the address of a region-private
+// variable stored through a shared pointer outlives the owning thread. The
+// store sits under `single` so no omp.shared-write noise is seeded.
+namespace fixture {
+
+inline void escape(int n, const double* v, double** slot) {
+#pragma omp parallel for default(none) shared(v, n, slot)
+  for (int i = 0; i < n; ++i) {
+    double local = v[i];
+#pragma omp single
+    {
+      slot[0] = &local;  // omp.private-escape
+    }
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Fixture: omp.reduction-misuse must fire — a reduction variable updated
+// with an operator that does not match the clause, overwritten without
+// reading itself, and read mid-region.
+namespace fixture {
+
+inline double misuse(int n, const double* v, double* y) {
+  double acc = 0.0;
+#pragma omp parallel for default(none) shared(v, y, n) reduction(+ : acc)
+  for (int i = 0; i < n; ++i) {
+    acc *= v[i];   // omp.reduction-misuse: *= under reduction(+)
+    acc = v[i];    // omp.reduction-misuse: overwrite loses partials
+    y[i] = acc;    // omp.reduction-misuse: mid-region read
+  }
+  return acc;      // after the region: legal
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Fixture: omp.shared-write must fire — unguarded scalar writes from every
+// thread of a default(none) region (assignment, increment, compound-assign).
+namespace fixture {
+
+inline void races(int n, double* y) {
+  double sum = 0.0;
+  int count = 0;
+  double last = 0.0;
+#pragma omp parallel for default(none) shared(y, n, sum, count, last)
+  for (int i = 0; i < n; ++i) {
+    y[i] = 1.0;     // subscripted by the loop variable: legal, must stay quiet
+    sum += y[i];    // omp.shared-write
+    ++count;        // omp.shared-write
+    last = y[i];    // omp.shared-write
+  }
+}
+
+}  // namespace fixture

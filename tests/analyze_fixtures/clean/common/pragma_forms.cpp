@@ -1,0 +1,21 @@
+// Directive spellings the model must normalize: the _Pragma operator form
+// and a backslash-continued clause list. Both carry default(none) with the
+// full shared list, so nothing may fire.
+namespace fixture {
+
+inline void forms(int n, double* y) {
+  _Pragma("omp parallel for default(none) shared(y, n) schedule(static)")
+  for (int i = 0; i < n; ++i) {
+    y[i] = 0.0;
+  }
+
+#pragma omp parallel for default(none)          \
+    shared(y,                                   \
+           n)                                   \
+    schedule(static)
+  for (int i = 0; i < n; ++i) {
+    y[i] = 1.0;
+  }
+}
+
+}  // namespace fixture

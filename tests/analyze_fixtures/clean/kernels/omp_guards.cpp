@@ -1,0 +1,38 @@
+// The persistent-region guard idioms (the solver engine's shapes): every
+// write below is legal and the omp.* sharing rules must stay quiet.
+#include "kernels/good_kernel.hpp"
+
+int omp_get_thread_num();
+
+namespace fixture {
+
+double guards(int n, double* SPARTA_RESTRICT x, double* SPARTA_RESTRICT y) {
+  double stat = 0.0;
+  double seconds = 0.0;
+  int passes = 0;
+  double peak = 0.0;
+#pragma omp parallel default(none) shared(x, y, n, stat, seconds, passes, peak) \
+    reduction(max : peak)
+  {
+    const int tid = omp_get_thread_num();
+#pragma omp for schedule(static)
+    for (int i = 0; i < n; ++i) {
+      y[i] = x[i] * 2.0;                  // subscripted: disjoint per thread
+      peak = (peak > y[i]) ? peak : y[i]; // max-reduction via self-referencing =
+    }
+#pragma omp single
+    {
+      stat = y[0];                        // single: one thread, implicit barrier
+    }
+    if (tid == 0) {
+      seconds += 1.0;                     // tid==0: master-equivalent guard
+      ++passes;
+    }
+    if (stat > 0.0) {
+#pragma omp barrier                       // uniform shared condition: all agree
+    }
+  }
+  return stat + seconds + static_cast<double>(passes) + peak;
+}
+
+}  // namespace fixture

@@ -5,10 +5,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "analyzer.hpp"
+#include "omp_model.hpp"
 
 namespace sa = sparta::analyze;
 
@@ -300,6 +302,284 @@ TEST(SuppressionRule, AllowSilencesAndUnusedIsReported) {
   ASSERT_TRUE(has_rule(f, "suppression.unused"));
   const auto rules = rules_of(f);
   EXPECT_EQ(std::count(rules.begin(), rules.end(), "suppression.unused"), 1);
+}
+
+// ---------------------------------------------------------------------------
+// OpenMP directive model: _Pragma form, continued clause lists, region tree
+// ---------------------------------------------------------------------------
+
+TEST(OmpModel, PragmaOperatorFormBecomesADirective) {
+  const sa::LexedFile f = sa::lex(
+      "a.cpp",
+      "void f() {\n"
+      "  _Pragma(\"omp parallel for default(none) shared(y, n)\")\n"
+      "  for (int i = 0; i < n; ++i) y[i] = 0;\n"
+      "}\n");
+  ASSERT_EQ(f.directives.size(), 1u);
+  EXPECT_EQ(f.directives[0].line, 2);
+  const auto info = sa::parse_omp_directive(f.directives[0]);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_TRUE(info->has("parallel"));
+  EXPECT_TRUE(info->has("for"));
+  EXPECT_TRUE(info->default_none);
+  EXPECT_EQ(info->shared, (std::set<std::string>{"y", "n"}));
+}
+
+TEST(OmpModel, ContinuedClauseListIsNeverTruncated) {
+  const sa::LexedFile f = sa::lex(
+      "a.cpp",
+      "#pragma omp parallel default(none) \\\n"
+      "    shared(alpha, beta, \\\n"
+      "           gamma) \\\n"
+      "    firstprivate(delta) reduction(max : peak)\n"
+      "{}\n");
+  ASSERT_EQ(f.directives.size(), 1u);
+  const auto info = sa::parse_omp_directive(f.directives[0]);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->shared, (std::set<std::string>{"alpha", "beta", "gamma"}));
+  EXPECT_EQ(info->privatized, (std::set<std::string>{"delta"}));
+  ASSERT_EQ(info->reductions.count("peak"), 1u);
+  EXPECT_EQ(info->reductions.at("peak"), "max");
+}
+
+TEST(OmpModel, NonOmpDirectivesParseToNullopt) {
+  const sa::LexedFile f = sa::lex("a.cpp", "#include <vector>\n#pragma once\n");
+  ASSERT_EQ(f.directives.size(), 2u);
+  EXPECT_FALSE(sa::parse_omp_directive(f.directives[0]).has_value());
+  EXPECT_FALSE(sa::parse_omp_directive(f.directives[1]).has_value());
+}
+
+TEST(OmpModel, RegionTreeTracksNestingAndCombinedConstructs) {
+  const sa::LexedFile f = sa::lex(
+      "a.cpp",
+      "void f(int n) {\n"
+      "#pragma omp parallel default(none) shared(n)\n"
+      "  {\n"
+      "#pragma omp parallel for default(none) shared(n)\n"
+      "    for (int i = 0; i < n; ++i) {\n"
+      "      int x = i;\n"
+      "    }\n"
+      "  }\n"
+      "#pragma omp parallel default(none) shared(n)\n"
+      "  {}\n"
+      "}\n");
+  const sa::OmpRegionTree tree = sa::build_region_tree(f);
+  ASSERT_EQ(tree.regions.size(), 3u);
+  EXPECT_EQ(tree.regions[0].depth, 0);
+  EXPECT_EQ(tree.regions[0].parent, -1);
+  ASSERT_EQ(tree.regions[0].children.size(), 1u);
+  EXPECT_EQ(tree.regions[0].children[0], 1);
+  EXPECT_EQ(tree.regions[1].depth, 1);
+  EXPECT_EQ(tree.regions[1].parent, 0);
+  EXPECT_TRUE(tree.regions[1].directive.has("for"));
+  EXPECT_EQ(tree.regions[2].depth, 0);  // sibling, not nested
+}
+
+TEST(OmpModel, OrphanedWorksharingCreatesNoRegion) {
+  const sa::LexedFile f = sa::lex(
+      "a.cpp",
+      "void f(int n, double* y) {\n"
+      "#pragma omp for schedule(static)\n"
+      "  for (int i = 0; i < n; ++i) y[i] = 0.0;\n"
+      "}\n");
+  EXPECT_TRUE(sa::build_region_tree(f).regions.empty());
+}
+
+// ---------------------------------------------------------------------------
+// OpenMP data-sharing rules: accept/reject per family
+// ---------------------------------------------------------------------------
+
+TEST(OmpSharingRule, UnguardedSharedScalarWriteFlagged) {
+  const auto bad = analyze_one("sparse/s.cpp",
+                               "void f(int n, double* y) {\n"
+                               "  double sum = 0.0;\n"
+                               "#pragma omp parallel for default(none) shared(y, n, sum)\n"
+                               "  for (int i = 0; i < n; ++i) {\n"
+                               "    sum += y[i];\n"
+                               "  }\n"
+                               "}\n");
+  EXPECT_TRUE(has_rule(bad, "omp.shared-write"));
+
+  // Subscripted store, single-guarded scalar, tid==0 guard: all legal.
+  const auto good = analyze_one(
+      "sparse/s.cpp",
+      "int omp_get_thread_num();\n"
+      "void f(int n, double* y, double* s) {\n"
+      "#pragma omp parallel default(none) shared(y, s, n)\n"
+      "  {\n"
+      "    const int tid = omp_get_thread_num();\n"
+      "#pragma omp for schedule(static)\n"
+      "    for (int i = 0; i < n; ++i) y[i] = 2.0;\n"
+      "#pragma omp single\n"
+      "    { s[0] = y[0]; }\n"
+      "    if (tid == 0) s[1] = y[1];\n"
+      "  }\n"
+      "}\n");
+  EXPECT_FALSE(has_rule(good, "omp.shared-write"));
+}
+
+TEST(OmpSharingRule, CriticalAndAtomicGuardWritesInColdModules) {
+  const auto f = analyze_one("sparse/s.cpp",
+                             "void f(int n, double* y, double* t) {\n"
+                             "#pragma omp parallel for default(none) shared(y, n, t)\n"
+                             "  for (int i = 0; i < n; ++i) {\n"
+                             "#pragma omp atomic\n"
+                             "    t[0] += y[i];\n"
+                             "#pragma omp critical\n"
+                             "    { t[1] += y[i]; }\n"
+                             "  }\n"
+                             "}\n");
+  EXPECT_FALSE(has_rule(f, "omp.shared-write"));
+  EXPECT_FALSE(has_rule(f, "omp.hot-critical"));  // sparse is not hot
+}
+
+TEST(OmpReductionRule, RoundTripAcceptedMisuseFlagged) {
+  // max-reduction via self-referencing assignment: the spmv residual idiom.
+  const auto good = analyze_one(
+      "sparse/s.cpp",
+      "void f(int n, const double* v, double m) {\n"
+      "  double peak = 0.0;\n"
+      "#pragma omp parallel for default(none) shared(v, n) reduction(max : peak)\n"
+      "  for (int i = 0; i < n; ++i) {\n"
+      "    peak = (peak > v[i]) ? peak : v[i];\n"
+      "  }\n"
+      "  m = peak;\n"  // read after the region: legal
+      "}\n");
+  EXPECT_FALSE(has_rule(good, "omp.reduction-misuse"));
+
+  const auto wrong_op = analyze_one(
+      "sparse/s.cpp",
+      "void f(int n, const double* v) {\n"
+      "  double acc = 0.0;\n"
+      "#pragma omp parallel for default(none) shared(v, n) reduction(+ : acc)\n"
+      "  for (int i = 0; i < n; ++i) acc *= v[i];\n"
+      "}\n");
+  EXPECT_TRUE(has_rule(wrong_op, "omp.reduction-misuse"));
+
+  const auto mid_read = analyze_one(
+      "sparse/s.cpp",
+      "void f(int n, const double* v, double* y) {\n"
+      "  double acc = 0.0;\n"
+      "#pragma omp parallel for default(none) shared(v, y, n) reduction(+ : acc)\n"
+      "  for (int i = 0; i < n; ++i) {\n"
+      "    acc += v[i];\n"
+      "    y[i] = acc;\n"
+      "  }\n"
+      "}\n");
+  EXPECT_TRUE(has_rule(mid_read, "omp.reduction-misuse"));
+}
+
+TEST(OmpEscapeRule, PrivateAddressThroughSharedFlagged) {
+  const auto bad = analyze_one(
+      "sparse/s.cpp",
+      "void f(int n, const double* v, double** slot) {\n"
+      "#pragma omp parallel for default(none) shared(v, n, slot)\n"
+      "  for (int i = 0; i < n; ++i) {\n"
+      "    double local = v[i];\n"
+      "#pragma omp single\n"
+      "    { slot[0] = &local; }\n"
+      "  }\n"
+      "}\n");
+  EXPECT_TRUE(has_rule(bad, "omp.private-escape"));
+
+  // Address of a *shared* object is fine.
+  const auto good = analyze_one(
+      "sparse/s.cpp",
+      "void f(int n, double* v, double** slot) {\n"
+      "#pragma omp parallel for default(none) shared(v, n, slot)\n"
+      "  for (int i = 0; i < n; ++i) {\n"
+      "#pragma omp single\n"
+      "    { slot[0] = &v[0]; }\n"
+      "  }\n"
+      "}\n");
+  EXPECT_FALSE(has_rule(good, "omp.private-escape"));
+}
+
+TEST(OmpBarrierRule, DivergentBarrierFlaggedUniformAccepted) {
+  const auto under_single = analyze_one(
+      "sparse/s.cpp",
+      "void f(int n) {\n"
+      "#pragma omp parallel default(none) shared(n)\n"
+      "  {\n"
+      "#pragma omp single\n"
+      "    {\n"
+      "#pragma omp barrier\n"
+      "    }\n"
+      "  }\n"
+      "}\n");
+  EXPECT_TRUE(has_rule(under_single, "omp.barrier-divergence"));
+
+  const auto under_divergent_if = analyze_one(
+      "sparse/s.cpp",
+      "int omp_get_thread_num();\n"
+      "void f(int n, double* y) {\n"
+      "#pragma omp parallel default(none) shared(n, y)\n"
+      "  {\n"
+      "    const int tid = omp_get_thread_num();\n"
+      "    if (tid > 0) {\n"
+      "#pragma omp for\n"
+      "      for (int i = 0; i < n; ++i) y[i] = 0.0;\n"
+      "    }\n"
+      "  }\n"
+      "}\n");
+  EXPECT_TRUE(has_rule(under_divergent_if, "omp.barrier-divergence"));
+
+  // The engine shape: barrier under a uniform shared condition, and a
+  // barrier inside a nested parallel region whose enclosing guard belongs
+  // to the outer team.
+  const auto uniform = analyze_one(
+      "sparse/s.cpp",
+      "void f(int n, double* st) {\n"
+      "#pragma omp parallel default(none) shared(n, st)\n"
+      "  {\n"
+      "    if (st[0] > 0.0) {\n"
+      "#pragma omp barrier\n"
+      "    }\n"
+      "#pragma omp single\n"
+      "    {\n"
+      "#pragma omp parallel default(none) shared(n)\n"
+      "      {\n"
+      "#pragma omp barrier\n"  // binds to the inner team: legal
+      "      }\n"
+      "    }\n"
+      "  }\n"
+      "}\n");
+  EXPECT_FALSE(has_rule(uniform, "omp.barrier-divergence"));
+}
+
+TEST(OmpSerialRule, HotCriticalAndUnpaddedAtomicAreHotModuleOnly) {
+  const std::string body =
+      "#include <atomic>\n"
+      "std::atomic<int> counter;\n"
+      "alignas(64) std::atomic<int> padded;\n"
+      "void f(int n, double* SPARTA_RESTRICT t) {\n"
+      "#pragma omp parallel for default(none) shared(n, t)\n"
+      "  for (int i = 0; i < n; ++i) {\n"
+      "#pragma omp critical\n"
+      "    { t[0] += 1.0; }\n"
+      "  }\n"
+      "}\n";
+  const auto hot = analyze_one("engine/e.cpp", body);
+  EXPECT_TRUE(has_rule(hot, "omp.hot-critical"));
+  ASSERT_TRUE(has_rule(hot, "omp.unpadded-atomic"));
+  const auto rules = rules_of(hot);
+  EXPECT_EQ(std::count(rules.begin(), rules.end(), "omp.unpadded-atomic"), 1);
+
+  const auto cold = analyze_one("tuner/t.cpp", body);
+  EXPECT_FALSE(has_rule(cold, "omp.hot-critical"));
+  EXPECT_FALSE(has_rule(cold, "omp.unpadded-atomic"));
+}
+
+TEST(OmpSharingRule, RegionsWithoutClausesAreNotGuessedAt) {
+  // No shared clause: the writes are invisible to the sharing pass (the
+  // missing default(none) is omp.default-none's finding, not a guess here).
+  const auto f = analyze_one("sparse/s.cpp",
+                             "void f(int n, double* y, double s) {\n"
+                             "#pragma omp parallel for\n"
+                             "  for (int i = 0; i < n; ++i) s += y[i];\n"
+                             "}\n");
+  EXPECT_TRUE(has_rule(f, "omp.default-none"));
+  EXPECT_FALSE(has_rule(f, "omp.shared-write"));
 }
 
 TEST(Analyzer, FindingsAreSortedAndModuleOfWorks) {

@@ -26,6 +26,12 @@ Config default_config() {
   return cfg;
 }
 
+Config tools_config() {
+  Config cfg;
+  cfg.layering = false;  // bench/ and tools/ are leaves with no module DAG
+  return cfg;
+}
+
 std::string module_of(const std::string& rel) {
   const std::size_t slash = rel.find('/');
   return slash == std::string::npos ? std::string{} : rel.substr(0, slash);
@@ -55,11 +61,12 @@ std::vector<Finding> analyze_files(const std::vector<LexedFile>& files, const Co
   std::vector<Finding> out;
   for (FileCtx& ctx : ctxs) {
     check_omp(ctx, cfg, out);
+    check_omp_sharing(ctx, cfg, out);
     if (cfg.hot.count(ctx.module) != 0) check_purity(ctx, out);
     check_scopes(ctx, cfg.restrict_modules.count(ctx.module) != 0, out);
     check_hygiene(ctx, rels, out);
   }
-  check_layering(ctxs, cfg, out);
+  if (cfg.layering) check_layering(ctxs, cfg, out);
 
   // Suppressions that matched nothing are findings themselves — and not
   // suppressible, so stale allow() comments cannot hide behind each other.

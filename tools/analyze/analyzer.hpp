@@ -33,9 +33,11 @@ struct Config {
   std::map<std::string, int> layers;
 
   std::set<std::string> anywhere;          // exempt from layering entirely
-  std::set<std::string> hot;               // purity rules apply
+  std::set<std::string> hot;               // purity + omp.hot-* rules apply
   std::set<std::string> restrict_modules;  // restrict.missing applies
   std::set<std::string> runtime_schedule_ok;  // schedule(runtime) legal here
+
+  bool layering = true;  // run layering.* (off for trees with no module DAG)
 
   std::string tag = "sparta-analyze";  // suppression-comment tag
 };
@@ -43,6 +45,10 @@ struct Config {
 /// The layering and rule scope for src/ (see DESIGN.md §12 for rationale,
 /// including why obs sits at layer 1 rather than on top).
 Config default_config();
+
+/// Scope for bench/ and tools/ trees: no module DAG, no hot modules — the
+/// OpenMP sharing rules, header hygiene, and suppression tracking still run.
+Config tools_config();
 
 /// First path component of `rel`, or "" for files at the analysis root.
 std::string module_of(const std::string& rel);
@@ -64,8 +70,16 @@ struct FileCtx {
   bool is_header = false;
 };
 
+struct OmpRegionTree;  // omp_model.hpp
+
 void check_purity(FileCtx& ctx, std::vector<Finding>& out);
 void check_omp(FileCtx& ctx, const Config& cfg, std::vector<Finding>& out);
+/// OpenMP data-sharing pass (omp_rules.cpp): region tree + symbol
+/// classification driving omp.{shared-write,reduction-misuse,private-escape,
+/// barrier-divergence,hot-critical,unpadded-atomic}. When `tree` is non-null
+/// the parallel-region tree is also recorded (tests use this).
+void check_omp_sharing(FileCtx& ctx, const Config& cfg, std::vector<Finding>& out,
+                       OmpRegionTree* tree = nullptr);
 /// Scope-aware walker: restrict.missing (when `restrict_enabled`) and
 /// header.using-namespace (headers only).
 void check_scopes(FileCtx& ctx, bool restrict_enabled, std::vector<Finding>& out);

@@ -1,14 +1,23 @@
 // sparta_analyze — structural static analysis for the SpMV codebase.
 //
 // Usage:
-//   sparta_analyze [--must-flag rule1,rule2,...] <root>
+//   sparta_analyze [--must-flag rule1,...] [--format=text|json]
+//                  [--profile=src|tools] <root> [<root>...]
 //
-// Default mode: analyze every C++ file under <root>, print findings as
-// `file:line: [rule] message`, exit 0 when clean and 1 when anything fired.
+// Default mode: analyze every C++ file under each <root>, print findings as
+// `file:line: [rule] message` (paths prefixed with their root when several
+// are given), exit 0 when clean and 1 when anything fired.
 //
 // --must-flag inverts the contract for fixture tests: exit 0 iff every
 // listed rule produced at least one finding (proving the rule still
 // rejects its seeded violation), 1 otherwise.
+//
+// --format=json prints the findings as a JSON object on stdout (the CI
+// analyze job uploads it as an artifact); the human summary stays on stderr.
+//
+// --profile=tools drops the src/ module DAG (no layering.*, no hot/restrict
+// module sets) for trees like bench/ and tools/ while keeping the OpenMP
+// sharing rules, header hygiene, and suppression tracking.
 #include <cstdio>
 #include <set>
 #include <sstream>
@@ -20,7 +29,9 @@
 namespace {
 
 int usage() {
-  std::fprintf(stderr, "usage: sparta_analyze [--must-flag rule1,rule2,...] <root>\n");
+  std::fprintf(stderr,
+               "usage: sparta_analyze [--must-flag rule1,rule2,...] "
+               "[--format=text|json] [--profile=src|tools] <root> [<root>...]\n");
   return 2;
 }
 
@@ -34,12 +45,36 @@ std::set<std::string> parse_rule_list(const std::string& arg) {
   return rules;
 }
 
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string root;
+  std::vector<std::string> roots;
   std::set<std::string> must_flag;
   bool must_flag_mode = false;
+  bool json = false;
+  std::string profile = "src";
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -47,28 +82,56 @@ int main(int argc, char** argv) {
       if (i + 1 >= argc) return usage();
       must_flag = parse_rule_list(argv[++i]);
       must_flag_mode = true;
+    } else if (arg == "--format=json") {
+      json = true;
+    } else if (arg == "--format=text") {
+      json = false;
+    } else if (arg.rfind("--profile=", 0) == 0) {
+      profile = arg.substr(10);
+      if (profile != "src" && profile != "tools") return usage();
     } else if (!arg.empty() && arg[0] == '-') {
       return usage();
-    } else if (root.empty()) {
-      root = arg;
     } else {
-      return usage();
+      roots.push_back(arg);
     }
   }
-  if (root.empty() || (must_flag_mode && must_flag.empty())) return usage();
+  if (roots.empty() || (must_flag_mode && must_flag.empty())) return usage();
 
-  std::string error;
-  const sparta::analyze::Config cfg = sparta::analyze::default_config();
-  const std::vector<sparta::analyze::Finding> findings =
-      sparta::analyze::analyze_dir(root, cfg, &error);
-  if (!error.empty()) {
-    std::fprintf(stderr, "sparta_analyze: %s\n", error.c_str());
-    return 2;
+  const sparta::analyze::Config cfg = profile == "tools"
+                                          ? sparta::analyze::tools_config()
+                                          : sparta::analyze::default_config();
+
+  std::vector<sparta::analyze::Finding> findings;
+  for (const std::string& root : roots) {
+    std::string error;
+    std::vector<sparta::analyze::Finding> part =
+        sparta::analyze::analyze_dir(root, cfg, &error);
+    if (!error.empty()) {
+      std::fprintf(stderr, "sparta_analyze: %s\n", error.c_str());
+      return 2;
+    }
+    for (sparta::analyze::Finding& f : part) {
+      if (roots.size() > 1) f.file = root + "/" + f.file;
+      findings.push_back(std::move(f));
+    }
   }
 
-  for (const sparta::analyze::Finding& f : findings) {
-    std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
-                f.message.c_str());
+  if (json) {
+    std::printf("{\n  \"findings\": [");
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+      const sparta::analyze::Finding& f = findings[i];
+      std::printf("%s\n    {\"file\": \"%s\", \"line\": %d, \"rule\": \"%s\", "
+                  "\"message\": \"%s\"}",
+                  i == 0 ? "" : ",", json_escape(f.file).c_str(), f.line,
+                  json_escape(f.rule).c_str(), json_escape(f.message).c_str());
+    }
+    std::printf("%s],\n  \"count\": %zu\n}\n", findings.empty() ? "" : "\n  ",
+                findings.size());
+  } else {
+    for (const sparta::analyze::Finding& f : findings) {
+      std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                  f.message.c_str());
+    }
   }
 
   if (must_flag_mode) {
@@ -77,7 +140,8 @@ int main(int argc, char** argv) {
     bool ok = true;
     for (const std::string& rule : must_flag) {
       if (fired.count(rule) == 0) {
-        std::fprintf(stderr, "sparta_analyze: expected rule '%s' to fire, but it did not\n",
+        std::fprintf(stderr,
+                     "sparta_analyze: expected rule '%s' to fire, but it did not\n",
                      rule.c_str());
         ok = false;
       }
@@ -87,7 +151,8 @@ int main(int argc, char** argv) {
     return ok ? 0 : 1;
   }
 
-  std::fprintf(stderr, "sparta_analyze: %zu finding(s) under %s\n", findings.size(),
-               root.c_str());
+  std::fprintf(stderr, "sparta_analyze: %zu finding(s) under %s\n",
+               findings.size(),
+               roots.size() == 1 ? roots.front().c_str() : "the given roots");
   return findings.empty() ? 0 : 1;
 }

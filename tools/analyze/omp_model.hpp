@@ -1,0 +1,66 @@
+// OpenMP directive model for sparta_analyze.
+//
+// Parses `#pragma omp ...` logical lines (including the `_Pragma` operator
+// form the tokenizer rewrites into directives) into construct words and
+// clauses, and builds the per-file parallel-region tree the data-sharing
+// rules in omp_rules.cpp walk. `default(none)` is enforced repo-wide by
+// omp.default-none, so clause lists are authoritative: every identifier a
+// region touches is either listed (shared / private / reduction) or declared
+// inside the region. Semantics and limits are documented in DESIGN.md §12.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tokenizer.hpp"
+
+namespace sparta::analyze {
+
+struct OmpClause {
+  std::string name;  // clause word, e.g. "shared", "num_threads"
+  std::string args;  // squashed parenthesized argument list ("" when none)
+};
+
+/// One parsed `#pragma omp ...` directive: the leading construct words
+/// (`parallel`, `for`, `single`, ...) plus the clause list, with the
+/// data-sharing clauses pre-digested into sets.
+struct OmpDirectiveInfo {
+  int line = 0;
+  std::size_t tok = 0;  // token index the directive precedes (Directive::tok)
+  std::set<std::string> kinds;     // construct words, e.g. {"parallel","for"}
+  std::vector<OmpClause> clauses;  // everything after the construct words
+  bool default_none = false;
+  std::set<std::string> shared;      // shared(...) items
+  std::set<std::string> privatized;  // private/firstprivate/lastprivate items
+  std::map<std::string, std::string> reductions;  // variable -> operator
+
+  bool has(const std::string& kind) const { return kinds.count(kind) != 0; }
+};
+
+/// Parse `d` as an OpenMP directive; nullopt when it is not `#pragma omp`.
+std::optional<OmpDirectiveInfo> parse_omp_directive(const Directive& d);
+
+/// One `parallel` construct instance (combined `parallel for` included).
+struct OmpRegion {
+  int line = 0;
+  int parent = -1;  // index into OmpRegionTree::regions, -1 for outermost
+  int depth = 0;    // 0 for an outermost parallel construct
+  OmpDirectiveInfo directive;
+  std::vector<int> children;  // nested parallel constructs
+};
+
+/// Every parallel construct in a file with its lexical nesting. Orphaned
+/// worksharing directives (`omp for` outside any `parallel`) create no
+/// region.
+struct OmpRegionTree {
+  std::vector<OmpRegion> regions;
+};
+
+/// Build the region tree for `file` (structure only; the sharing rules run
+/// through analyze_files). Exposed for tests.
+OmpRegionTree build_region_tree(const LexedFile& file);
+
+}  // namespace sparta::analyze

@@ -398,10 +398,15 @@ void check_hygiene(FileCtx& ctx, const std::set<std::string>& all_rels,
   if (dot == std::string::npos) return;
   const std::string sibling = f.rel.substr(0, dot) + ".hpp";
   if (all_rels.count(sibling) == 0) return;
+  // Same-directory trees include the sibling by basename (quoted includes
+  // search the includer's directory first), so accept both spellings.
+  const std::size_t slash = sibling.rfind('/');
+  const std::string sibling_base =
+      slash == std::string::npos ? sibling : sibling.substr(slash + 1);
   for (const Directive& d : f.directives) {
     const std::string target = quoted_include(d);
     if (target.empty()) continue;
-    if (target != sibling) {
+    if (target != sibling && target != sibling_base) {
       report(ctx, out, d.line, "header.self-include",
              "first include of " + f.rel + " must be \"" + sibling +
                  "\" so the header proves self-sufficient");

@@ -195,6 +195,7 @@ class Lexer {
     const int line = line_at(pos_);
     std::string text;
     while (pos_ < s_.size() && ident_char(s_[pos_])) text.push_back(s_[pos_++]);
+    if (text == "_Pragma" && lex_pragma_operator(line)) return;
     if (pos_ < s_.size() && s_[pos_] == '"' && raw_string_prefix(text)) {
       lex_raw_string(line);
       return;
@@ -223,6 +224,42 @@ class Lexer {
     }
     out_.tokens.push_back({TokKind::kPunct, std::string(1, c), line});
     ++pos_;
+  }
+
+  // `_Pragma("...")` operator form: destringize the literal ('\"' -> '"',
+  // '\\' -> '\') and record it as if it were the equivalent `#pragma` line,
+  // so OpenMP directives written through macros reach the directive model.
+  // Returns false (leaving an ordinary identifier token) when what follows
+  // is not a parenthesized string literal.
+  bool lex_pragma_operator(int line) {
+    std::size_t p = pos_;
+    const auto skip_ws = [&] {
+      while (p < s_.size() && (s_[p] == ' ' || s_[p] == '\t' || s_[p] == '\n' ||
+                               s_[p] == '\f' || s_[p] == '\v')) {
+        ++p;
+      }
+    };
+    skip_ws();
+    if (p >= s_.size() || s_[p] != '(') return false;
+    ++p;
+    skip_ws();
+    if (p >= s_.size() || s_[p] != '"') return false;
+    ++p;
+    std::string content;
+    while (p < s_.size() && s_[p] != '"' && s_[p] != '\n') {
+      if (s_[p] == '\\' && p + 1 < s_.size()) ++p;  // destringize the escape
+      content.push_back(s_[p++]);
+    }
+    if (p >= s_.size() || s_[p] != '"') return false;
+    ++p;
+    skip_ws();
+    if (p >= s_.size() || s_[p] != ')') return false;
+    pos_ = p + 1;
+    // No token is emitted: like a real `#pragma` line, the operator form is
+    // invisible to the token stream and visible only as a directive.
+    out_.directives.push_back({line, normalize("#pragma " + content),
+                               out_.tokens.size()});
+    return true;
   }
 
   // A preprocessor logical line: '#' through end of (spliced) line, with
@@ -258,7 +295,11 @@ class Lexer {
       text.push_back(c);
       ++pos_;
     }
-    // Collapse whitespace runs to single spaces and trim.
+    out_.directives.push_back({line, normalize(text), out_.tokens.size()});
+  }
+
+  // Collapse whitespace runs to single spaces and trim.
+  static std::string normalize(const std::string& text) {
     std::string norm;
     bool in_space = false;
     for (const char c : text) {
@@ -270,7 +311,7 @@ class Lexer {
         norm.push_back(c);
       }
     }
-    out_.directives.push_back({line, std::move(norm)});
+    return norm;
   }
 
   LexedFile& out_;

@@ -33,6 +33,10 @@ struct Directive {
   int line = 0;      // 1-based physical line the directive starts on
   std::string text;  // logical line: continuations joined, comments stripped,
                      // whitespace runs collapsed to single spaces
+  std::size_t tok = 0;  // index of the first code token *after* the directive,
+                        // so structural passes can interleave directives with
+                        // the token stream (region trees need to know which
+                        // statement a pragma precedes)
 };
 
 struct LexedFile {

@@ -4,18 +4,6 @@
 Rules (each suppressible on a line, or the line above it, with
 ``// sparta-lint: allow(<rule>)``):
 
-  omp-critical     `#pragma omp critical` / `#pragma omp atomic` in
-                   src/kernels/ or src/engine/. The hot paths run inside one
-                   persistent parallel region; serializing constructs there
-                   destroy the engine's scaling. Use the cache-line-padded
-                   per-thread accumulator pattern instead.
-
-  shared-counter   `std::atomic` declared in src/kernels/ or src/engine/
-                   without cache-line alignment (`alignas`). An unpadded
-                   shared counter false-shares its line across every thread
-                   of the region. Telemetry belongs in sparta::obs, which
-                   already pads per-thread slots.
-
   deprecated-call  Calls to the removed tuner per-strategy entry points
                    (plan_profile_guided, tune_feature_guided, ... — replaced
                    by Autotuner::tune/plan(TuneOptions) in PR 2, deleted in
@@ -30,6 +18,12 @@ Rules (each suppressible on a line, or the line above it, with
   unused-suppression  An ``allow(...)`` comment that matched no finding.
                    Stale suppressions hide nothing but suggest they do;
                    this rule is not itself suppressible.
+
+The former regex heuristics for serializing OpenMP constructs and unpadded
+atomics in hot directories (omp-critical, shared-counter) moved into the
+C++ analyzer as omp.hot-critical and omp.unpadded-atomic, where the token
+stream and directive model make them scope-aware (tools/analyze/,
+DESIGN.md §12). Only the rules no structural pass can see remain here.
 
 Suppression grammar (shared with sparta_analyze; the normative statement is
 DESIGN.md §12): ``// sparta-<tool>: allow(rule[, rule]...)`` on the finding
@@ -49,7 +43,6 @@ from pathlib import Path
 SOURCE_EXTS = {".cpp", ".hpp", ".h"}
 
 # rule -> (directories it applies to, relative to the repo root)
-HOT_DIRS = ("src/kernels", "src/engine")
 SRC_DIRS = ("src",)
 ALL_DIRS = ("src", "bench", "examples", "tools", "tests")
 
@@ -101,9 +94,6 @@ class Suppressions:
     def unused(self) -> list[tuple[int, str]]:
         return [(entry[0], entry[1]) for entry in self.entries if not entry[2]]
 
-OMP_SERIAL_RE = re.compile(r"#\s*pragma\s+omp\s+(critical|atomic)\b")
-ATOMIC_RE = re.compile(r"\bstd::atomic\b")
-ALIGNAS_RE = re.compile(r"\balignas\s*\(")
 # A call site: the identifier followed by '(' — optionally through . -> or ::
 ASSERT_RE = re.compile(r"(?<![A-Za-z0-9_])assert\s*\(")
 
@@ -172,27 +162,10 @@ class Linter:
         raw = path.read_text(encoding="utf-8").splitlines()
         code = strip_comments_and_strings(raw)
         supp = Suppressions(raw)
-        in_hot = rel.startswith(tuple(d + "/" for d in HOT_DIRS))
         in_src = rel.startswith("src/")
 
         for idx, line in enumerate(code):
             lineno = idx + 1
-            if in_hot:
-                m = OMP_SERIAL_RE.search(line)
-                if m and not supp.allowed("omp-critical", idx):
-                    self.report(
-                        "omp-critical", rel, lineno,
-                        f"'omp {m.group(1)}' in a hot-path directory; use the "
-                        "padded per-thread accumulator pattern",
-                    )
-                if ATOMIC_RE.search(line) and not ALIGNAS_RE.search(line) \
-                        and not (idx > 0 and ALIGNAS_RE.search(code[idx - 1])) \
-                        and not supp.allowed("shared-counter", idx):
-                    self.report(
-                        "shared-counter", rel, lineno,
-                        "unpadded std::atomic in a hot-path directory; pad with "
-                        "alignas(kCacheLineBytes) or use sparta::obs",
-                    )
             if rel not in DEPRECATED_DEFINITION_FILES:
                 for name in DEPRECATED_ENTRY_POINTS:
                     if re.search(rf"\b{name}\s*\(", line) and \
