@@ -63,9 +63,9 @@ SolverEngine::SolverEngine(const CsrMatrix& a,
 void SolverEngine::init_jacobi() {
   if (!opts_.jacobi) return;
   const CsrMatrix& a = *a_;
-  const auto n = static_cast<std::size_t>(a.nrows());
-  inv_diag_.assign(n, 1.0);
-  for (index_t i = 0; i < a.nrows(); ++i) {
+  const index_t nrows = a.nrows();
+  inv_diag_.assign(static_cast<std::size_t>(nrows), 1.0);
+  for (index_t i = 0; i < nrows; ++i) {
     const auto cols = a.row_cols(i);
     const auto vals = a.row_vals(i);
     for (std::size_t j = 0; j < cols.size(); ++j) {

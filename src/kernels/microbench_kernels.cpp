@@ -5,7 +5,8 @@ namespace sparta::kernels {
 aligned_vector<index_t> regularized_colind(const CsrMatrix& a) {
   aligned_vector<index_t> colind(static_cast<std::size_t>(a.nnz()));
   const auto rowptr = a.rowptr();
-  for (index_t i = 0; i < a.nrows(); ++i) {
+  const index_t nrows = a.nrows();
+  for (index_t i = 0; i < nrows; ++i) {
     for (offset_t j = rowptr[static_cast<std::size_t>(i)];
          j < rowptr[static_cast<std::size_t>(i) + 1]; ++j) {
       colind[static_cast<std::size_t>(j)] = i;

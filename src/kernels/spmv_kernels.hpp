@@ -290,6 +290,7 @@ inline void delta_rows_block(const DeltaView& a, ConstDenseBlockView x, DenseBlo
                              value_t alpha, value_t beta, RowRange r) {
   const bool plain = alpha == 1.0 && beta == 0.0;
   const bool narrow = a.width == DeltaWidth::k8;
+  const value_t* const vals = a.values.data();
   if constexpr (K == 1) {
     if (x.stride == 1) {
       for (index_t i = r.begin; i < r.end; ++i) {
@@ -298,10 +299,10 @@ inline void delta_rows_block(const DeltaView& a, ConstDenseBlockView x, DenseBlo
         const auto e = a.rowptr[k + 1];
         const index_t fc = a.first_col[k];
         const value_t acc =
-            narrow ? detail::delta_row<std::uint8_t, Vectorize>(fc, a.deltas8.data(),
-                                                                a.values.data(), x.data, b, e)
-                   : detail::delta_row<std::uint16_t, Vectorize>(
-                         fc, a.deltas16.data(), a.values.data(), x.data, b, e);
+            narrow ? detail::delta_row<std::uint8_t, Vectorize>(fc, a.deltas8.data(), vals,
+                                                                x.data, b, e)
+                   : detail::delta_row<std::uint16_t, Vectorize>(fc, a.deltas16.data(), vals,
+                                                                 x.data, b, e);
         value_t& yi = *y.row(i);
         yi = plain ? acc : alpha * acc + beta * yi;
       }
@@ -315,11 +316,11 @@ inline void delta_rows_block(const DeltaView& a, ConstDenseBlockView x, DenseBlo
     const index_t fc = a.first_col[k];
     std::array<value_t, static_cast<std::size_t>(K)> acc;
     if (narrow) {
-      detail::delta_row_block<K, std::uint8_t>(fc, a.deltas8.data(), a.values.data(), x.data,
-                                               x.stride, b, e, acc.data());
+      detail::delta_row_block<K, std::uint8_t>(fc, a.deltas8.data(), vals, x.data, x.stride, b,
+                                               e, acc.data());
     } else {
-      detail::delta_row_block<K, std::uint16_t>(fc, a.deltas16.data(), a.values.data(),
-                                                x.data, x.stride, b, e, acc.data());
+      detail::delta_row_block<K, std::uint16_t>(fc, a.deltas16.data(), vals, x.data, x.stride,
+                                                b, e, acc.data());
     }
     detail::store_row_block<K>(y.row(i), acc.data(), alpha, beta, plain);
   }
@@ -407,6 +408,7 @@ inline double delta_rows_local_dot(const DeltaView& a, std::span<const value_t> 
                                    std::span<value_t> y, std::span<const value_t> w, RowRange r,
                                    value_t alpha = 1.0, value_t beta = 0.0) {
   const bool plain = alpha == 1.0 && beta == 0.0;
+  const value_t* const vals = a.values.data();
   double acc = 0.0;
   for (index_t i = r.begin; i < r.end; ++i) {
     const auto k = static_cast<std::size_t>(i);
@@ -415,10 +417,10 @@ inline double delta_rows_local_dot(const DeltaView& a, std::span<const value_t> 
     const index_t fc = a.first_col[k];
     const value_t ai =
         a.width == DeltaWidth::k8
-            ? detail::delta_row<std::uint8_t, Vectorize>(fc, a.deltas8.data(),
-                                                         a.values.data(), x.data(), b, e)
-            : detail::delta_row<std::uint16_t, Vectorize>(fc, a.deltas16.data(),
-                                                          a.values.data(), x.data(), b, e);
+            ? detail::delta_row<std::uint8_t, Vectorize>(fc, a.deltas8.data(), vals, x.data(),
+                                                         b, e)
+            : detail::delta_row<std::uint16_t, Vectorize>(fc, a.deltas16.data(), vals,
+                                                          x.data(), b, e);
     const value_t yi = plain ? ai : alpha * ai + beta * y[k];
     y[k] = yi;
     acc += w[k] * yi;
@@ -498,10 +500,11 @@ void spmm_decomposed(const DecomposedCsrMatrix& a, ConstDenseBlockView x, DenseB
   const auto rowptr = a.long_rowptr();
   const auto colind = a.long_colind();
   const auto values = a.long_values();
-  for (std::size_t k = 0; k < a.long_rows().size(); ++k) {
+  const auto long_rows = a.long_rows();
+  for (std::size_t k = 0; k < long_rows.size(); ++k) {
     const auto b = rowptr[k];
     const auto e = rowptr[k + 1];
-    const index_t row = a.long_rows()[k];
+    const index_t row = long_rows[k];
     for (index_t c = 0; c < x.width; ++c) {
       value_t total = 0.0;
 #pragma omp parallel for default(none) shared(values, colind, x, b, e, c) \

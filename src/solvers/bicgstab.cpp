@@ -33,9 +33,10 @@ SolveResult bicgstab(const CsrMatrix& a, std::span<const value_t> b, std::span<v
 
   const double b_norm = norm2(b);
   const double threshold = options.tolerance * (b_norm > 0.0 ? b_norm : 1.0);
+  const int max_it = options.max_iterations;
   double rho = dot(r0, r);
 
-  for (int it = 0; it < options.max_iterations; ++it) {
+  for (int it = 0; it < max_it; ++it) {
     result.residual_norm = norm2(r);
     if (result.residual_norm <= threshold) {
       result.converged = true;

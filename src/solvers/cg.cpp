@@ -40,7 +40,8 @@ SolveResult cg(const CsrMatrix& a, std::span<const value_t> b, std::span<value_t
   aligned_vector<value_t> inv_diag;
   if (options.jacobi) {
     inv_diag.assign(n, 1.0);
-    for (index_t i = 0; i < a.nrows(); ++i) {
+    const index_t nrows = a.nrows();
+    for (index_t i = 0; i < nrows; ++i) {
       const auto cols = a.row_cols(i);
       const auto vals = a.row_vals(i);
       for (std::size_t j = 0; j < cols.size(); ++j) {
@@ -76,8 +77,9 @@ SolveResult cg(const CsrMatrix& a, std::span<const value_t> b, std::span<value_t
   double rz = dot(r, z);
   const double b_norm = norm2(b);
   const double threshold = options.tolerance * (b_norm > 0.0 ? b_norm : 1.0);
+  const int max_it = options.max_iterations;
 
-  for (int it = 0; it < options.max_iterations; ++it) {
+  for (int it = 0; it < max_it; ++it) {
     result.residual_norm = norm2(r);
     if (result.residual_norm <= threshold) {
       result.converged = true;

@@ -25,6 +25,7 @@ SolveResult gmres(const CsrMatrix& a, std::span<const value_t> b, std::span<valu
 
   const double b_norm = norm2(b);
   const double threshold = options.tolerance * (b_norm > 0.0 ? b_norm : 1.0);
+  const int max_it = options.max_iterations;
 
   // Krylov basis (m+1 vectors) and the Hessenberg system.
   std::vector<aligned_vector<value_t>> v(static_cast<std::size_t>(m) + 1,
@@ -40,7 +41,7 @@ SolveResult gmres(const CsrMatrix& a, std::span<const value_t> b, std::span<valu
   std::vector<double> y(static_cast<std::size_t>(m), 0.0);
   aligned_vector<value_t> tmp(n);
 
-  while (result.iterations < options.max_iterations) {
+  while (result.iterations < max_it) {
     // r = b - A x
     spmv_timer.reset();
     mv(x, tmp);
@@ -57,7 +58,7 @@ SolveResult gmres(const CsrMatrix& a, std::span<const value_t> b, std::span<valu
     g[0] = beta;
 
     int k = 0;
-    for (; k < m && result.iterations < options.max_iterations; ++k) {
+    for (; k < m && result.iterations < max_it; ++k) {
       ++result.iterations;
       // Arnoldi step: w = A v_k, orthogonalize against v_0..v_k (MGS).
       spmv_timer.reset();

@@ -1,0 +1,17 @@
+// Seeded violations for the index-domain stage: index.domain-mix (a row
+// index subscripting the nnz-domain values array) and index.domain-narrowing
+// (an nnz-domain quantity stored into a 32-bit index). The rowptr/values
+// names are the CSR seed vocabulary the domain lattice keys on.
+namespace fixture {
+
+double domain_bad(const long* rowptr, const double* values, int nrows) {
+  double acc = 0.0;
+  for (int i = 0; i < nrows; ++i) {
+    acc += values[i];  // index.domain-mix: i counts rows, values wants nnz
+  }
+  int nnz = 0;
+  nnz = static_cast<int>(rowptr[nrows]);  // index.domain-narrowing
+  return acc + nnz;
+}
+
+}  // namespace fixture

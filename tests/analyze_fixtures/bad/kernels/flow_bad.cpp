@@ -1,0 +1,16 @@
+// Seeded violations for the dataflow stage: flow.uninit-read (a scalar read
+// before any path assigns it) and flow.dead-store (a store overwritten on
+// every path before it is read). Fixture files are analyzed, never compiled.
+namespace fixture {
+
+double flow_bad(int n) {
+  double s;
+  const double first = s + n;  // flow.uninit-read: s has no initializer
+  s = 2.0;
+  double dead = 0.0;
+  dead = first * 2.0;  // flow.dead-store: overwritten below before any read
+  dead = s + first;
+  return dead;
+}
+
+}  // namespace fixture

@@ -1,0 +1,34 @@
+// Seeded violations for the hot-loop stage: flow.loop-invariant-load
+// (p->scale loaded twice per iteration), loop.vectorization-blocker in both
+// forms — a non-restrict store aliasing a non-restrict read, and a simd loop
+// carrying a scalar recurrence that is not a recognized reduction.
+struct Params {
+  double scale;
+  int shift;
+};
+
+namespace fixture {
+
+double vect_bad(const Params* p, const double* a, double* y, int n) {
+  double acc = 0.0;
+  for (int i = 0; i < n; ++i) {
+    acc += a[i] * p->scale + p->scale;  // flow.loop-invariant-load
+  }
+  for (int i = 0; i < n; ++i) {
+    y[i] = a[i] * acc;  // loop.vectorization-blocker: y may alias a
+  }
+  return acc;
+}
+
+double simd_carry(const double* a, int n) {
+  double prev = 0.0;
+  double out = 0.0;
+#pragma omp simd
+  for (int i = 0; i < n; ++i) {
+    prev = a[i] - prev * 0.5;  // loop.vectorization-blocker: carried scalar
+    out += prev;
+  }
+  return out;
+}
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// Clean twin of bad/kernels/domain_bad.cpp: rows index rowptr, nnz indexes
+// colind/values, row bounds are hoisted into locals (which also keeps the
+// loop-invariant-load rule quiet), and nnz-domain values stay in wide types.
+namespace fixture {
+
+double domain_clean(const long* SPARTA_RESTRICT rowptr,
+                    const int* SPARTA_RESTRICT colind,
+                    const double* SPARTA_RESTRICT values, int nrows) {
+  double acc = 0.0;
+  for (int i = 0; i < nrows; ++i) {
+    const long row_begin = rowptr[i];
+    const long row_end = rowptr[i + 1];
+    for (long j = row_begin; j < row_end; ++j) {
+      acc += values[j] * static_cast<double>(colind[j]);
+    }
+  }
+  const long nnz = rowptr[nrows];
+  return acc + static_cast<double>(nnz);
+}
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// Clean twin of bad/kernels/flow_bad.cpp: every scalar is assigned before
+// use on all paths, every store is eventually read, and branchy defensive
+// initializers stay silent.
+namespace fixture {
+
+double flow_clean(int n) {
+  double s = 0.0;
+  if (n > 4) s = 1.5;
+  double acc = s + n;
+  acc += s;
+  return acc;
+}
+
+}  // namespace fixture

@@ -1,0 +1,33 @@
+// Clean twin of bad/kernels/vect_bad.cpp: the invariant load is hoisted,
+// the store/read pointers carry SPARTA_RESTRICT, and the simd recurrence is
+// a declared reduction.
+struct Params {
+  double scale;
+  int shift;
+};
+
+namespace fixture {
+
+double vect_clean(const Params* SPARTA_RESTRICT p, const double* SPARTA_RESTRICT a,
+                  double* SPARTA_RESTRICT y, int n) {
+  const double scale = p->scale;
+  double acc = 0.0;
+  for (int i = 0; i < n; ++i) {
+    acc += a[i] * scale + scale;
+  }
+  for (int i = 0; i < n; ++i) {
+    y[i] = a[i] * scale;
+  }
+  return acc;
+}
+
+double simd_sum(const double* SPARTA_RESTRICT a, int n) {
+  double out = 0.0;
+#pragma omp simd reduction(+ : out)
+  for (int i = 0; i < n; ++i) {
+    out += a[i];
+  }
+  return out;
+}
+
+}  // namespace fixture

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "analyzer.hpp"
+#include "cfg.hpp"
 #include "omp_model.hpp"
 
 namespace sa = sparta::analyze;
@@ -580,6 +581,318 @@ TEST(OmpSharingRule, RegionsWithoutClausesAreNotGuessedAt) {
                              "}\n");
   EXPECT_TRUE(has_rule(f, "omp.default-none"));
   EXPECT_FALSE(has_rule(f, "omp.shared-write"));
+}
+
+// ---------------------------------------------------------------------------
+// CFG construction round-trips
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Build the CFGs of `src` and return the one (valid) function, asserting
+// exactly one was found.
+sa::Cfg one_cfg(const std::string& src) {
+  const sa::LexedFile f = sa::lex("kernels/cfg.cpp", src);
+  const std::vector<sa::Cfg> cfgs = sa::build_cfgs(f);
+  EXPECT_EQ(cfgs.size(), 1u);
+  if (cfgs.size() != 1u) return sa::Cfg{};
+  EXPECT_TRUE(cfgs.front().valid);
+  return cfgs.front();
+}
+
+// Every succ edge must have the matching pred edge and vice versa.
+void expect_edges_mirror(const sa::Cfg& cfg) {
+  for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+    for (const int s : cfg.blocks[b].succ) {
+      const auto& pred = cfg.blocks[static_cast<std::size_t>(s)].pred;
+      EXPECT_TRUE(std::find(pred.begin(), pred.end(), static_cast<int>(b)) != pred.end())
+          << "succ edge " << b << "->" << s << " has no pred mirror";
+    }
+    for (const int p : cfg.blocks[b].pred) {
+      const auto& succ = cfg.blocks[static_cast<std::size_t>(p)].succ;
+      EXPECT_TRUE(std::find(succ.begin(), succ.end(), static_cast<int>(b)) != succ.end())
+          << "pred edge " << p << "->" << b << " has no succ mirror";
+    }
+  }
+}
+
+}  // namespace
+
+TEST(CfgBuild, IfElseMakesADiamond) {
+  const sa::Cfg cfg = one_cfg(
+      "int f(int n) {\n"
+      "  int r = 0;\n"
+      "  if (n > 0) { r = 1; } else { r = 2; }\n"
+      "  return r;\n"
+      "}\n");
+  expect_edges_mirror(cfg);
+  // The condition block branches two ways and both arms rejoin.
+  bool saw_branch = false;
+  for (const sa::BasicBlock& b : cfg.blocks) {
+    if (b.succ.size() == 2) saw_branch = true;
+  }
+  EXPECT_TRUE(saw_branch);
+  EXPECT_TRUE(cfg.loops.empty());
+}
+
+TEST(CfgBuild, NestedLoopsTrackDepthAndInnermost) {
+  const sa::Cfg cfg = one_cfg(
+      "int f(int n) {\n"
+      "  int acc = 0;\n"
+      "  for (int i = 0; i < n; ++i) {\n"
+      "    for (int j = 0; j < i; ++j) {\n"
+      "      acc += j;\n"
+      "    }\n"
+      "  }\n"
+      "  return acc;\n"
+      "}\n");
+  expect_edges_mirror(cfg);
+  ASSERT_EQ(cfg.loops.size(), 2u);
+  const sa::CfgLoop& outer = cfg.loops[0].depth == 1 ? cfg.loops[0] : cfg.loops[1];
+  const sa::CfgLoop& inner = cfg.loops[0].depth == 1 ? cfg.loops[1] : cfg.loops[0];
+  EXPECT_EQ(outer.depth, 1);
+  EXPECT_EQ(inner.depth, 2);
+  EXPECT_FALSE(outer.innermost);
+  EXPECT_TRUE(inner.innermost);
+}
+
+TEST(CfgBuild, SwitchFallthroughChainsCaseBlocks) {
+  const sa::Cfg cfg = one_cfg(
+      "int f(int n) {\n"
+      "  int r = 0;\n"
+      "  switch (n) {\n"
+      "    case 0: r = 1;  // falls through\n"
+      "    case 1: r = 2; break;\n"
+      "    default: r = 3;\n"
+      "  }\n"
+      "  return r;\n"
+      "}\n");
+  expect_edges_mirror(cfg);
+  // The dispatch block fans out to every label; at least one case block must
+  // also be reachable from a sibling case (the fallthrough edge), i.e. have
+  // two predecessors.
+  bool saw_fanout = false;
+  bool saw_fallthrough_join = false;
+  for (const sa::BasicBlock& b : cfg.blocks) {
+    if (b.succ.size() >= 3) saw_fanout = true;
+    if (!b.stmts.empty() && b.pred.size() >= 2) saw_fallthrough_join = true;
+  }
+  EXPECT_TRUE(saw_fanout);
+  EXPECT_TRUE(saw_fallthrough_join);
+}
+
+TEST(CfgBuild, EarlyReturnReachesExitDirectly) {
+  const sa::Cfg cfg = one_cfg(
+      "int f(int n) {\n"
+      "  if (n < 0) return -1;\n"
+      "  int r = 2 * n;\n"
+      "  return r;\n"
+      "}\n");
+  expect_edges_mirror(cfg);
+  // Both the early return and the fall-off return feed the exit block.
+  EXPECT_GE(cfg.blocks[static_cast<std::size_t>(cfg.exit)].pred.size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Flow rules: uninit-read, dead-store, loop-invariant-load
+// ---------------------------------------------------------------------------
+
+TEST(FlowRule, UninitReadFlaggedOnlyWhenNoPathAssigns) {
+  const auto bad = analyze_one("kernels/k.cpp",
+                               "double f(int n) {\n"
+                               "  double s;\n"
+                               "  double t = s + n;\n"
+                               "  s = 1.0;\n"
+                               "  return t + s;\n"
+                               "}\n");
+  EXPECT_TRUE(has_rule(bad, "flow.uninit-read"));
+
+  // One branch assigns: a maybe-uninit read stays silent (the rule only
+  // fires when every reaching definition is the bare declaration).
+  const auto maybe = analyze_one("kernels/k.cpp",
+                                 "double f(int n) {\n"
+                                 "  double s;\n"
+                                 "  if (n > 0) s = 1.0;\n"
+                                 "  return s;\n"
+                                 "}\n");
+  EXPECT_FALSE(has_rule(maybe, "flow.uninit-read"));
+
+  const auto good = analyze_one("kernels/k.cpp",
+                                "double f(int n) {\n"
+                                "  double s = 0.0;\n"
+                                "  double t = s + n;\n"
+                                "  return t;\n"
+                                "}\n");
+  EXPECT_FALSE(has_rule(good, "flow.uninit-read"));
+}
+
+TEST(FlowRule, DeadStoreFlaggedButDefensiveInitExempt) {
+  const auto bad = analyze_one("kernels/k.cpp",
+                               "double f(double x) {\n"
+                               "  double a = 0.0;\n"
+                               "  a = x * 2.0;\n"
+                               "  a = x * 3.0;\n"
+                               "  return a;\n"
+                               "}\n");
+  EXPECT_TRUE(has_rule(bad, "flow.dead-store"));
+
+  // `double a = 0.0;` itself is a trivial defensive initializer: exempt.
+  const auto good = analyze_one("kernels/k.cpp",
+                                "double f(double x, int n) {\n"
+                                "  double a = 0.0;\n"
+                                "  if (n > 0) a = x;\n"
+                                "  return a;\n"
+                                "}\n");
+  EXPECT_FALSE(has_rule(good, "flow.dead-store"));
+}
+
+TEST(FlowRule, InvariantLoadNeedsHotModuleAndMemoryRoot) {
+  const std::string src =
+      "struct P { double scale; };\n"
+      "double f(const P* p, const double* a, int n) {\n"
+      "  double acc = 0.0;\n"
+      "  for (int i = 0; i < n; ++i) {\n"
+      "    acc += a[i] * p->scale + p->scale;\n"
+      "  }\n"
+      "  return acc;\n"
+      "}\n";
+  EXPECT_TRUE(has_rule(analyze_one("kernels/k.cpp", src), "flow.loop-invariant-load"));
+  // Cold modules skip the hot-loop rules entirely.
+  EXPECT_FALSE(has_rule(analyze_one("sparse/k.cpp", src), "flow.loop-invariant-load"));
+
+  // Hoisted form is clean; members of by-value structs are register-resident
+  // and never flagged.
+  const auto good = analyze_one("kernels/k.cpp",
+                                "struct P { double scale; };\n"
+                                "double f(const P* p, const double* a, P q, int n) {\n"
+                                "  const double s = p->scale;\n"
+                                "  double acc = 0.0;\n"
+                                "  for (int i = 0; i < n; ++i) {\n"
+                                "    acc += a[i] * s + q.scale + q.scale;\n"
+                                "  }\n"
+                                "  return acc;\n"
+                                "}\n");
+  EXPECT_FALSE(has_rule(good, "flow.loop-invariant-load"));
+}
+
+// ---------------------------------------------------------------------------
+// Index-domain rules
+// ---------------------------------------------------------------------------
+
+TEST(DomainRule, RowIndexIntoNnzArrayFlagged) {
+  const auto bad = analyze_one("kernels/k.cpp",
+                               "double f(const long* rowptr, const double* values, int nrows) {\n"
+                               "  double acc = 0.0;\n"
+                               "  for (int i = 0; i < nrows; ++i) acc += values[i];\n"
+                               "  return acc;\n"
+                               "}\n");
+  EXPECT_TRUE(has_rule(bad, "index.domain-mix"));
+
+  const auto good = analyze_one(
+      "kernels/k.cpp",
+      "double f(const long* rowptr, const double* values, int nrows) {\n"
+      "  double acc = 0.0;\n"
+      "  for (int i = 0; i < nrows; ++i) {\n"
+      "    const long b = rowptr[i];\n"
+      "    const long e = rowptr[i + 1];\n"
+      "    for (long j = b; j < e; ++j) acc += values[j];\n"
+      "  }\n"
+      "  return acc;\n"
+      "}\n");
+  EXPECT_FALSE(has_rule(good, "index.domain-mix"));
+}
+
+TEST(DomainRule, NnzIntoNarrowTypeFlaggedWideAccepted) {
+  const auto bad = analyze_one("kernels/k.cpp",
+                               "long f(const long* rowptr, const double* values, int nrows) {\n"
+                               "  int nnz = 0;\n"
+                               "  nnz = static_cast<int>(rowptr[nrows]);\n"
+                               "  return nnz;\n"
+                               "}\n");
+  EXPECT_TRUE(has_rule(bad, "index.domain-narrowing"));
+
+  const auto good = analyze_one("kernels/k.cpp",
+                                "long f(const long* rowptr, const double* values, int nrows) {\n"
+                                "  long nnz = 0;\n"
+                                "  nnz = rowptr[nrows];\n"
+                                "  return nnz;\n"
+                                "}\n");
+  EXPECT_FALSE(has_rule(good, "index.domain-narrowing"));
+}
+
+TEST(DomainRule, SingleSeedFamilyStaysSilent) {
+  // Only the values family appears: no cross-checking is possible, so the
+  // gate keeps the whole pass quiet rather than guessing.
+  const auto f = analyze_one("kernels/k.cpp",
+                             "double f(const double* values, int nrows) {\n"
+                             "  double acc = 0.0;\n"
+                             "  for (int i = 0; i < nrows; ++i) acc += values[i];\n"
+                             "  return acc;\n"
+                             "}\n");
+  EXPECT_FALSE(has_rule(f, "index.domain-mix"));
+}
+
+// ---------------------------------------------------------------------------
+// Vectorization blockers
+// ---------------------------------------------------------------------------
+
+TEST(VectRule, NonRestrictAliasFlaggedRestrictAccepted) {
+  const auto bad = analyze_one("kernels/k.cpp",
+                               "void f(const double* a, double* y, int n) {\n"
+                               "  for (int i = 0; i < n; ++i) y[i] = a[i] * 2.0;\n"
+                               "}\n");
+  EXPECT_TRUE(has_rule(bad, "loop.vectorization-blocker"));
+
+  const auto good = analyze_one(
+      "kernels/k.cpp",
+      "void f(const double* SPARTA_RESTRICT a, double* SPARTA_RESTRICT y, int n) {\n"
+      "  for (int i = 0; i < n; ++i) y[i] = a[i] * 2.0;\n"
+      "}\n");
+  EXPECT_FALSE(has_rule(good, "loop.vectorization-blocker"));
+}
+
+TEST(VectRule, SimdCarriedScalarFlaggedReductionAccepted) {
+  const auto bad = analyze_one("kernels/k.cpp",
+                               "double f(const double* SPARTA_RESTRICT a, int n) {\n"
+                               "  double prev = 0.0;\n"
+                               "  double out = 0.0;\n"
+                               "#pragma omp simd\n"
+                               "  for (int i = 0; i < n; ++i) {\n"
+                               "    prev = a[i] - prev * 0.5;\n"
+                               "    out += prev;\n"
+                               "  }\n"
+                               "  return out;\n"
+                               "}\n");
+  EXPECT_TRUE(has_rule(bad, "loop.vectorization-blocker"));
+
+  const auto good = analyze_one("kernels/k.cpp",
+                                "double f(const double* SPARTA_RESTRICT a, int n) {\n"
+                                "  double out = 0.0;\n"
+                                "#pragma omp simd reduction(+ : out)\n"
+                                "  for (int i = 0; i < n; ++i) {\n"
+                                "    out += a[i];\n"
+                                "  }\n"
+                                "  return out;\n"
+                                "}\n");
+  EXPECT_FALSE(has_rule(good, "loop.vectorization-blocker"));
+}
+
+// ---------------------------------------------------------------------------
+// Rule catalog
+// ---------------------------------------------------------------------------
+
+TEST(RuleDocs, EveryNewRuleIsDocumented) {
+  for (const char* rule :
+       {"flow.uninit-read", "flow.dead-store", "flow.loop-invariant-load",
+        "index.domain-mix", "index.domain-narrowing", "loop.vectorization-blocker",
+        "purity.alloc", "omp.default-none", "restrict.missing", "suppression.unused"}) {
+    const sa::RuleDoc* doc = sa::find_rule_doc(rule);
+    ASSERT_NE(doc, nullptr) << rule;
+    EXPECT_FALSE(doc->summary.empty()) << rule;
+    EXPECT_FALSE(doc->rationale.empty()) << rule;
+    EXPECT_FALSE(doc->fix.empty()) << rule;
+  }
+  EXPECT_EQ(sa::find_rule_doc("no.such-rule"), nullptr);
 }
 
 TEST(Analyzer, FindingsAreSortedAndModuleOfWorks) {

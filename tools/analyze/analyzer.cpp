@@ -65,6 +65,7 @@ std::vector<Finding> analyze_files(const std::vector<LexedFile>& files, const Co
     if (cfg.hot.count(ctx.module) != 0) check_purity(ctx, out);
     check_scopes(ctx, cfg.restrict_modules.count(ctx.module) != 0, out);
     check_hygiene(ctx, rels, out);
+    check_dataflow(ctx, cfg, out);
   }
   if (cfg.layering) check_layering(ctxs, cfg, out);
 

@@ -86,5 +86,23 @@ void check_scopes(FileCtx& ctx, bool restrict_enabled, std::vector<Finding>& out
 void check_hygiene(FileCtx& ctx, const std::set<std::string>& all_rels,
                    std::vector<Finding>& out);
 void check_layering(std::vector<FileCtx>& ctxs, const Config& cfg, std::vector<Finding>& out);
+/// CFG + dataflow stage (flow_rules.cpp): builds per-function CFGs, solves
+/// reaching definitions and liveness, and runs flow.{uninit-read,dead-store,
+/// loop-invariant-load}, loop.vectorization-blocker, and (via
+/// domain_rules.cpp) the index.domain-* family. Hot-loop rules engage only
+/// for modules in cfg.hot.
+void check_dataflow(FileCtx& ctx, const Config& cfg, std::vector<Finding>& out);
+struct FnDataflow;  // dataflow.hpp
+void check_domains(FileCtx& ctx, const FnDataflow& fn, std::vector<Finding>& out);
+
+/// Rule catalog for `--explain` and SARIF metadata (rule_docs.cpp).
+struct RuleDoc {
+  std::string id;
+  std::string summary;
+  std::string rationale;
+  std::string fix;
+};
+const std::vector<RuleDoc>& rule_docs();
+const RuleDoc* find_rule_doc(const std::string& rule);
 
 }  // namespace sparta::analyze

@@ -1,0 +1,943 @@
+#include "cfg.hpp"
+
+#include <array>
+#include <map>
+#include <utility>
+
+namespace sparta::analyze {
+
+namespace {
+
+bool is_keyword(const std::string& s) {
+  static const std::array<const char*, 61> kw = {
+      "if",       "else",     "for",      "while",    "do",        "switch",
+      "case",     "default",  "break",    "continue", "return",    "goto",
+      "new",      "delete",   "sizeof",   "alignof",  "alignas",   "co_return", "co_await",
+      "co_yield", "throw",    "try",      "catch",    "const",     "constexpr",
+      "consteval","constinit","static",   "volatile", "mutable",   "register",
+      "inline",   "typename", "template", "using",    "typedef",   "namespace",
+      "struct",   "class",    "enum",     "union",    "operator",  "this",
+      "true",     "false",    "void",     "int",      "unsigned",  "signed",
+      "short",    "long",     "char",     "bool",     "float",     "double",
+      "auto",     "decltype", "noexcept", "static_assert", "wchar_t",
+      "nullptr"};
+  for (const char* k : kw) {
+    if (s == k) return true;
+  }
+  return false;
+}
+
+bool is_ident(const Token& t) { return t.kind == TokKind::kIdent; }
+bool is_punct(const Token& t, const char* text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+
+/// Index of the token matching the opener at `open` ('(' / '[' / '{'), or
+/// `n` when unbalanced.
+std::size_t match_group(const std::vector<Token>& toks, std::size_t open) {
+  const std::string& o = toks[open].text;
+  const char* close = o == "(" ? ")" : o == "[" ? "]" : "}";
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kPunct) continue;
+    if (toks[i].text == o) {
+      ++depth;
+    } else if (toks[i].text == close) {
+      if (--depth == 0) return i;
+    }
+  }
+  return toks.size();
+}
+
+// ---------------------------------------------------------------------------
+// Body parser: one instance per function definition.
+// ---------------------------------------------------------------------------
+
+class FnBuilder {
+ public:
+  FnBuilder(const std::vector<Token>& toks, Cfg& cfg) : toks_(toks), cfg_(cfg) {}
+
+  void build() {
+    cfg_.entry = add_block();
+    cfg_.exit = add_block();
+    cur_ = cfg_.entry;
+    pos_ = cfg_.body_begin;
+    parse_seq(cfg_.body_end);
+    if (!cfg_.valid) return;
+    if (pos_ != cfg_.body_end) {
+      cfg_.valid = false;
+      return;
+    }
+    if (cur_ >= 0) edge(cur_, cfg_.exit);
+    for (const auto& [label, from] : pending_gotos_) {
+      const auto it = labels_.find(label);
+      if (it == labels_.end()) {
+        cfg_.valid = false;
+        return;
+      }
+      edge(from, it->second);
+    }
+  }
+
+ private:
+  struct Frame {
+    int brk = -1;   // target of `break`
+    int cont = -1;  // target of `continue`; -1 for switch frames
+    int head = -1;  // switch: dispatch block
+    bool is_switch = false;
+    bool has_default = false;
+  };
+
+  int add_block() {
+    cfg_.blocks.push_back({});
+    cfg_.blocks.back().loop = loop_stack_.empty() ? -1 : loop_stack_.back();
+    return static_cast<int>(cfg_.blocks.size()) - 1;
+  }
+
+  void edge(int from, int to) {
+    cfg_.blocks[static_cast<std::size_t>(from)].succ.push_back(to);
+    cfg_.blocks[static_cast<std::size_t>(to)].pred.push_back(from);
+  }
+
+  /// Blocks after a return/break/goto are unreachable but still parsed; a
+  /// fresh predecessor-less block keeps their statements in the graph.
+  int live() {
+    if (cur_ < 0) cur_ = add_block();
+    return cur_;
+  }
+
+  void stmt(int blk, std::size_t b, std::size_t e, CfgStmt::Kind kind) {
+    if (b >= e) return;
+    cfg_.blocks[static_cast<std::size_t>(blk)].stmts.push_back(
+        {b, e, toks_[b].line, kind});
+  }
+
+  const Token& tok(std::size_t i) const { return toks_[i]; }
+  bool at(std::size_t i, const char* text) const {
+    return i < cfg_.body_end && is_punct(toks_[i], text);
+  }
+  bool at_kw(std::size_t i, const char* text) const {
+    return i < cfg_.body_end && is_ident(toks_[i]) && toks_[i].text == text;
+  }
+
+  std::size_t match(std::size_t open) {
+    const std::size_t m = match_group(toks_, open);
+    if (m >= cfg_.body_end) cfg_.valid = false;
+    return m;
+  }
+
+  /// First top-level occurrence of `text` in [b, e), or `e`.
+  std::size_t find_top(std::size_t b, std::size_t e, const char* text) const {
+    int depth = 0;
+    for (std::size_t i = b; i < e; ++i) {
+      const Token& t = toks_[i];
+      if (t.kind != TokKind::kPunct) continue;
+      if (t.text == "(" || t.text == "[" || t.text == "{") {
+        ++depth;
+      } else if (t.text == ")" || t.text == "]" || t.text == "}") {
+        --depth;
+      } else if (depth == 0 && t.text == text) {
+        return i;
+      }
+    }
+    return e;
+  }
+
+  void parse_seq(std::size_t end) {
+    while (cfg_.valid && pos_ < end) parse_stmt(end);
+  }
+
+  void parse_stmt(std::size_t end) {
+    const Token& t = tok(pos_);
+    if (is_punct(t, ";")) {
+      ++pos_;
+      return;
+    }
+    if (is_punct(t, "{")) {
+      const std::size_t close = match(pos_);
+      if (!cfg_.valid) return;
+      ++pos_;
+      parse_seq(close);
+      pos_ = close + 1;
+      return;
+    }
+    if (is_ident(t)) {
+      const std::string& kw = t.text;
+      if (kw == "if") return parse_if(end);
+      if (kw == "for") return parse_for(end);
+      if (kw == "while") return parse_while(end);
+      if (kw == "do") return parse_do(end);
+      if (kw == "switch") return parse_switch(end);
+      if (kw == "return" || kw == "throw" || kw == "co_return") return parse_return(end);
+      if (kw == "break" || kw == "continue") return parse_jump(kw == "break");
+      if (kw == "goto") return parse_goto();
+      if (kw == "case" || kw == "default") return parse_case_label(kw == "default");
+      if (kw == "try") return parse_try(end);
+      if (kw == "else" || kw == "catch") {
+        cfg_.valid = false;
+        return;
+      }
+      // `label:` — an identifier directly followed by a single colon.
+      if (pos_ + 1 < end && is_punct(tok(pos_ + 1), ":") && !is_keyword(kw)) {
+        const int blk = add_block();
+        if (cur_ >= 0) edge(cur_, blk);
+        cur_ = blk;
+        labels_[kw] = blk;
+        pos_ += 2;
+        return;
+      }
+    }
+    parse_plain(end);
+  }
+
+  /// Expression or declaration statement: scan to the terminating ';',
+  /// skipping balanced groups (lambda bodies, braced initializers). A
+  /// top-level `?:` splits into condition + two arm blocks so reads in one
+  /// arm do not count as reads on the other path.
+  void parse_plain(std::size_t end) {
+    const std::size_t b = pos_;
+    std::size_t q = end;  // first top-level '?'
+    std::size_t i = b;
+    while (i < end) {
+      const Token& t = toks_[i];
+      if (t.kind == TokKind::kPunct) {
+        if (t.text == "(" || t.text == "[" || t.text == "{") {
+          i = match(i);
+          if (!cfg_.valid) return;
+        } else if (t.text == ";") {
+          break;
+        } else if (t.text == "}") {
+          break;  // unterminated (defensive); do not consume
+        } else if (t.text == "?" && q == end) {
+          q = i;
+        }
+      }
+      ++i;
+    }
+    const std::size_t e = i;
+    pos_ = i < end && is_punct(toks_[i], ";") ? i + 1 : i;
+    if (q < e) {
+      // Find the ':' matching the first '?' (nested ternaries stay in arm 2).
+      int qdepth = 0;
+      std::size_t colon = e;
+      int depth = 0;
+      for (std::size_t j = q + 1; j < e; ++j) {
+        const Token& t = toks_[j];
+        if (t.kind != TokKind::kPunct) continue;
+        if (t.text == "(" || t.text == "[" || t.text == "{") {
+          ++depth;
+        } else if (t.text == ")" || t.text == "]" || t.text == "}") {
+          --depth;
+        } else if (depth == 0 && t.text == "?") {
+          ++qdepth;
+        } else if (depth == 0 && t.text == ":") {
+          if (qdepth == 0) {
+            colon = j;
+            break;
+          }
+          --qdepth;
+        }
+      }
+      if (colon < e) {
+        const int head = live();
+        stmt(head, b, q, CfgStmt::Kind::kPlain);
+        const int arm1 = add_block();
+        const int arm2 = add_block();
+        edge(head, arm1);
+        edge(head, arm2);
+        stmt(arm1, q + 1, colon, CfgStmt::Kind::kPlain);
+        stmt(arm2, colon + 1, e, CfgStmt::Kind::kPlain);
+        const int join = add_block();
+        edge(arm1, join);
+        edge(arm2, join);
+        cur_ = join;
+        return;
+      }
+    }
+    stmt(live(), b, e, CfgStmt::Kind::kPlain);
+  }
+
+  void parse_return(std::size_t end) {
+    const std::size_t b = pos_;
+    std::size_t i = b;
+    while (i < end) {
+      const Token& t = toks_[i];
+      if (t.kind == TokKind::kPunct) {
+        if (t.text == "(" || t.text == "[" || t.text == "{") {
+          i = match(i);
+          if (!cfg_.valid) return;
+        } else if (t.text == ";") {
+          break;
+        }
+      }
+      ++i;
+    }
+    stmt(live(), b, i, CfgStmt::Kind::kReturn);
+    edge(live(), cfg_.exit);
+    cur_ = -1;
+    pos_ = i < end ? i + 1 : i;
+  }
+
+  void parse_jump(bool is_break) {
+    int target = -1;
+    for (auto it = frames_.rbegin(); it != frames_.rend(); ++it) {
+      if (is_break) {
+        target = it->brk;
+        break;
+      }
+      if (!it->is_switch) {
+        target = it->cont;
+        break;
+      }
+    }
+    if (target < 0) {
+      cfg_.valid = false;
+      return;
+    }
+    edge(live(), target);
+    cur_ = -1;
+    ++pos_;
+    if (at(pos_, ";")) ++pos_;
+  }
+
+  void parse_goto() {
+    ++pos_;
+    if (pos_ >= cfg_.body_end || !is_ident(tok(pos_))) {
+      cfg_.valid = false;
+      return;
+    }
+    pending_gotos_.emplace_back(tok(pos_).text, live());
+    cur_ = -1;
+    ++pos_;
+    if (at(pos_, ";")) ++pos_;
+  }
+
+  /// `( ... )` after a control keyword; returns [open, close] or fails.
+  bool control_parens(std::size_t& open, std::size_t& close) {
+    if (!at(pos_, "(")) {
+      cfg_.valid = false;
+      return false;
+    }
+    open = pos_;
+    close = match(pos_);
+    return cfg_.valid;
+  }
+
+  void parse_if(std::size_t end) {
+    ++pos_;
+    if (at_kw(pos_, "constexpr")) ++pos_;
+    if (at(pos_, "!")) ++pos_;  // `if !consteval` — not used in this codebase
+    if (at_kw(pos_, "consteval")) ++pos_;
+    std::size_t open = 0, close = 0;
+    if (!control_parens(open, close)) return;
+    std::size_t cond_b = open + 1;
+    const std::size_t semi = find_top(open + 1, close, ";");
+    const int head = live();
+    if (semi < close) {  // if-init: `if (init; cond)`
+      stmt(head, open + 1, semi, CfgStmt::Kind::kPlain);
+      cond_b = semi + 1;
+    }
+    stmt(head, cond_b, close, CfgStmt::Kind::kCond);
+    pos_ = close + 1;
+
+    const int then_blk = add_block();
+    edge(head, then_blk);
+    cur_ = then_blk;
+    parse_stmt(end);
+    if (!cfg_.valid) return;
+    const int then_end = cur_;
+
+    if (at_kw(pos_, "else")) {
+      ++pos_;
+      const int else_blk = add_block();
+      edge(head, else_blk);
+      cur_ = else_blk;
+      parse_stmt(end);
+      if (!cfg_.valid) return;
+      const int else_end = cur_;
+      if (then_end < 0 && else_end < 0) {
+        cur_ = -1;
+        return;
+      }
+      const int join = add_block();
+      if (then_end >= 0) edge(then_end, join);
+      if (else_end >= 0) edge(else_end, join);
+      cur_ = join;
+    } else {
+      const int join = add_block();
+      edge(head, join);
+      if (then_end >= 0) edge(then_end, join);
+      cur_ = join;
+    }
+  }
+
+  int push_loop(std::size_t kw) {
+    CfgLoop loop;
+    loop.parent = loop_stack_.empty() ? -1 : loop_stack_.back();
+    loop.depth = loop.parent < 0
+                     ? 1
+                     : cfg_.loops[static_cast<std::size_t>(loop.parent)].depth + 1;
+    loop.kw = kw;
+    loop.line = toks_[kw].line;
+    if (loop.parent >= 0) {
+      cfg_.loops[static_cast<std::size_t>(loop.parent)].innermost = false;
+    }
+    cfg_.loops.push_back(loop);
+    const int id = static_cast<int>(cfg_.loops.size()) - 1;
+    loop_stack_.push_back(id);
+    return id;
+  }
+
+  CfgLoop& loop_at(int id) { return cfg_.loops[static_cast<std::size_t>(id)]; }
+
+  void parse_while(std::size_t end) {
+    const std::size_t kw = pos_;
+    ++pos_;
+    std::size_t open = 0, close = 0;
+    if (!control_parens(open, close)) return;
+    const int before = live();
+    const int exit_blk = add_block();
+    const int loop_id = push_loop(kw);
+    loop_at(loop_id).cond_begin = open + 1;
+    loop_at(loop_id).cond_end = close;
+
+    const int header = add_block();
+    edge(before, header);
+    stmt(header, open + 1, close, CfgStmt::Kind::kCond);
+    edge(header, exit_blk);
+    const int body = add_block();
+    edge(header, body);
+
+    frames_.push_back({exit_blk, header, -1, false, false});
+    cur_ = body;
+    pos_ = close + 1;
+    loop_at(loop_id).body_begin = pos_;
+    parse_stmt(end);
+    frames_.pop_back();
+    if (!cfg_.valid) return;
+    if (cur_ >= 0) edge(cur_, header);
+    loop_at(loop_id).body_end = pos_;
+    loop_at(loop_id).span_begin = kw;
+    loop_at(loop_id).span_end = pos_;
+    loop_stack_.pop_back();
+    cur_ = exit_blk;
+  }
+
+  void parse_do(std::size_t end) {
+    const std::size_t kw = pos_;
+    ++pos_;
+    const int before = live();
+    const int exit_blk = add_block();
+    const int loop_id = push_loop(kw);
+    const int body = add_block();
+    edge(before, body);
+    const int cond_blk = add_block();
+
+    frames_.push_back({exit_blk, cond_blk, -1, false, false});
+    cur_ = body;
+    loop_at(loop_id).body_begin = pos_;
+    parse_stmt(end);
+    frames_.pop_back();
+    if (!cfg_.valid) return;
+    loop_at(loop_id).body_end = pos_;
+    if (cur_ >= 0) edge(cur_, cond_blk);
+
+    if (!at_kw(pos_, "while")) {
+      cfg_.valid = false;
+      return;
+    }
+    ++pos_;
+    std::size_t open = 0, close = 0;
+    if (!control_parens(open, close)) return;
+    stmt(cond_blk, open + 1, close, CfgStmt::Kind::kCond);
+    loop_at(loop_id).cond_begin = open + 1;
+    loop_at(loop_id).cond_end = close;
+    edge(cond_blk, body);
+    edge(cond_blk, exit_blk);
+    pos_ = close + 1;
+    if (at(pos_, ";")) ++pos_;
+    loop_at(loop_id).span_begin = kw;
+    loop_at(loop_id).span_end = pos_;
+    loop_stack_.pop_back();
+    cur_ = exit_blk;
+  }
+
+  void parse_for(std::size_t end) {
+    const std::size_t kw = pos_;
+    ++pos_;
+    std::size_t open = 0, close = 0;
+    if (!control_parens(open, close)) return;
+    const std::size_t s1 = find_top(open + 1, close, ";");
+
+    if (s1 == close) {
+      // Range-for: `for (decl : expr)`.
+      const int before = live();
+      const int exit_blk = add_block();
+      const int loop_id = push_loop(kw);
+      loop_at(loop_id).cond_begin = open + 1;
+      loop_at(loop_id).cond_end = close;
+      const int header = add_block();
+      edge(before, header);
+      stmt(header, open + 1, close, CfgStmt::Kind::kRangeFor);
+      edge(header, exit_blk);
+      const int body = add_block();
+      edge(header, body);
+      frames_.push_back({exit_blk, header, -1, false, false});
+      cur_ = body;
+      pos_ = close + 1;
+      loop_at(loop_id).body_begin = pos_;
+      parse_stmt(end);
+      frames_.pop_back();
+      if (!cfg_.valid) return;
+      if (cur_ >= 0) edge(cur_, header);
+      loop_at(loop_id).body_end = pos_;
+      loop_at(loop_id).span_begin = kw;
+      loop_at(loop_id).span_end = pos_;
+      loop_stack_.pop_back();
+      cur_ = exit_blk;
+      return;
+    }
+
+    const std::size_t s2 = find_top(s1 + 1, close, ";");
+    if (s2 == close) {
+      cfg_.valid = false;
+      return;
+    }
+    const int before = live();
+    stmt(before, open + 1, s1, CfgStmt::Kind::kPlain);  // init, runs once
+    const int exit_blk = add_block();
+    const int loop_id = push_loop(kw);
+    loop_at(loop_id).init_begin = open + 1;
+    loop_at(loop_id).init_end = s1;
+    loop_at(loop_id).cond_begin = s1 + 1;
+    loop_at(loop_id).cond_end = s2;
+    loop_at(loop_id).inc_begin = s2 + 1;
+    loop_at(loop_id).inc_end = close;
+
+    const int header = add_block();
+    edge(before, header);
+    if (s1 + 1 < s2) {
+      stmt(header, s1 + 1, s2, CfgStmt::Kind::kCond);
+      edge(header, exit_blk);
+    }
+    const int latch = add_block();
+    stmt(latch, s2 + 1, close, CfgStmt::Kind::kPlain);
+    edge(latch, header);
+    const int body = add_block();
+    edge(header, body);
+
+    frames_.push_back({exit_blk, latch, -1, false, false});
+    cur_ = body;
+    pos_ = close + 1;
+    loop_at(loop_id).body_begin = pos_;
+    parse_stmt(end);
+    frames_.pop_back();
+    if (!cfg_.valid) return;
+    if (cur_ >= 0) edge(cur_, latch);
+    loop_at(loop_id).body_end = pos_;
+    loop_at(loop_id).span_begin = kw;
+    loop_at(loop_id).span_end = pos_;
+    loop_stack_.pop_back();
+    cur_ = exit_blk;
+  }
+
+  void parse_switch(std::size_t end) {
+    (void)end;  // the switch body is bounded by its own braces
+    ++pos_;
+    std::size_t open = 0, close = 0;
+    if (!control_parens(open, close)) return;
+    const int head = live();
+    std::size_t cond_b = open + 1;
+    const std::size_t semi = find_top(open + 1, close, ";");
+    if (semi < close) {
+      stmt(head, open + 1, semi, CfgStmt::Kind::kPlain);
+      cond_b = semi + 1;
+    }
+    stmt(head, cond_b, close, CfgStmt::Kind::kCond);
+    pos_ = close + 1;
+    if (!at(pos_, "{")) {
+      cfg_.valid = false;
+      return;
+    }
+    const std::size_t body_close = match(pos_);
+    if (!cfg_.valid) return;
+    const int exit_blk = add_block();
+    frames_.push_back({exit_blk, -1, head, true, false});
+    cur_ = -1;  // nothing runs before the first case label
+    ++pos_;
+    parse_seq(body_close);
+    const Frame frame = frames_.back();
+    frames_.pop_back();
+    if (!cfg_.valid) return;
+    pos_ = body_close + 1;
+    if (cur_ >= 0) edge(cur_, exit_blk);
+    if (!frame.has_default) edge(head, exit_blk);
+    cur_ = exit_blk;
+  }
+
+  void parse_case_label(bool is_default) {
+    Frame* sw = nullptr;
+    for (auto it = frames_.rbegin(); it != frames_.rend(); ++it) {
+      if (it->is_switch) {
+        sw = &*it;
+        break;
+      }
+    }
+    if (sw == nullptr) {
+      cfg_.valid = false;
+      return;
+    }
+    ++pos_;
+    if (!is_default) {
+      // Scan to the label's ':' (skipping a possible ternary in the
+      // constant expression, though none exist in practice).
+      int depth = 0;
+      int qdepth = 0;
+      while (pos_ < cfg_.body_end) {
+        const Token& t = tok(pos_);
+        if (t.kind == TokKind::kPunct) {
+          if (t.text == "(" || t.text == "[" || t.text == "{") {
+            ++depth;
+          } else if (t.text == ")" || t.text == "]" || t.text == "}") {
+            --depth;
+          } else if (depth == 0 && t.text == "?") {
+            ++qdepth;
+          } else if (depth == 0 && t.text == ":") {
+            if (qdepth == 0) break;
+            --qdepth;
+          }
+        }
+        ++pos_;
+      }
+    }
+    if (!at(pos_, ":")) {
+      cfg_.valid = false;
+      return;
+    }
+    ++pos_;
+    const int blk = add_block();
+    edge(sw->head, blk);
+    if (cur_ >= 0) edge(cur_, blk);  // fallthrough from the previous case
+    if (is_default) sw->has_default = true;
+    cur_ = blk;
+  }
+
+  void parse_try(std::size_t end) {
+    const int before = live();
+    ++pos_;
+    if (!at(pos_, "{")) {
+      cfg_.valid = false;
+      return;
+    }
+    const std::size_t close = match(pos_);
+    if (!cfg_.valid) return;
+    ++pos_;
+    parse_seq(close);
+    if (!cfg_.valid) return;
+    pos_ = close + 1;
+    const int body_end = cur_;
+    const int join = add_block();
+    if (body_end >= 0) edge(body_end, join);
+    while (at_kw(pos_, "catch")) {
+      ++pos_;
+      std::size_t open = 0, cl = 0;
+      if (!control_parens(open, cl)) return;
+      pos_ = cl + 1;
+      const int handler = add_block();
+      edge(before, handler);  // approximation: the throw site is unknown
+      cur_ = handler;
+      parse_stmt(end);
+      if (!cfg_.valid) return;
+      if (cur_ >= 0) edge(cur_, join);
+    }
+    cur_ = join;
+  }
+
+  const std::vector<Token>& toks_;
+  Cfg& cfg_;
+  std::size_t pos_ = 0;
+  int cur_ = -1;
+  std::vector<Frame> frames_;
+  std::vector<int> loop_stack_;
+  std::map<std::string, int> labels_;
+  std::vector<std::pair<std::string, int>> pending_gotos_;
+};
+
+// ---------------------------------------------------------------------------
+// Function discovery: the same signature shape check_scopes recognizes, plus
+// operator overloads, with the follower region (const/noexcept/trailing
+// return/ctor-init) walked to the body brace.
+// ---------------------------------------------------------------------------
+
+bool plausible_fn_name(const std::vector<Token>& toks, std::size_t i) {
+  if (!is_ident(toks[i]) || is_keyword(toks[i].text)) return false;
+  if (i > 0) {
+    const Token& p = toks[i - 1];
+    if (p.kind == TokKind::kPunct && (p.text == "." || p.text == "->")) return false;
+    if (is_ident(p) && (p.text == "new" || p.text == "delete" || p.text == "return" ||
+                        p.text == "case" || p.text == "goto" || p.text == "using")) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void parse_params(const std::vector<Token>& toks, std::size_t open, std::size_t close,
+                  Cfg& cfg) {
+  std::size_t b = open + 1;
+  int depth = 0;
+  int angle = 0;
+  for (std::size_t i = open + 1; i <= close; ++i) {
+    const Token& t = toks[i];
+    const bool at_end = i == close;
+    bool split = at_end;
+    if (!at_end && t.kind == TokKind::kPunct) {
+      if (t.text == "(" || t.text == "[" || t.text == "{") {
+        ++depth;
+      } else if (t.text == ")" || t.text == "]" || t.text == "}") {
+        --depth;
+      } else if (t.text == "<") {
+        ++angle;
+      } else if (t.text == ">" && angle > 0) {
+        --angle;
+      } else if (t.text == "," && depth == 0 && angle == 0) {
+        split = true;
+      }
+    }
+    if (!split) continue;
+    if (i > b) {
+      Param p;
+      const std::size_t eq = [&] {
+        int d = 0, a = 0;
+        for (std::size_t j = b; j < i; ++j) {
+          const Token& u = toks[j];
+          if (u.kind != TokKind::kPunct) continue;
+          if (u.text == "(" || u.text == "[" || u.text == "{") ++d;
+          else if (u.text == ")" || u.text == "]" || u.text == "}") --d;
+          else if (u.text == "<") ++a;
+          else if (u.text == ">" && a > 0) --a;
+          else if (u.text == "=" && d == 0 && a == 0) return j;
+        }
+        return i;
+      }();
+      int d2 = 0, a2 = 0;
+      std::size_t name_pos = eq;  // sentinel: none found
+      bool leading_const = false;
+      bool seen_type = false;
+      for (std::size_t j = b; j < eq; ++j) {
+        const Token& u = toks[j];
+        if (u.kind == TokKind::kPunct) {
+          if (u.text == "(" || u.text == "[" || u.text == "{") {
+            ++d2;
+            if (u.text == "(") p.fn_like = true;
+            if (u.text == "[" && a2 == 0) p.pointer = true;  // `T buf[N]` decays
+          } else if (u.text == ")" || u.text == "]" || u.text == "}") {
+            --d2;
+          } else if (u.text == "<") {
+            ++a2;
+          } else if (u.text == ">" && a2 > 0) {
+            --a2;
+          } else if (u.text == "*" && a2 == 0) {
+            p.pointer = true;
+          } else if (u.text == "&" && a2 == 0) {
+            p.reference = true;
+          }
+          continue;
+        }
+        if (!is_ident(u) || a2 != 0 || d2 != 0) continue;
+        if (u.text == "const") {
+          if (!seen_type) leading_const = true;
+          p.type.push_back(u.text);
+          continue;
+        }
+        if (u.text == "SPARTA_RESTRICT" || u.text == "__restrict" ||
+            u.text == "__restrict__") {
+          p.restrict_ = true;
+          continue;
+        }
+        if (u.text == "function") p.fn_like = true;
+        seen_type = true;
+        name_pos = j;  // last top-level identifier before '=' is the name
+      }
+      if (name_pos >= eq && p.fn_like) {
+        // Function-pointer declarator: the name sits inside parens at depth
+        // 1, e.g. `void (*fn)(int)`.
+        for (std::size_t j = b + 1; j < eq; ++j) {
+          if (is_ident(toks[j]) && !is_keyword(toks[j].text) &&
+              toks[j - 1].kind == TokKind::kPunct &&
+              (toks[j - 1].text == "*" || toks[j - 1].text == "&")) {
+            name_pos = j;
+            p.pointer = true;
+            break;
+          }
+        }
+      }
+      if (name_pos < eq) {
+        p.name = toks[name_pos].text;
+        for (std::size_t j = b; j < eq; ++j) {
+          if (j != name_pos && is_ident(toks[j]) && toks[j].text != "SPARTA_RESTRICT") {
+            if (j < name_pos || p.fn_like) p.type.push_back(toks[j].text);
+          }
+        }
+        p.const_object = leading_const && !p.pointer;
+        cfg.params.push_back(std::move(p));
+      }
+    }
+    b = i + 1;
+  }
+}
+
+/// Walk from the ')' of the parameter list to the body '{'. Returns the
+/// index of the body brace, or 0 when this is a declaration (or `= default`
+/// etc.) with no body.
+std::size_t find_body(const std::vector<Token>& toks, std::size_t close) {
+  std::size_t i = close + 1;
+  const std::size_t n = toks.size();
+  bool in_ctor_init = false;
+  while (i < n) {
+    const Token& t = toks[i];
+    if (t.kind == TokKind::kPunct) {
+      if (t.text == ";") return 0;
+      if (t.text == "{") {
+        if (in_ctor_init && i > 0 &&
+            (is_ident(toks[i - 1]) || is_punct(toks[i - 1], ">"))) {
+          // `b_{y}` member brace-init inside the ctor-init list.
+          const std::size_t m = match_group(toks, i);
+          if (m >= n) return 0;
+          i = m + 1;
+          continue;
+        }
+        return i;
+      }
+      if (t.text == "(") {
+        const std::size_t m = match_group(toks, i);
+        if (m >= n) return 0;
+        i = m + 1;
+        continue;
+      }
+      if (t.text == ":") {
+        in_ctor_init = true;
+        ++i;
+        continue;
+      }
+      if (t.text == "=") {
+        // `= default;` / `= delete;` / `= 0;` — no body follows.
+        return 0;
+      }
+      ++i;
+      continue;
+    }
+    if (is_ident(t)) {
+      if (t.text == "try") return 0;  // function-try-block: skip, too rare
+      // const / noexcept / override / final / requires / -> return type
+      // tokens, member initializer names: all simply consumed.
+      ++i;
+      continue;
+    }
+    ++i;  // numbers/strings inside a trailing return or requires clause
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::vector<Cfg> build_cfgs(const LexedFile& file) {
+  const std::vector<Token>& toks = file.tokens;
+  const std::size_t n = toks.size();
+  std::vector<Cfg> out;
+
+  // Token index -> a preprocessor conditional directive sits right before it.
+  std::vector<std::size_t> cond_directive_tok;
+  for (const Directive& d : file.directives) {
+    if (d.text.rfind("#if", 0) == 0 || d.text.rfind("#el", 0) == 0 ||
+        d.text.rfind("#endif", 0) == 0) {
+      cond_directive_tok.push_back(d.tok);
+    }
+  }
+  const auto has_cond_directive = [&](std::size_t lo, std::size_t hi) {
+    for (const std::size_t t : cond_directive_tok) {
+      if (t > lo && t <= hi) return true;
+    }
+    return false;
+  };
+
+  bool saw_assign = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Token& t = toks[i];
+    if (t.kind == TokKind::kPunct) {
+      if (t.text == ";" || t.text == "{" || t.text == "}") saw_assign = false;
+      if (t.text == "=" && !(i + 1 < n && is_punct(toks[i + 1], "=")) &&
+          !(i > 0 && toks[i - 1].kind == TokKind::kPunct &&
+            (toks[i - 1].text == "=" || toks[i - 1].text == "!" ||
+             toks[i - 1].text == "<" || toks[i - 1].text == ">"))) {
+        saw_assign = true;
+      }
+      continue;
+    }
+    if (!is_ident(t)) continue;
+    if (t.text == "template" && i + 1 < n && is_punct(toks[i + 1], "<")) {
+      // Skip the template header so its parameter list cannot look like a
+      // signature.
+      int angle = 0;
+      std::size_t j = i + 1;
+      for (; j < n; ++j) {
+        if (toks[j].kind != TokKind::kPunct) continue;
+        if (toks[j].text == "<") ++angle;
+        else if (toks[j].text == ">" && --angle == 0) break;
+        else if (toks[j].text == ";" || toks[j].text == "{") break;
+      }
+      i = j;
+      continue;
+    }
+
+    std::size_t name_pos = 0;
+    std::size_t open = 0;
+    if (t.text == "operator") {
+      std::size_t j = i + 1;
+      if (j + 2 < n && is_punct(toks[j], "(") && is_punct(toks[j + 1], ")")) {
+        j += 2;  // operator()
+      } else {
+        while (j < n && j - i <= 6 && !is_punct(toks[j], "(")) ++j;
+      }
+      if (j < n && is_punct(toks[j], "(")) {
+        name_pos = i;
+        open = j;
+      }
+    } else if (!saw_assign && i + 1 < n && is_punct(toks[i + 1], "(") &&
+               plausible_fn_name(toks, i)) {
+      name_pos = i;
+      open = i + 1;
+    }
+    if (open == 0) continue;
+
+    const std::size_t close = match_group(toks, open);
+    if (close >= n) continue;
+    const std::size_t body = find_body(toks, close);
+    if (body == 0) {
+      i = close;
+      continue;
+    }
+    const std::size_t body_close = match_group(toks, body);
+    if (body_close >= n) continue;
+
+    Cfg cfg;
+    cfg.name = toks[name_pos].text;
+    cfg.line = toks[name_pos].line;
+    cfg.body_begin = body + 1;
+    cfg.body_end = body_close;
+    parse_params(toks, open, close, cfg);
+    if (has_cond_directive(body, body_close)) {
+      cfg.valid = false;
+      cfg.blocks.resize(2);
+    } else {
+      FnBuilder{toks, cfg}.build();
+      if (!cfg.valid && cfg.blocks.size() < 2) cfg.blocks.resize(2);
+    }
+    out.push_back(std::move(cfg));
+    i = body_close;
+    saw_assign = false;
+  }
+  return out;
+}
+
+}  // namespace sparta::analyze

@@ -1,0 +1,95 @@
+// Per-function control-flow graphs for sparta_analyze (DESIGN.md §15).
+//
+// build_cfgs() finds every function definition in a lexed file using the
+// same namespace/class-scope signature recognition check_scopes relies on,
+// then parses each body into basic blocks over the token stream. The parser
+// is statement-level: if/else, for (classic and range), while, do, switch
+// with fallthrough, break/continue/return/goto/labels, and the top-level
+// ternary operator produce edges; lambda bodies, braced initializers, and
+// local type definitions are swallowed into the statement that contains
+// them (their tokens stay visible to def/use extraction, not to control
+// flow). A function whose body the parser cannot follow — preprocessor
+// conditionals splitting the token stream, unexpected keywords, unbalanced
+// nesting — yields `valid = false` and is skipped by every dataflow rule
+// rather than analyzed wrong: the self-host gates run at zero suppressions,
+// so the CFG layer prefers silence to guessing.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "tokenizer.hpp"
+
+namespace sparta::analyze {
+
+/// One statement inside a basic block: a half-open token range [begin, end)
+/// into LexedFile::tokens. Terminators (';') are excluded from the range.
+struct CfgStmt {
+  enum class Kind {
+    kPlain,     // expression statement, declaration, for-init/increment
+    kCond,      // branch condition (if/while/for/do/switch head)
+    kRangeFor,  // `decl : expr` header of a range-for
+    kReturn,    // return/throw/co_return expression
+  };
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  int line = 0;
+  Kind kind = Kind::kPlain;
+};
+
+struct BasicBlock {
+  std::vector<CfgStmt> stmts;
+  std::vector<int> succ;
+  std::vector<int> pred;
+  int loop = -1;  // innermost enclosing CfgLoop index, -1 at top level
+};
+
+/// A lexical loop (for/while/do). Token ranges let the rules scan a loop's
+/// condition/increment/body without re-walking the block graph.
+struct CfgLoop {
+  int parent = -1;       // enclosing loop index, -1 if top-level
+  int depth = 1;         // 1 = outermost
+  int line = 0;          // line of the loop keyword
+  bool innermost = true; // no lexically nested loop inside
+  std::size_t kw = 0;    // token index of the for/while/do keyword
+  // Half-open token ranges; empty (begin == end) when absent.
+  std::size_t init_begin = 0, init_end = 0;  // for-init
+  std::size_t cond_begin = 0, cond_end = 0;  // condition (or range-for header)
+  std::size_t inc_begin = 0, inc_end = 0;    // for-increment
+  std::size_t body_begin = 0, body_end = 0;  // body statement(s)
+  std::size_t span_begin = 0, span_end = 0;  // keyword through end of loop
+};
+
+/// A parameter of the analyzed function, as far as the declarator grammar
+/// reveals it. `const_object` means the parameter itself is immutable
+/// (`const T` by value or `const T&`), not merely a pointer-to-const.
+struct Param {
+  std::string name;
+  std::vector<std::string> type;  // specifier/type tokens, declarators excluded
+  bool pointer = false;
+  bool reference = false;
+  bool const_object = false;
+  bool restrict_ = false;
+  bool fn_like = false;  // function pointer or std::function-ish type
+};
+
+struct Cfg {
+  std::string name;
+  int line = 0;  // line of the function name token
+  bool valid = true;
+  int entry = 0;
+  int exit = 1;
+  std::size_t body_begin = 0;  // first token inside the body braces
+  std::size_t body_end = 0;    // token index of the closing '}'
+  std::vector<BasicBlock> blocks;
+  std::vector<CfgLoop> loops;
+  std::vector<Param> params;
+};
+
+/// Extract every function definition in `file` and build its CFG. Functions
+/// whose bodies defeat the parser come back with valid == false so callers
+/// can count them but must not analyze them.
+std::vector<Cfg> build_cfgs(const LexedFile& file);
+
+}  // namespace sparta::analyze

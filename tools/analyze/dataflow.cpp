@@ -1,0 +1,927 @@
+#include "dataflow.hpp"
+
+#include <array>
+#include <cctype>
+
+namespace sparta::analyze {
+
+namespace {
+
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+bool is_ident(const Token& t) { return t.kind == TokKind::kIdent; }
+bool is_punct(const Token& t, const char* text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+
+bool word_in(const std::string& s, std::initializer_list<const char*> set) {
+  for (const char* w : set) {
+    if (s == w) return true;
+  }
+  return false;
+}
+
+bool is_keyword(const std::string& s) {
+  return word_in(
+      s, {"if",       "else",     "for",       "while",    "do",       "switch",
+          "case",     "default",  "break",     "continue", "return",   "goto",
+          "new",      "delete",   "sizeof",    "alignof",  "co_return","co_await",
+          "co_yield", "throw",    "try",       "catch",    "const",    "constexpr",
+          "consteval","constinit","static",    "volatile", "mutable",  "register",
+          "inline",   "typename", "template",  "using",    "typedef",  "namespace",
+          "struct",   "class",    "enum",      "union",    "operator", "this",
+          "true",     "false",    "nullptr",   "void",     "auto",     "int",
+          "unsigned", "signed",   "short",     "long",     "char",     "bool",
+          "float",    "double",   "noexcept",  "decltype", "static_assert",
+          "public",   "private",  "protected", "friend",   "extern",   "thread_local"});
+}
+
+bool is_spec(const std::string& s) {
+  return word_in(s, {"const", "constexpr", "consteval", "constinit", "static",
+                     "volatile", "mutable", "register", "thread_local", "inline",
+                     "extern", "typename"});
+}
+
+bool is_builtin_type(const std::string& s) {
+  return word_in(s, {"void", "bool", "char", "wchar_t", "char8_t", "char16_t",
+                     "char32_t", "short", "int", "long", "signed", "unsigned",
+                     "float", "double", "auto"});
+}
+
+/// Arithmetic-ish type tokens: full uninit/dead-store tracking applies.
+bool is_scalar_type_token(const std::string& s) {
+  return word_in(s, {"int",      "unsigned", "signed",    "short",    "long",
+                     "char",     "bool",     "float",     "double",   "size_t",
+                     "ptrdiff_t","index_t",  "offset_t",  "value_t",  "int8_t",
+                     "int16_t",  "int32_t",  "int64_t",   "uint8_t",  "uint16_t",
+                     "uint32_t", "uint64_t", "intptr_t",  "uintptr_t"});
+}
+
+/// Names that take call syntax without writing their bare arguments.
+bool is_cast_name(const std::string& s) {
+  return word_in(s, {"static_cast", "dynamic_cast", "const_cast",
+                     "reinterpret_cast"}) ||
+         is_scalar_type_token(s);
+}
+
+std::size_t back_match_bracket(const std::vector<Token>& toks, std::size_t close,
+                               std::size_t lo) {
+  int depth = 0;
+  for (std::size_t j = close + 1; j-- > lo;) {
+    if (toks[j].kind != TokKind::kPunct) continue;
+    if (toks[j].text == "]") {
+      ++depth;
+    } else if (toks[j].text == "[") {
+      if (--depth == 0) return j;
+    }
+  }
+  return kNpos;
+}
+
+std::size_t fwd_match(const std::vector<Token>& toks, std::size_t open,
+                      std::size_t hi) {
+  const std::string& o = toks[open].text;
+  const char* close = o == "(" ? ")" : o == "[" ? "]" : "}";
+  int depth = 0;
+  for (std::size_t i = open; i < hi; ++i) {
+    if (toks[i].kind != TokKind::kPunct) continue;
+    if (toks[i].text == o) {
+      ++depth;
+    } else if (toks[i].text == close) {
+      if (--depth == 0) return i;
+    }
+  }
+  return kNpos;
+}
+
+struct Lvalue {
+  std::size_t root = kNpos;
+  bool plain = true;
+};
+
+/// Walk left from `j` (the last token of an lvalue) to its root identifier.
+Lvalue walk_lvalue(const std::vector<Token>& toks, std::size_t j, std::size_t lo) {
+  Lvalue lv;
+  while (j != kNpos && j >= lo && j < toks.size()) {
+    const Token& t = toks[j];
+    if (is_punct(t, "]")) {
+      const std::size_t open = back_match_bracket(toks, j, lo);
+      if (open == kNpos || open == lo) return {};
+      lv.plain = false;
+      j = open - 1;
+      continue;
+    }
+    if (is_ident(t)) {
+      if (is_keyword(t.text)) return {};
+      if (j > lo && toks[j - 1].kind == TokKind::kPunct) {
+        const std::string& p = toks[j - 1].text;
+        if (p == "::") return {};  // static/global member: out of scope here
+        if (p == "." || p == "->") {
+          lv.plain = false;
+          if (j < lo + 2) return {};
+          j -= 2;
+          continue;
+        }
+      }
+      lv.root = j;
+      return lv;
+    }
+    return {};
+  }
+  return {};
+}
+
+struct LambdaRange {
+  std::size_t intro = 0;      // '['
+  std::size_t cap_end = 0;    // matching ']'
+  std::size_t body_begin = 0; // first token inside '{'
+  std::size_t body_end = 0;   // the closing '}'
+  bool by_ref = false;
+};
+
+std::vector<LambdaRange> find_lambdas(const std::vector<Token>& toks, std::size_t b,
+                                      std::size_t e) {
+  std::vector<LambdaRange> out;
+  for (std::size_t i = b; i < e; ++i) {
+    if (!is_punct(toks[i], "[")) continue;
+    if (i + 1 < e && is_punct(toks[i + 1], "[")) {
+      // [[attribute]]
+      const std::size_t m = fwd_match(toks, i, e);
+      if (m == kNpos) return out;
+      i = m;
+      continue;
+    }
+    bool intro_pos = i == b;
+    if (!intro_pos && toks[i - 1].kind == TokKind::kPunct) {
+      intro_pos = word_in(toks[i - 1].text,
+                          {"(", ",", "=", "{", "?", ":", ";", "<", "&"});
+    }
+    if (!intro_pos && is_ident(toks[i - 1]) &&
+        word_in(toks[i - 1].text, {"return", "co_return"})) {
+      intro_pos = true;
+    }
+    if (!intro_pos) continue;
+    const std::size_t cap_end = fwd_match(toks, i, e);
+    if (cap_end == kNpos) continue;
+    std::size_t j = cap_end + 1;
+    if (j < e && is_punct(toks[j], "(")) {
+      const std::size_t m = fwd_match(toks, j, e);
+      if (m == kNpos) continue;
+      j = m + 1;
+    }
+    // Specifiers / trailing return before the body, bounded.
+    std::size_t guard = 0;
+    while (j < e && guard++ < 16 && !is_punct(toks[j], "{")) {
+      if (is_punct(toks[j], "(")) {
+        const std::size_t m = fwd_match(toks, j, e);
+        if (m == kNpos) break;
+        j = m + 1;
+      } else if (is_punct(toks[j], ";") || is_punct(toks[j], ")") ||
+                 is_punct(toks[j], ",")) {
+        break;
+      } else {
+        ++j;
+      }
+    }
+    if (j >= e || !is_punct(toks[j], "{")) continue;
+    const std::size_t body_close = fwd_match(toks, j, e);
+    if (body_close == kNpos) continue;
+    LambdaRange lr{i, cap_end, j + 1, body_close, false};
+    for (std::size_t k = i + 1; k < cap_end; ++k) {
+      if (is_punct(toks[k], "&")) lr.by_ref = true;
+    }
+    out.push_back(lr);
+    i = body_close;  // nested lambdas fold into the outer range
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Declaration recognition.
+// ---------------------------------------------------------------------------
+
+struct Declarator {
+  std::string name;
+  bool pointer = false;
+  bool reference = false;
+  bool array = false;
+  bool restrict_ = false;
+  bool const_declarator = false;  // `T* const p`
+  bool has_init = false;
+  std::size_t init_begin = 0, init_end = 0;
+  char init_style = 0;  // '=', '(', '{', or 0
+};
+
+struct DeclParse {
+  std::vector<std::string> type;
+  bool is_static = false;
+  bool is_volatile = false;
+  bool leading_const = false;
+  bool is_auto = false;
+  std::vector<Declarator> decls;
+};
+
+/// Balanced template-argument scan with a type-like content filter; returns
+/// the index after the closing '>', or kNpos when this is not a template
+/// argument list (e.g. a comparison).
+std::size_t scan_template_args(const std::vector<Token>& toks, std::size_t lt,
+                               std::size_t e) {
+  int depth = 0;
+  for (std::size_t i = lt; i < e; ++i) {
+    const Token& t = toks[i];
+    if (t.kind == TokKind::kPunct) {
+      if (t.text == "<") {
+        ++depth;
+      } else if (t.text == ">") {
+        if (--depth == 0) return i + 1;
+      } else if (!word_in(t.text, {"::", ",", "*", "&", "(", ")", "[", "]"})) {
+        return kNpos;
+      }
+    } else if (t.kind == TokKind::kString || t.kind == TokKind::kChar) {
+      return kNpos;
+    }
+  }
+  return kNpos;
+}
+
+bool try_decl(const std::vector<Token>& toks, std::size_t b, std::size_t e,
+              DeclParse& out) {
+  std::size_t i = b;
+  while (i < e && is_punct(toks[i], "[") && i + 1 < e && is_punct(toks[i + 1], "[")) {
+    const std::size_t m = fwd_match(toks, i, e);  // [[attribute]]
+    if (m == kNpos) return false;
+    i = m + 1;
+  }
+  while (i < e && is_ident(toks[i]) && is_spec(toks[i].text)) {
+    const std::string& s = toks[i].text;
+    if (s == "static" || s == "extern") out.is_static = true;
+    if (s == "thread_local") out.is_static = true;
+    if (s == "volatile") out.is_volatile = true;
+    if (s == "const" || s == "constexpr" || s == "constinit") out.leading_const = true;
+    out.type.push_back(s);
+    ++i;
+  }
+  if (i >= e) return false;
+  if (is_punct(toks[i], "::")) ++i;
+  if (!is_ident(toks[i])) return false;
+  if (is_builtin_type(toks[i].text)) {
+    if (toks[i].text == "auto") out.is_auto = true;
+    while (i < e && is_ident(toks[i]) && is_builtin_type(toks[i].text)) {
+      out.type.push_back(toks[i].text);
+      ++i;
+    }
+  } else {
+    if (is_keyword(toks[i].text)) return false;
+    out.type.push_back(toks[i].text);
+    ++i;
+    while (i + 1 < e && is_punct(toks[i], "::") && is_ident(toks[i + 1])) {
+      out.type.push_back(toks[i + 1].text);
+      i += 2;
+    }
+  }
+  if (i < e && is_punct(toks[i], "<")) {
+    const std::size_t after = scan_template_args(toks, i, e);
+    if (after == kNpos) return false;
+    // Template arguments are deliberately NOT part of the recorded type:
+    // `std::vector<index_t>` is a container, not an index_t, so the element
+    // type must not drag the variable into scalar tracking or the
+    // narrow-integer set.
+    i = after;
+  }
+  while (i < e && is_ident(toks[i]) && toks[i].text == "const") {
+    out.leading_const = true;  // east const
+    out.type.push_back("const");
+    ++i;
+  }
+
+  // Structured binding: `auto [a, b] = expr;`
+  if (out.is_auto && i < e && is_punct(toks[i], "[") &&
+      !(i + 1 < e && is_punct(toks[i + 1], "["))) {
+    const std::size_t close = fwd_match(toks, i, e);
+    if (close == kNpos) return false;
+    std::size_t eq = close + 1;
+    if (eq >= e || !is_punct(toks[eq], "=")) return false;
+    for (std::size_t j = i + 1; j < close; ++j) {
+      if (!is_ident(toks[j])) continue;
+      Declarator d;
+      d.name = toks[j].text;
+      d.has_init = true;
+      d.init_begin = eq + 1;
+      d.init_end = e;
+      d.init_style = '=';
+      out.decls.push_back(std::move(d));
+    }
+    return !out.decls.empty();
+  }
+
+  while (true) {
+    Declarator d;
+    while (i < e && (toks[i].kind == TokKind::kPunct || is_ident(toks[i]))) {
+      const std::string& s = toks[i].text;
+      if (is_punct(toks[i], "*")) {
+        d.pointer = true;
+      } else if (is_punct(toks[i], "&")) {
+        d.reference = true;
+      } else if (s == "const" || s == "volatile") {
+        if (d.pointer) d.const_declarator = true;
+        if (s == "volatile") out.is_volatile = true;
+      } else if (s == "SPARTA_RESTRICT" || s == "__restrict" || s == "__restrict__") {
+        d.restrict_ = true;
+      } else {
+        break;
+      }
+      ++i;
+    }
+    if (i >= e || !is_ident(toks[i]) || is_keyword(toks[i].text)) return false;
+    d.name = toks[i].text;
+    ++i;
+    while (i < e && is_punct(toks[i], "[")) {
+      const std::size_t m = fwd_match(toks, i, e);
+      if (m == kNpos) return false;
+      d.array = true;
+      i = m + 1;
+    }
+    if (i < e && (is_punct(toks[i], "=") || is_punct(toks[i], "(") ||
+                  is_punct(toks[i], "{"))) {
+      d.has_init = true;
+      if (is_punct(toks[i], "=")) {
+        d.init_style = '=';
+        d.init_begin = i + 1;
+        int depth = 0;
+        std::size_t j = i + 1;
+        for (; j < e; ++j) {
+          const Token& t = toks[j];
+          if (t.kind != TokKind::kPunct) continue;
+          if (t.text == "(" || t.text == "[" || t.text == "{") {
+            ++depth;
+          } else if (t.text == ")" || t.text == "]" || t.text == "}") {
+            --depth;
+          } else if (t.text == "," && depth == 0) {
+            break;
+          }
+        }
+        d.init_end = j;
+        i = j;
+      } else {
+        d.init_style = toks[i].text[0];
+        const std::size_t m = fwd_match(toks, i, e);
+        if (m == kNpos) return false;
+        d.init_begin = i + 1;
+        d.init_end = m;
+        i = m + 1;
+      }
+    }
+    out.decls.push_back(std::move(d));
+    if (i < e && is_punct(toks[i], ",")) {
+      ++i;
+      continue;
+    }
+    return i >= e;  // the whole statement must be consumed
+  }
+}
+
+bool trivial_init_range(const std::vector<Token>& toks, std::size_t b, std::size_t e) {
+  const std::size_t n = e - b;
+  if (n == 0) return true;  // `{}` / `()`
+  if (n == 1) {
+    return toks[b].kind == TokKind::kNumber || toks[b].kind == TokKind::kString ||
+           toks[b].kind == TokKind::kChar ||
+           (is_ident(toks[b]) && (toks[b].text == "true" || toks[b].text == "false" ||
+                                  toks[b].text == "nullptr" || !is_keyword(toks[b].text)));
+  }
+  if (n == 2 && is_punct(toks[b], "-") && toks[b + 1].kind == TokKind::kNumber) {
+    return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Statement scanner.
+// ---------------------------------------------------------------------------
+
+class FnScanner {
+ public:
+  FnScanner(const std::vector<Token>& toks, FnDataflow& fn,
+            const std::vector<LambdaRange>& lambdas)
+      : toks_(toks), fn_(fn), lambdas_(lambdas) {}
+
+  void scan_stmt(StmtInfo& st) {
+    st_ = &st;
+    if (st.kind == CfgStmt::Kind::kRangeFor) {
+      scan_range_for(st.begin, st.end);
+      return;
+    }
+    if (st.kind == CfgStmt::Kind::kReturn) {
+      // Skip the return/throw keyword itself.
+      scan_expr(st.begin + 1 < st.end ? st.begin + 1 : st.end, st.end);
+      return;
+    }
+    DeclParse dp;
+    if (st.kind == CfgStmt::Kind::kPlain && try_decl(toks_, st.begin, st.end, dp)) {
+      apply_decl(dp);
+      return;
+    }
+    scan_expr(st.begin, st.end);
+  }
+
+ private:
+  void register_var(VarInfo v) {
+    const auto [it, inserted] = fn_.vars.emplace(v.name, std::move(v));
+    // A name declared twice lives in sibling scopes the flat map cannot
+    // tell apart; merging their facts would be wrong, so stop tracking it.
+    if (!inserted) it->second.track = VarInfo::Track::kNone;
+  }
+
+  static bool scalar_type(const std::vector<std::string>& type) {
+    for (const std::string& t : type) {
+      if (is_scalar_type_token(t)) return true;
+    }
+    return false;
+  }
+
+  void apply_decl(const DeclParse& dp) {
+    for (const Declarator& d : dp.decls) {
+      VarInfo v;
+      v.name = d.name;
+      v.type = dp.type;
+      v.decl_line = st_->line;
+      v.pointer = d.pointer;
+      v.reference = d.reference;
+      v.const_object = (dp.leading_const && !d.pointer) || d.const_declarator;
+      v.restrict_ = d.restrict_;
+      for (const std::string& t : dp.type) {
+        if (t == "function") v.fn_like = true;
+      }
+      if (dp.is_static || dp.is_volatile || d.reference || d.array) {
+        v.track = VarInfo::Track::kNone;
+      } else if (dp.is_auto) {
+        v.track = VarInfo::Track::kDomain;
+      } else if (scalar_type(dp.type) || d.pointer) {
+        v.track = VarInfo::Track::kScalar;
+      }
+      register_var(std::move(v));
+
+      DeclInfo di;
+      di.name = d.name;
+      di.has_init = d.has_init;
+      if (d.has_init) {
+        di.init_begin = d.init_begin;
+        di.init_end = d.init_end;
+        di.trivial_init = trivial_init_range(toks_, d.init_begin, d.init_end);
+        st_->defs.insert(d.name);
+        st_->assigns.push_back({d.name, true, d.init_begin, d.init_end});
+        scan_expr(d.init_begin, d.init_end);
+        if (d.reference) {
+          // Conservatively treat every identifier in the initializer of a
+          // reference as escaped: the reference aliases one of them.
+          for (std::size_t j = d.init_begin; j < d.init_end; ++j) {
+            if (is_ident(toks_[j]) && !is_keyword(toks_[j].text)) {
+              fn_.escaped.insert(toks_[j].text);
+            }
+          }
+        }
+      }
+      st_->decls.push_back(std::move(di));
+    }
+  }
+
+  void scan_range_for(std::size_t b, std::size_t e) {
+    std::size_t colon = e;
+    int depth = 0;
+    for (std::size_t i = b; i < e; ++i) {
+      const Token& t = toks_[i];
+      if (t.kind != TokKind::kPunct) continue;
+      if (t.text == "(" || t.text == "[" || t.text == "{") {
+        ++depth;
+      } else if (t.text == ")" || t.text == "]" || t.text == "}") {
+        --depth;
+      } else if (t.text == ":" && depth == 0) {
+        colon = i;
+        break;
+      }
+    }
+    if (colon == e) {
+      scan_expr(b, e);
+      return;
+    }
+    bool by_ref = false;
+    std::vector<std::string> type;
+    std::vector<std::string> names;
+    for (std::size_t i = b; i < colon; ++i) {
+      if (is_punct(toks_[i], "&")) by_ref = true;
+      if (!is_ident(toks_[i]) || is_keyword(toks_[i].text)) continue;
+      if (word_in(toks_[i].text, {"SPARTA_RESTRICT", "__restrict"})) continue;
+      names.push_back(toks_[i].text);
+    }
+    // The last identifier (or all of them inside a structured binding) names
+    // the element variable; earlier ones are its type.
+    bool binding = false;
+    for (std::size_t i = b; i < colon; ++i) {
+      if (is_punct(toks_[i], "[")) binding = true;
+    }
+    if (!names.empty()) {
+      const std::size_t first_name = binding ? 0 : names.size() - 1;
+      for (std::size_t k = 0; k < first_name; ++k) type.push_back(names[k]);
+      for (std::size_t k = first_name; k < names.size(); ++k) {
+        VarInfo v;
+        v.name = names[k];
+        v.type = type;
+        v.decl_line = st_->line;
+        v.track = by_ref || binding ? VarInfo::Track::kNone : VarInfo::Track::kDomain;
+        register_var(std::move(v));
+        DeclInfo di;
+        di.name = names[k];
+        di.has_init = true;
+        di.trivial_init = true;  // the loop itself is the initializer
+        st_->decls.push_back(std::move(di));
+        st_->defs.insert(names[k]);
+      }
+    }
+    scan_expr(colon + 1, e);
+  }
+
+  const LambdaRange* lambda_at(std::size_t i) const {
+    for (const LambdaRange& lr : lambdas_) {
+      if (i == lr.intro) return &lr;
+    }
+    return nullptr;
+  }
+
+  /// Capture list + opaque body: identifiers are uses (and escapes when the
+  /// lambda captures by reference); defs inside the body stay local to it.
+  std::size_t scan_lambda(const LambdaRange& lr) {
+    for (std::size_t i = lr.intro + 1; i < lr.cap_end; ++i) {
+      if (!is_ident(toks_[i]) || is_keyword(toks_[i].text)) continue;
+      st_->uses.insert(toks_[i].text);
+      if (i > lr.intro && is_punct(toks_[i - 1], "&")) {
+        fn_.escaped.insert(toks_[i].text);
+      } else {
+        st_->reads.insert(toks_[i].text);  // by-value capture copies now
+      }
+    }
+    for (std::size_t i = lr.body_begin; i < lr.body_end; ++i) {
+      if (!is_ident(toks_[i]) || is_keyword(toks_[i].text)) continue;
+      if (i > 0 && toks_[i - 1].kind == TokKind::kPunct &&
+          (toks_[i - 1].text == "." || toks_[i - 1].text == "->" ||
+           toks_[i - 1].text == "::")) {
+        continue;
+      }
+      st_->uses.insert(toks_[i].text);
+      if (lr.by_ref) fn_.escaped.insert(toks_[i].text);
+    }
+    return lr.body_end;  // caller resumes after the closing '}'
+  }
+
+  void scan_expr(std::size_t b, std::size_t e) {
+    if (b >= e) return;
+    std::set<std::size_t> plain_def_pos;
+    std::set<std::size_t> weak_pos;
+
+    // Pass A: operators — assignments, increments, stream extraction,
+    // receiver method calls.
+    for (std::size_t i = b; i < e; ++i) {
+      const Token& t = toks_[i];
+      if (const LambdaRange* lr = lambda_at(i)) {
+        i = lr->body_end;
+        continue;
+      }
+      if (t.kind != TokKind::kPunct) continue;
+      const std::string& s = t.text;
+      if (s == "=") {
+        if (i + 1 < e && is_punct(toks_[i + 1], "=")) continue;
+        std::string prev = i > b ? toks_[i - 1].text : "";
+        if (i > b && toks_[i - 1].kind != TokKind::kPunct) prev = "";
+        if (word_in(prev, {"=", "!", "<", ">"})) continue;
+        const bool compound =
+            word_in(prev, {"+", "-", "*", "/", "%", "&", "|", "^"});
+        if (compound && i < b + 2) continue;
+        const std::size_t lv_end = compound ? i - 2 : i - 1;
+        if (lv_end < b || lv_end == kNpos) continue;
+        const Lvalue lv = walk_lvalue(toks_, lv_end, b);
+        if (lv.root == kNpos) {
+          // `*p = ...` — store through a complex expression or deref chain.
+          continue;
+        }
+        const std::string root = toks_[lv.root].text;
+        const bool deref =
+            lv.plain && lv.root > b && is_punct(toks_[lv.root - 1], "*") &&
+            (lv.root < b + 2 || toks_[lv.root - 2].kind == TokKind::kPunct ||
+             is_keyword(toks_[lv.root - 2].text));
+        std::size_t rhs_end = e;
+        {
+          int depth = 0;
+          for (std::size_t j = i + 1; j < e; ++j) {
+            const Token& u = toks_[j];
+            if (u.kind != TokKind::kPunct) continue;
+            if (u.text == "(" || u.text == "[" || u.text == "{") {
+              ++depth;
+            } else if (u.text == ")" || u.text == "]" || u.text == "}") {
+              --depth;
+            } else if (u.text == "," && depth == 0) {
+              rhs_end = j;
+              break;
+            }
+          }
+        }
+        if (deref) {
+          st_->store_roots.insert(root);
+        } else if (lv.plain) {
+          st_->defs.insert(root);
+          if (!compound) plain_def_pos.insert(lv.root);
+          if (!compound) st_->assigns.push_back({root, true, i + 1, rhs_end});
+        } else {
+          st_->store_roots.insert(root);
+        }
+      } else if ((s == "+" || s == "-") && i + 1 < e && is_punct(toks_[i + 1], s.c_str())) {
+        // ++ / --
+        std::size_t target = kNpos;
+        if (i > b && (is_ident(toks_[i - 1]) || is_punct(toks_[i - 1], "]") ||
+                      is_punct(toks_[i - 1], ")"))) {
+          target = i - 1;  // postfix
+        } else if (i + 2 < e && is_ident(toks_[i + 2])) {
+          // prefix: find the end of the lvalue chain going right
+          std::size_t j = i + 2;
+          while (j + 1 < e) {
+            if (is_punct(toks_[j + 1], "[")) {
+              const std::size_t m = fwd_match(toks_, j + 1, e);
+              if (m == kNpos) break;
+              j = m;
+            } else if ((is_punct(toks_[j + 1], ".") || is_punct(toks_[j + 1], "->")) &&
+                       j + 2 < e && is_ident(toks_[j + 2])) {
+              j += 2;
+            } else {
+              break;
+            }
+          }
+          target = j;
+        }
+        if (target != kNpos) {
+          const Lvalue lv = walk_lvalue(toks_, target, b);
+          if (lv.root != kNpos) {
+            if (lv.plain) {
+              st_->defs.insert(toks_[lv.root].text);
+            } else {
+              st_->store_roots.insert(toks_[lv.root].text);
+            }
+          }
+        }
+        ++i;  // consume the second '+'/'-'
+      } else if (s == ">" && i + 2 < e && is_punct(toks_[i + 1], ">") &&
+                 is_ident(toks_[i + 2]) && !is_keyword(toks_[i + 2].text) && i > b &&
+                 (is_ident(toks_[i - 1]) || is_punct(toks_[i - 1], ")"))) {
+        // Stream extraction `stream >> var` writes its target.
+        st_->weak_defs.insert(toks_[i + 2].text);
+        weak_pos.insert(i + 2);
+        ++i;
+      } else if (s == "(" && i >= b + 2 && is_ident(toks_[i - 1]) &&
+                 (is_punct(toks_[i - 2], ".") || is_punct(toks_[i - 2], "->"))) {
+        // Method call: the receiver may be mutated unless const.
+        if (i >= b + 3) {
+          const Lvalue lv = walk_lvalue(toks_, i - 3, b);
+          if (lv.root != kNpos) st_->receiver_calls.insert(toks_[lv.root].text);
+        }
+      }
+    }
+
+    // Pass B: identifiers, with a paren stack classifying call arguments.
+    struct ParenCtx {
+      bool is_call = false;
+      bool is_cast = false;
+    };
+    std::vector<ParenCtx> parens;
+    for (std::size_t i = b; i < e; ++i) {
+      const Token& t = toks_[i];
+      if (const LambdaRange* lr = lambda_at(i)) {
+        i = scan_lambda(*lr);  // captures + body become uses/escapes
+        continue;
+      }
+      if (t.kind == TokKind::kPunct) {
+        if (t.text == "(") {
+          ParenCtx ctx;
+          if (i > b) {
+            const Token& p = toks_[i - 1];
+            if (is_ident(p) && !is_keyword(p.text)) {
+              ctx.is_call = true;
+              ctx.is_cast = is_cast_name(p.text);
+            } else if (is_punct(p, ")") || is_punct(p, "]")) {
+              ctx.is_call = true;
+            } else if (is_punct(p, ">")) {
+              ctx.is_call = true;
+              // `name<...>(args)`: find the name before the '<' to detect
+              // cast-like templates (static_cast already keyworded, but
+              // e.g. `index_t` functional casts come through here too).
+              const std::size_t lt = [&] {
+                int depth = 0;
+                for (std::size_t j = i; j-- > b;) {
+                  if (is_punct(toks_[j], ">")) ++depth;
+                  else if (is_punct(toks_[j], "<") && --depth == 0) return j;
+                }
+                return kNpos;
+              }();
+              if (lt != kNpos && lt > b && is_ident(toks_[lt - 1])) {
+                ctx.is_cast = is_cast_name(toks_[lt - 1].text);
+              }
+            }
+          }
+          parens.push_back(ctx);
+          continue;
+        }
+        if (t.text == ")") {
+          if (!parens.empty()) parens.pop_back();
+          continue;
+        }
+        continue;
+      }
+      if (!is_ident(t) || is_keyword(t.text)) continue;
+      if (i > b && toks_[i - 1].kind == TokKind::kPunct) {
+        const std::string& p = toks_[i - 1].text;
+        if (p == "." || p == "->" || p == "::") continue;  // member / qualified
+      }
+      if (i + 1 < e && is_punct(toks_[i + 1], "::")) continue;  // namespace head
+      if (plain_def_pos.count(i) != 0) continue;  // pure assignment target
+      const std::string& name = t.text;
+      st_->uses.insert(name);
+      if (i + 1 < e && is_punct(toks_[i + 1], "(")) {
+        if (fn_.vars.count(name) != 0) st_->fnptr_calls.insert(name);
+        continue;  // callee name, not a value read
+      }
+      if (weak_pos.count(i) != 0) continue;
+      if (i > b && is_punct(toks_[i - 1], "&")) {
+        // Unary address-of: handled by the global escape pass; `&` in a
+        // binary position (a & b) still reads.
+        const bool unary =
+            i < b + 2 ||
+            (toks_[i - 2].kind == TokKind::kPunct && !is_punct(toks_[i - 2], ")") &&
+             !is_punct(toks_[i - 2], "]")) ||
+            (is_ident(toks_[i - 2]) && is_keyword(toks_[i - 2].text));
+        if (unary) continue;
+      }
+      // Bare identifier in call-argument position: a maybe-write out-param.
+      if (!parens.empty() && parens.back().is_call && !parens.back().is_cast &&
+          i > b && toks_[i - 1].kind == TokKind::kPunct &&
+          (toks_[i - 1].text == "(" || toks_[i - 1].text == ",") && i + 1 < e &&
+          toks_[i + 1].kind == TokKind::kPunct &&
+          (toks_[i + 1].text == "," || toks_[i + 1].text == ")")) {
+        st_->weak_defs.insert(name);
+        continue;
+      }
+      st_->reads.insert(name);
+    }
+  }
+
+  const std::vector<Token>& toks_;
+  FnDataflow& fn_;
+  const std::vector<LambdaRange>& lambdas_;
+  StmtInfo* st_ = nullptr;
+};
+
+}  // namespace
+
+bool FnDataflow::uninit_decl(int stmt_id, const std::string& var) const {
+  const StmtInfo& st = stmts[static_cast<std::size_t>(stmt_id)];
+  for (const DeclInfo& d : st.decls) {
+    if (d.name == var) return !d.has_init;
+  }
+  return false;
+}
+
+bool FnDataflow::flow_tracked(const std::string& var) const {
+  const auto it = vars.find(var);
+  if (it == vars.end()) return false;
+  if (it->second.track != VarInfo::Track::kScalar) return false;
+  return escaped.count(var) == 0;
+}
+
+FnDataflow analyze_function(const LexedFile& file, const Cfg& cfg) {
+  FnDataflow fn;
+  fn.cfg = &cfg;
+  const std::vector<Token>& toks = file.tokens;
+
+  for (const Param& p : cfg.params) {
+    VarInfo v;
+    v.name = p.name;
+    v.type = p.type;
+    v.param = true;
+    v.pointer = p.pointer;
+    v.reference = p.reference;
+    v.const_object = p.const_object;
+    v.restrict_ = p.restrict_;
+    v.fn_like = p.fn_like;
+    bool scalar = p.pointer;
+    for (const std::string& t : p.type) {
+      if (is_scalar_type_token(t)) scalar = true;
+    }
+    v.track = !p.reference && scalar && !p.fn_like ? VarInfo::Track::kScalar
+                                                   : VarInfo::Track::kNone;
+    fn.vars.emplace(v.name, std::move(v));
+  }
+
+  const std::vector<LambdaRange> lambdas =
+      find_lambdas(toks, cfg.body_begin, cfg.body_end);
+  for (const LambdaRange& lr : lambdas) {
+    fn.lambda_spans.emplace_back(lr.intro, lr.body_end);
+  }
+
+  fn.block_stmts.resize(cfg.blocks.size());
+  FnScanner scanner{toks, fn, lambdas};
+  for (std::size_t bi = 0; bi < cfg.blocks.size(); ++bi) {
+    for (const CfgStmt& cs : cfg.blocks[bi].stmts) {
+      StmtInfo st;
+      st.block = static_cast<int>(bi);
+      st.begin = cs.begin;
+      st.end = cs.end;
+      st.line = cs.line;
+      st.kind = cs.kind;
+      scanner.scan_stmt(st);
+      fn.block_stmts[bi].push_back(static_cast<int>(fn.stmts.size()));
+      fn.stmts.push_back(std::move(st));
+    }
+  }
+
+  // Global escape pass: unary address-of anywhere in the body.
+  for (std::size_t i = cfg.body_begin; i + 1 < cfg.body_end; ++i) {
+    if (!is_punct(toks[i], "&") || !is_ident(toks[i + 1])) continue;
+    if (is_keyword(toks[i + 1].text)) continue;
+    if (i > cfg.body_begin && is_punct(toks[i - 1], "&")) continue;  // &&
+    if (i + 2 < cfg.body_end && is_punct(toks[i + 2], "&")) continue;  // a && b
+    bool unary = i == cfg.body_begin;
+    if (!unary) {
+      const Token& p = toks[i - 1];
+      if (p.kind == TokKind::kPunct) {
+        unary = !is_punct(p, ")") && !is_punct(p, "]");
+      } else if (is_ident(p)) {
+        unary = is_keyword(p.text) && !word_in(p.text, {"this", "true", "false"});
+      } else {
+        unary = false;
+      }
+    }
+    if (unary) fn.escaped.insert(toks[i + 1].text);
+  }
+
+  // OpenMP pragmas are directives, not tokens, so a variable used only in a
+  // clause — num_threads(n), if(cond), shared(x) — is invisible to the
+  // statement scanner. Treat every declared name appearing in a body
+  // directive as escaped: the pragma gives it uses the flow rules can't see.
+  for (const Directive& d : file.directives) {
+    if (d.tok < cfg.body_begin || d.tok >= cfg.body_end) continue;
+    std::string word;
+    for (std::size_t ci = 0; ci <= d.text.size(); ++ci) {
+      const char c = ci < d.text.size() ? d.text[ci] : ' ';
+      if (std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_') {
+        word.push_back(c);
+      } else if (!word.empty()) {
+        if (fn.vars.count(word) != 0) fn.escaped.insert(word);
+        word.clear();
+      }
+    }
+  }
+
+  // Reaching definitions (forward): var -> set of def statement ids.
+  using Reach = std::map<std::string, std::set<int>>;
+  const auto reach = solve_dataflow<Reach>(
+      cfg, DfDir::kForward, Reach{},
+      [&fn](int b, const Reach& in) {
+        Reach s = in;
+        for (const int sid : fn.block_stmts[static_cast<std::size_t>(b)]) {
+          const StmtInfo& st = fn.stmts[static_cast<std::size_t>(sid)];
+          for (const std::string& v : st.weak_defs) s[v].insert(sid);
+          for (const DeclInfo& d : st.decls) {
+            if (!d.has_init) s[d.name] = {sid};
+          }
+          for (const std::string& v : st.defs) s[v] = {sid};
+        }
+        return s;
+      },
+      [](const Reach& a, const Reach& b) {
+        Reach m = a;
+        for (const auto& [v, ids] : b) m[v].insert(ids.begin(), ids.end());
+        return m;
+      });
+  fn.reach_in = reach.before;
+
+  // Liveness (backward).
+  using Live = std::set<std::string>;
+  const auto live = solve_dataflow<Live>(
+      cfg, DfDir::kBackward, Live{},
+      [&fn](int b, const Live& out) {
+        Live s = out;
+        const std::vector<int>& ids = fn.block_stmts[static_cast<std::size_t>(b)];
+        for (std::size_t k = ids.size(); k-- > 0;) {
+          const StmtInfo& st = fn.stmts[static_cast<std::size_t>(ids[k])];
+          for (const std::string& v : st.defs) s.erase(v);
+          for (const DeclInfo& d : st.decls) s.erase(d.name);
+          for (const std::string& v : st.uses) s.insert(v);
+        }
+        return s;
+      },
+      [](const Live& a, const Live& b) {
+        Live m = a;
+        m.insert(b.begin(), b.end());
+        return m;
+      });
+  fn.live_out = live.after;
+
+  return fn;
+}
+
+}  // namespace sparta::analyze

@@ -1,0 +1,158 @@
+// Worklist dataflow over sparta_analyze CFGs (DESIGN.md §15).
+//
+// analyze_function() extracts per-statement def/use facts from the token
+// stream (assignments, compound assignments, increments, declarations,
+// address-taken escapes, bare variables in call-argument position as
+// maybe-writes) and solves two classic problems with the generic engine
+// below: forward reaching definitions and backward liveness. The flow and
+// domain rule families consume the solved facts; nothing here reports
+// findings itself.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cfg.hpp"
+
+namespace sparta::analyze {
+
+enum class DfDir { kForward, kBackward };
+
+/// Generic worklist solver. `before[b]` is the state at block entry and
+/// `after[b]` at block exit regardless of direction; `transfer(b, s)` maps
+/// entry->exit for forward problems and exit->entry for backward ones;
+/// `merge` joins states across edges. Iterates to a fixpoint (all transfer
+/// functions used by the analyzer are monotone over finite lattices).
+template <class State>
+struct DfResult {
+  std::vector<State> before;
+  std::vector<State> after;
+};
+
+template <class State, class Transfer, class Merge>
+DfResult<State> solve_dataflow(const Cfg& cfg, DfDir dir, const State& boundary,
+                               Transfer transfer, Merge merge) {
+  const std::size_t n = cfg.blocks.size();
+  DfResult<State> r{std::vector<State>(n), std::vector<State>(n)};
+  if (dir == DfDir::kForward) {
+    r.before[static_cast<std::size_t>(cfg.entry)] = boundary;
+  } else {
+    r.after[static_cast<std::size_t>(cfg.exit)] = boundary;
+  }
+  std::deque<int> work;
+  std::vector<bool> queued(n, true);
+  for (std::size_t b = 0; b < n; ++b) work.push_back(static_cast<int>(b));
+  while (!work.empty()) {
+    const int b = work.front();
+    work.pop_front();
+    queued[static_cast<std::size_t>(b)] = false;
+    const BasicBlock& blk = cfg.blocks[static_cast<std::size_t>(b)];
+    if (dir == DfDir::kForward) {
+      State in = b == cfg.entry ? boundary : State{};
+      for (const int p : blk.pred) in = merge(in, r.after[static_cast<std::size_t>(p)]);
+      State out = transfer(b, in);
+      r.before[static_cast<std::size_t>(b)] = std::move(in);
+      if (out != r.after[static_cast<std::size_t>(b)]) {
+        r.after[static_cast<std::size_t>(b)] = std::move(out);
+        for (const int s : blk.succ) {
+          if (!queued[static_cast<std::size_t>(s)]) {
+            queued[static_cast<std::size_t>(s)] = true;
+            work.push_back(s);
+          }
+        }
+      }
+    } else {
+      State out = b == cfg.exit ? boundary : State{};
+      for (const int s : blk.succ) out = merge(out, r.before[static_cast<std::size_t>(s)]);
+      State in = transfer(b, out);
+      r.after[static_cast<std::size_t>(b)] = std::move(out);
+      if (in != r.before[static_cast<std::size_t>(b)]) {
+        r.before[static_cast<std::size_t>(b)] = std::move(in);
+        for (const int p : blk.pred) {
+          if (!queued[static_cast<std::size_t>(p)]) {
+            queued[static_cast<std::size_t>(p)] = true;
+            work.push_back(p);
+          }
+        }
+      }
+    }
+  }
+  return r;
+}
+
+/// A local variable or parameter of the analyzed function.
+struct VarInfo {
+  enum class Track {
+    kNone,    // class type, static, volatile, reference, array: no flow facts
+    kDomain,  // auto-typed: participates in domain inference, not flow rules
+    kScalar,  // arithmetic or pointer: full uninit/dead-store tracking
+  };
+  std::string name;
+  std::vector<std::string> type;  // specifier/type tokens
+  int decl_line = 0;
+  bool param = false;
+  bool pointer = false;
+  bool reference = false;
+  bool const_object = false;  // `const T x` / `const T& x` / `T* const x`
+  bool restrict_ = false;
+  bool fn_like = false;  // function pointer or std::function-ish
+  Track track = Track::kNone;
+};
+
+struct DeclInfo {
+  std::string name;
+  bool has_init = false;
+  bool trivial_init = false;  // literal / single identifier / empty braces
+  std::size_t init_begin = 0, init_end = 0;
+};
+
+struct AssignInfo {
+  std::string name;  // plain-identifier target ("" when a chain store)
+  bool plain = true;  // `=` as opposed to `+=` etc.
+  std::size_t rhs_begin = 0, rhs_end = 0;
+};
+
+struct StmtInfo {
+  int block = -1;
+  std::size_t begin = 0, end = 0;
+  int line = 0;
+  CfgStmt::Kind kind = CfgStmt::Kind::kPlain;
+  std::set<std::string> defs;       // definite scalar assignments (kill + gen)
+  std::set<std::string> weak_defs;  // maybe-writes: bare call args, `>>` targets
+  std::set<std::string> reads;      // value reads (uninit-read candidates)
+  std::set<std::string> uses;       // every read, incl. call args (liveness)
+  std::set<std::string> store_roots;      // roots stored through: a[i]=, *p=, s.f=
+  std::set<std::string> receiver_calls;   // roots used as method-call receivers
+  std::set<std::string> fnptr_calls;      // declared vars called as functions
+  std::vector<DeclInfo> decls;
+  std::vector<AssignInfo> assigns;
+};
+
+struct FnDataflow {
+  const Cfg* cfg = nullptr;
+  std::vector<StmtInfo> stmts;                // flattened; index = stmt id
+  std::vector<std::vector<int>> block_stmts;  // block -> stmt ids, in order
+  std::map<std::string, VarInfo> vars;        // params + locals
+  std::set<std::string> escaped;  // address taken, ref-bound, or &-captured
+  // Lambda literals in the body as (intro '[', closing '}') token spans.
+  // Their contents are a separate scope; token-range scans must skip them.
+  std::vector<std::pair<std::size_t, std::size_t>> lambda_spans;
+  // Solved facts, per block:
+  std::vector<std::map<std::string, std::set<int>>> reach_in;  // var -> def stmt ids
+  std::vector<std::set<std::string>> live_out;
+
+  bool uninit_decl(int stmt_id, const std::string& var) const;
+  /// Full tracking (uninit/dead-store): scalar, not escaped.
+  bool flow_tracked(const std::string& var) const;
+};
+
+/// Extract def/use facts for `cfg` (which must be valid) and solve reaching
+/// definitions + liveness.
+FnDataflow analyze_function(const LexedFile& file, const Cfg& cfg);
+
+}  // namespace sparta::analyze

@@ -1,0 +1,464 @@
+// Flow rule family (DESIGN.md §15): per-function CFG + dataflow facts drive
+//   flow.uninit-read          read of a scalar with only uninitialized
+//                             declarations reaching it
+//   flow.dead-store           a definite store no path ever reads
+//   flow.loop-invariant-load  the same invariant lvalue chain loaded twice
+//                             or more inside a hot loop (hoist it — the
+//                             paper's bandwidth argument)
+//   loop.vectorization-blocker  indirect calls / non-restrict aliasing /
+//                             unrecognized loop-carried scalar dependences
+//                             in hot innermost or simd-marked loops
+// check_dataflow() is the driver for the whole stage; the index-domain
+// family lives in domain_rules.cpp and is called per function from here.
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyzer.hpp"
+#include "dataflow.hpp"
+#include "omp_model.hpp"
+
+namespace sparta::analyze {
+
+namespace {
+
+void report(FileCtx& ctx, std::vector<Finding>& out, int line, std::string rule,
+            std::string message) {
+  if (ctx.supp.allowed(rule, line)) return;
+  out.push_back({ctx.file->rel, line, std::move(rule), std::move(message)});
+}
+
+bool is_ident(const Token& t) { return t.kind == TokKind::kIdent; }
+bool is_punct(const Token& t, const char* text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+
+std::size_t match_fwd(const std::vector<Token>& toks, std::size_t open,
+                      std::size_t hi) {
+  const std::string& o = toks[open].text;
+  const char* close = o == "(" ? ")" : o == "[" ? "]" : "}";
+  int depth = 0;
+  for (std::size_t i = open; i < hi; ++i) {
+    if (toks[i].kind != TokKind::kPunct) continue;
+    if (toks[i].text == o) {
+      ++depth;
+    } else if (toks[i].text == close) {
+      if (--depth == 0) return i;
+    }
+  }
+  return hi;
+}
+
+// ---------------------------------------------------------------------------
+// flow.uninit-read
+// ---------------------------------------------------------------------------
+
+void rule_uninit_read(FileCtx& ctx, const FnDataflow& fn,
+                      std::vector<Finding>& out) {
+  for (std::size_t b = 0; b < fn.block_stmts.size(); ++b) {
+    std::map<std::string, std::set<int>> state = fn.reach_in[b];
+    for (const int sid : fn.block_stmts[b]) {
+      const StmtInfo& st = fn.stmts[static_cast<std::size_t>(sid)];
+      for (const std::string& v : st.reads) {
+        if (!fn.flow_tracked(v)) continue;
+        const auto it = state.find(v);
+        // An empty reach set means a parameter (defined at the boundary)
+        // or a name the scanner never saw defined; both stay silent.
+        if (it == state.end() || it->second.empty()) continue;
+        bool all_uninit = true;
+        for (const int did : it->second) {
+          if (!fn.uninit_decl(did, v)) all_uninit = false;
+        }
+        if (!all_uninit) continue;
+        report(ctx, out, st.line, "flow.uninit-read",
+               "'" + v + "' is read here but no path assigns it first (declared "
+               "without an initializer at line " +
+                   std::to_string(fn.vars.at(v).decl_line) + ")");
+      }
+      for (const std::string& v : st.weak_defs) state[v].insert(sid);
+      for (const DeclInfo& d : st.decls) {
+        if (!d.has_init) state[d.name] = {sid};
+      }
+      for (const std::string& v : st.defs) state[v] = {sid};
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// flow.dead-store
+// ---------------------------------------------------------------------------
+
+void rule_dead_store(FileCtx& ctx, const FnDataflow& fn,
+                     std::vector<Finding>& out) {
+  for (std::size_t b = 0; b < fn.block_stmts.size(); ++b) {
+    std::set<std::string> live = fn.live_out[b];
+    const std::vector<int>& ids = fn.block_stmts[b];
+    for (std::size_t k = ids.size(); k-- > 0;) {
+      const StmtInfo& st = fn.stmts[static_cast<std::size_t>(ids[k])];
+      if (st.kind != CfgStmt::Kind::kCond && st.kind != CfgStmt::Kind::kRangeFor) {
+        for (const std::string& v : st.defs) {
+          if (!fn.flow_tracked(v)) continue;
+          if (live.count(v) != 0) continue;
+          if (st.weak_defs.count(v) != 0) continue;  // also maybe-written here
+          bool trivial_decl = false;
+          for (const DeclInfo& d : st.decls) {
+            // `index_t n = 0;` — defensive initializers are deliberate.
+            if (d.name == v && d.trivial_init) trivial_decl = true;
+          }
+          if (trivial_decl) continue;
+          report(ctx, out, st.line, "flow.dead-store",
+                 "value stored to '" + v + "' is never read on any path");
+        }
+      }
+      for (const std::string& v : st.defs) live.erase(v);
+      for (const DeclInfo& d : st.decls) live.erase(d.name);
+      for (const std::string& v : st.uses) live.insert(v);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Loop fact collection shared by the invariant-load and vectorization rules.
+// ---------------------------------------------------------------------------
+
+struct LoopFacts {
+  std::set<std::string> defs;            // defs + weak defs of any stmt in span
+  std::set<std::string> store_roots;     // roots stored through inside the loop
+  std::set<std::string> mutated_recv;    // non-const receivers of method calls
+  std::set<std::string> fnptr_calls;     // declared vars called as functions
+  std::vector<int> stmt_ids;             // statements whose tokens lie in span
+  const OmpDirectiveInfo* simd = nullptr;  // `omp simd`-family directive
+};
+
+LoopFacts collect_loop_facts(const FnDataflow& fn, const CfgLoop& loop,
+                             const std::vector<OmpDirectiveInfo>& omp) {
+  LoopFacts lf;
+  for (std::size_t sid = 0; sid < fn.stmts.size(); ++sid) {
+    const StmtInfo& st = fn.stmts[sid];
+    if (st.begin < loop.span_begin || st.end > loop.span_end) continue;
+    lf.stmt_ids.push_back(static_cast<int>(sid));
+    lf.defs.insert(st.defs.begin(), st.defs.end());
+    lf.defs.insert(st.weak_defs.begin(), st.weak_defs.end());
+    lf.store_roots.insert(st.store_roots.begin(), st.store_roots.end());
+    lf.fnptr_calls.insert(st.fnptr_calls.begin(), st.fnptr_calls.end());
+    for (const std::string& r : st.receiver_calls) {
+      const auto it = fn.vars.find(r);
+      if (it == fn.vars.end() || !it->second.const_object) lf.mutated_recv.insert(r);
+    }
+    for (const DeclInfo& d : st.decls) lf.defs.insert(d.name);
+  }
+  for (const OmpDirectiveInfo& d : omp) {
+    if (d.tok == loop.kw && d.has("simd")) lf.simd = &d;
+  }
+  return lf;
+}
+
+// ---------------------------------------------------------------------------
+// flow.loop-invariant-load: chain-prefix counting over cond + inc + body.
+// ---------------------------------------------------------------------------
+
+struct ChainPrefix {
+  std::string key;   // normalized text, e.g. "x.width" or "a.long_rows()"
+  std::string root;
+  int line = 0;
+  int weight = 1;              // cond/inc occurrences re-execute every trip
+  std::set<std::string> deps;  // root + subscript identifiers
+  bool needs_const = false;    // contains a method-call step
+};
+
+/// Collect maximal lvalue chains (`a.rowptr[k]`, `opts.max_it`,
+/// `a.vals.data()`) in [b, e). Only the full chain is recorded — a prefix
+/// that is always extended further (e.g. `a.rowptr` inside `a.rowptr[k]`) is
+/// not itself a load the programmer could hoist. Chains that end at a call
+/// with arguments are dropped: the name is a callee or receiver, not a
+/// loaded value. Lambda literals are separate scopes and are skipped.
+void scan_chains(const std::vector<Token>& toks, std::size_t b, std::size_t e,
+                 const std::vector<std::pair<std::size_t, std::size_t>>& lambdas,
+                 int weight, std::vector<ChainPrefix>& out) {
+  for (std::size_t i = b; i < e; ++i) {
+    for (const auto& [intro, body_end] : lambdas) {
+      if (i == intro && body_end < e) i = body_end;
+    }
+    if (!is_ident(toks[i])) continue;
+    if (i > b && toks[i - 1].kind == TokKind::kPunct) {
+      const std::string& p = toks[i - 1].text;
+      if (p == "." || p == "->" || p == "::") continue;  // not a chain root
+    }
+    ChainPrefix cp;
+    cp.root = toks[i].text;
+    cp.key = cp.root;
+    cp.line = toks[i].line;
+    cp.weight = weight;
+    cp.deps.insert(cp.root);
+    std::size_t j = i + 1;
+    std::size_t steps = 0;
+    bool is_callee = false;
+    while (j < e) {
+      if ((is_punct(toks[j], ".") || is_punct(toks[j], "->")) && j + 1 < e &&
+          is_ident(toks[j + 1])) {
+        const std::string member = toks[j + 1].text;
+        if (j + 2 < e && is_punct(toks[j + 2], "(")) {
+          const std::size_t close = match_fwd(toks, j + 2, e);
+          if (close != j + 3) {
+            is_callee = true;  // call with arguments: receiver, not a load
+            break;
+          }
+          cp.key += "." + member + "()";
+          cp.needs_const = true;
+          ++steps;
+          j = close + 1;
+        } else {
+          cp.key += "." + member;
+          ++steps;
+          j += 2;
+        }
+      } else if (is_punct(toks[j], "[")) {
+        const std::size_t close = match_fwd(toks, j, e);
+        if (close >= e) break;
+        std::string sub;
+        for (std::size_t k = j + 1; k < close; ++k) {
+          sub += toks[k].text;
+          if (is_ident(toks[k]) &&
+              !(k > j + 1 && toks[k - 1].kind == TokKind::kPunct &&
+                (toks[k - 1].text == "." || toks[k - 1].text == "->" ||
+                 toks[k - 1].text == "::"))) {
+            cp.deps.insert(toks[k].text);
+          }
+        }
+        cp.key += "[" + sub + "]";
+        ++steps;
+        j = close + 1;
+      } else {
+        break;
+      }
+    }
+    if (steps > 0 && !is_callee) out.push_back(cp);
+    if (j > i + 1) i = j - 1;  // resume after the chain (members skipped)
+  }
+}
+
+void rule_invariant_load(FileCtx& ctx, const FnDataflow& fn,
+                         const std::vector<OmpDirectiveInfo>& omp,
+                         std::vector<Finding>& out) {
+  const std::vector<Token>& toks = ctx.file->tokens;
+  struct Candidate {
+    int depth;
+    int line;
+    std::string key;
+    std::string root;
+  };
+  std::map<std::string, Candidate> best;  // key -> deepest loop occurrence
+  for (const CfgLoop& loop : fn.cfg->loops) {
+    const LoopFacts lf = collect_loop_facts(fn, loop, omp);
+    std::vector<ChainPrefix> chains;
+    // The condition and increment re-execute on every trip, so a single
+    // static occurrence there is already a per-iteration load (weight 2).
+    scan_chains(toks, loop.cond_begin, loop.cond_end, fn.lambda_spans, 2, chains);
+    scan_chains(toks, loop.inc_begin, loop.inc_end, fn.lambda_spans, 2, chains);
+    scan_chains(toks, loop.body_begin, loop.body_end, fn.lambda_spans, 1, chains);
+    std::map<std::string, std::vector<const ChainPrefix*>> by_key;
+    for (const ChainPrefix& cp : chains) by_key[cp.key].push_back(&cp);
+    for (const auto& [key, occ] : by_key) {
+      int weight = 0;
+      for (const ChainPrefix* cp : occ) weight += cp->weight;
+      if (weight < 2) continue;
+      const ChainPrefix& cp = *occ.front();
+      const auto vit = fn.vars.find(cp.root);
+      if (vit == fn.vars.end()) continue;  // field of *this, global: skip
+      // Only chains rooted in a reference or pointer are memory the
+      // compiler cannot prove local; members of by-value structs live in
+      // registers and hoisting them is busy-work.
+      if (!vit->second.reference && !vit->second.pointer) continue;
+      if (cp.needs_const && !vit->second.const_object) continue;
+      if (lf.store_roots.count(cp.root) != 0) continue;
+      if (lf.mutated_recv.count(cp.root) != 0) continue;
+      bool invariant = true;
+      for (const std::string& dep : cp.deps) {
+        if (lf.defs.count(dep) != 0) invariant = false;
+      }
+      if (!invariant) continue;
+      const auto bit = best.find(key);
+      if (bit == best.end() || loop.depth > bit->second.depth) {
+        best[key] = {loop.depth, cp.line, key, cp.root};
+      }
+    }
+  }
+  for (const auto& [key, c] : best) {
+    report(ctx, out, c.line, "flow.loop-invariant-load",
+           "'" + c.key + "' is loop-invariant but reloaded on every "
+           "iteration of this loop; hoist it into a local before the loop");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// loop.vectorization-blocker
+// ---------------------------------------------------------------------------
+
+bool reduction_like_rhs(const std::vector<Token>& toks, std::size_t b,
+                        std::size_t e, const std::string& v) {
+  // Recognized: `v op e` / `e op v` with op in {+, *}, `v - e` when v leads,
+  // min/max/fmin/fmax calls with v anywhere inside, a ternary arm.
+  static const std::set<std::string> fold_calls = {"min", "max", "fmin", "fmax"};
+  int depth = 0;
+  for (std::size_t i = b; i < e; ++i) {
+    const Token& t = toks[i];
+    if (t.kind == TokKind::kPunct) {
+      if (t.text == "(" || t.text == "[" || t.text == "{") {
+        ++depth;
+      } else if (t.text == ")" || t.text == "]" || t.text == "}") {
+        --depth;
+      } else if (t.text == "?" && depth == 0) {
+        return true;  // conditional select, vectorizable as a blend
+      }
+      continue;
+    }
+    if (!is_ident(t)) continue;
+    if (fold_calls.count(t.text) != 0 && i + 1 < e && is_punct(toks[i + 1], "(")) {
+      const std::size_t close = match_fwd(toks, i + 1, e);
+      for (std::size_t k = i + 2; k < close; ++k) {
+        if (is_ident(toks[k]) && toks[k].text == v) return true;
+      }
+    }
+    if (t.text != v || depth != 0) continue;
+    if (i > b && toks[i - 1].kind == TokKind::kPunct &&
+        (toks[i - 1].text == "." || toks[i - 1].text == "->")) {
+      continue;  // member named like v
+    }
+    const bool leads = i == b;
+    const std::string next =
+        i + 1 < e && toks[i + 1].kind == TokKind::kPunct ? toks[i + 1].text : "";
+    const std::string prev =
+        i > b && toks[i - 1].kind == TokKind::kPunct ? toks[i - 1].text : "";
+    if (leads && (next == "+" || next == "-" || next == "*" || next.empty())) {
+      return true;
+    }
+    if (prev == "+" || prev == "*") return true;
+    return false;  // first self-reference decides
+  }
+  return true;  // v never appears at top level: nested refs were checked above
+}
+
+void rule_vectorization_blocker(FileCtx& ctx, const FnDataflow& fn,
+                                const std::vector<OmpDirectiveInfo>& omp,
+                                std::vector<Finding>& out) {
+  const std::vector<Token>& toks = ctx.file->tokens;
+  for (const CfgLoop& loop : fn.cfg->loops) {
+    const LoopFacts lf = collect_loop_facts(fn, loop, omp);
+    const bool simd = lf.simd != nullptr;
+    if (!loop.innermost && !simd) continue;
+
+    // (a) Indirect calls in simd loops: a function object can't be inlined
+    // into the vector body.
+    if (simd) {
+      std::set<std::string> flagged;
+      for (const int sid : lf.stmt_ids) {
+        const StmtInfo& st = fn.stmts[static_cast<std::size_t>(sid)];
+        for (const std::string& callee : st.fnptr_calls) {
+          if (flagged.insert(callee).second) {
+            report(ctx, out, st.line, "loop.vectorization-blocker",
+                   "simd loop calls through '" + callee +
+                       "', a function object the compiler cannot inline into "
+                       "the vector body");
+          }
+        }
+      }
+    }
+
+    // (b) Store through a non-restrict raw pointer while another non-restrict
+    // raw pointer is read: the compiler must assume they alias.
+    if (loop.innermost) {
+      for (const std::string& w : lf.store_roots) {
+        const auto wit = fn.vars.find(w);
+        if (wit == fn.vars.end() || !wit->second.pointer || wit->second.restrict_) {
+          continue;
+        }
+        std::string other;
+        int line = 0;
+        for (const int sid : lf.stmt_ids) {
+          const StmtInfo& st = fn.stmts[static_cast<std::size_t>(sid)];
+          for (const std::string& u : st.uses) {
+            if (u == w) continue;
+            const auto uit = fn.vars.find(u);
+            if (uit == fn.vars.end() || !uit->second.pointer ||
+                uit->second.restrict_) {
+              continue;
+            }
+            other = u;
+            line = st.line;
+          }
+        }
+        if (!other.empty()) {
+          report(ctx, out, line, "loop.vectorization-blocker",
+                 "innermost loop stores through non-restrict pointer '" + w +
+                     "' while reading pointer '" + other +
+                     "'; the compiler must assume they alias (add "
+                     "SPARTA_RESTRICT)");
+          break;  // one finding per loop is enough
+        }
+      }
+    }
+
+    // (c) Loop-carried scalar dependences in simd loops that are not
+    // recognized reductions.
+    if (simd) {
+      std::set<std::string> exempt = lf.simd->privatized;
+      for (const auto& [var, op] : lf.simd->reductions) exempt.insert(var);
+      std::set<std::string> flagged;
+      for (const int sid : lf.stmt_ids) {
+        const StmtInfo& st = fn.stmts[static_cast<std::size_t>(sid)];
+        for (const AssignInfo& a : st.assigns) {
+          if (a.name.empty() || !a.plain) continue;
+          if (!fn.flow_tracked(a.name)) continue;
+          if (exempt.count(a.name) != 0) continue;
+          bool self_ref = false;
+          for (std::size_t k = a.rhs_begin; k < a.rhs_end; ++k) {
+            if (is_ident(toks[k]) && toks[k].text == a.name &&
+                !(k > a.rhs_begin && toks[k - 1].kind == TokKind::kPunct &&
+                  (toks[k - 1].text == "." || toks[k - 1].text == "->"))) {
+              self_ref = true;
+            }
+          }
+          // A declaration's initializer can't reach back across iterations.
+          bool declared_here = false;
+          for (const DeclInfo& d : st.decls) {
+            if (d.name == a.name) declared_here = true;
+          }
+          if (!self_ref || declared_here) continue;
+          if (reduction_like_rhs(toks, a.rhs_begin, a.rhs_end, a.name)) continue;
+          if (flagged.insert(a.name).second) {
+            report(ctx, out, st.line, "loop.vectorization-blocker",
+                   "simd loop carries '" + a.name +
+                       "' across iterations in a form that is not a "
+                       "recognized reduction");
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void check_dataflow(FileCtx& ctx, const Config& cfg, std::vector<Finding>& out) {
+  const bool hot = cfg.hot.count(ctx.module) != 0;
+  std::vector<OmpDirectiveInfo> omp;
+  for (const Directive& d : ctx.file->directives) {
+    if (auto info = parse_omp_directive(d)) omp.push_back(std::move(*info));
+  }
+  const std::vector<Cfg> cfgs = build_cfgs(*ctx.file);
+  for (const Cfg& c : cfgs) {
+    if (!c.valid) continue;  // the CFG layer prefers silence to guessing
+    const FnDataflow fn = analyze_function(*ctx.file, c);
+    rule_uninit_read(ctx, fn, out);
+    rule_dead_store(ctx, fn, out);
+    if (hot) {
+      rule_invariant_load(ctx, fn, omp, out);
+      rule_vectorization_blocker(ctx, fn, omp, out);
+    }
+    check_domains(ctx, fn, out);
+  }
+}
+
+}  // namespace sparta::analyze

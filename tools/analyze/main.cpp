@@ -1,8 +1,9 @@
 // sparta_analyze — structural static analysis for the SpMV codebase.
 //
 // Usage:
-//   sparta_analyze [--must-flag rule1,...] [--format=text|json]
+//   sparta_analyze [--must-flag rule1,...] [--format=text|json|sarif]
 //                  [--profile=src|tools] <root> [<root>...]
+//   sparta_analyze --explain <rule>
 //
 // Default mode: analyze every C++ file under each <root>, print findings as
 // `file:line: [rule] message` (paths prefixed with their root when several
@@ -14,10 +15,16 @@
 //
 // --format=json prints the findings as a JSON object on stdout (the CI
 // analyze job uploads it as an artifact); the human summary stays on stderr.
+// --format=sarif prints SARIF 2.1.0 so CI can upload findings as GitHub
+// code-scanning results that annotate PRs.
 //
 // --profile=tools drops the src/ module DAG (no layering.*, no hot/restrict
 // module sets) for trees like bench/ and tools/ while keeping the OpenMP
 // sharing rules, header hygiene, and suppression tracking.
+//
+// --explain prints a rule's rationale and an example fix (the same catalog
+// that feeds the SARIF rule metadata), so reviewing a finding or a proposed
+// suppression does not require opening DESIGN.md.
 #include <cstdio>
 #include <set>
 #include <sstream>
@@ -31,7 +38,9 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: sparta_analyze [--must-flag rule1,rule2,...] "
-               "[--format=text|json] [--profile=src|tools] <root> [<root>...]\n");
+               "[--format=text|json|sarif] [--profile=src|tools] <root> "
+               "[<root>...]\n"
+               "       sparta_analyze --explain <rule>\n");
   return 2;
 }
 
@@ -67,13 +76,79 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
+int explain(const std::string& rule) {
+  const sparta::analyze::RuleDoc* doc = sparta::analyze::find_rule_doc(rule);
+  if (doc == nullptr) {
+    std::fprintf(stderr, "sparta_analyze: unknown rule '%s'; known rules:\n",
+                 rule.c_str());
+    for (const sparta::analyze::RuleDoc& d : sparta::analyze::rule_docs()) {
+      std::fprintf(stderr, "  %s\n", d.id.c_str());
+    }
+    return 2;
+  }
+  std::printf("%s\n  %s\n\nWhy:\n  %s\n\nFix:\n  %s\n", doc->id.c_str(),
+              doc->summary.c_str(), doc->rationale.c_str(), doc->fix.c_str());
+  return 0;
+}
+
+void print_sarif(const std::vector<sparta::analyze::Finding>& findings) {
+  // Minimal SARIF 2.1.0: one run, rule metadata for every rule that fired,
+  // one result per finding. GitHub code scanning needs ruleId, message, and
+  // a physical location with a region.
+  std::set<std::string> rules;
+  for (const sparta::analyze::Finding& f : findings) rules.insert(f.rule);
+  std::printf("{\n");
+  std::printf("  \"version\": \"2.1.0\",\n");
+  std::printf(
+      "  \"$schema\": "
+      "\"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+  std::printf("  \"runs\": [{\n");
+  std::printf("    \"tool\": {\"driver\": {\n");
+  std::printf("      \"name\": \"sparta_analyze\",\n");
+  std::printf("      \"informationUri\": \"DESIGN.md\",\n");
+  std::printf("      \"rules\": [");
+  bool first = true;
+  for (const std::string& rule : rules) {
+    const sparta::analyze::RuleDoc* doc = sparta::analyze::find_rule_doc(rule);
+    std::printf("%s\n        {\"id\": \"%s\"", first ? "" : ",",
+                json_escape(rule).c_str());
+    if (doc != nullptr) {
+      std::printf(
+          ", \"shortDescription\": {\"text\": \"%s\"}, "
+          "\"help\": {\"text\": \"%s Fix: %s\"}",
+          json_escape(doc->summary).c_str(), json_escape(doc->rationale).c_str(),
+          json_escape(doc->fix).c_str());
+    }
+    std::printf("}");
+    first = false;
+  }
+  std::printf("%s]\n", rules.empty() ? "" : "\n      ");
+  std::printf("    }},\n");
+  std::printf("    \"results\": [");
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const sparta::analyze::Finding& f = findings[i];
+    std::printf(
+        "%s\n      {\"ruleId\": \"%s\", \"level\": \"warning\", "
+        "\"message\": {\"text\": \"%s\"}, \"locations\": [{"
+        "\"physicalLocation\": {\"artifactLocation\": {\"uri\": \"%s\"}, "
+        "\"region\": {\"startLine\": %d}}}]}",
+        i == 0 ? "" : ",", json_escape(f.rule).c_str(),
+        json_escape(f.message).c_str(), json_escape(f.file).c_str(),
+        f.line > 0 ? f.line : 1);
+  }
+  std::printf("%s]\n", findings.empty() ? "" : "\n    ");
+  std::printf("  }]\n");
+  std::printf("}\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> roots;
   std::set<std::string> must_flag;
   bool must_flag_mode = false;
-  bool json = false;
+  enum class Format { kText, kJson, kSarif };
+  Format format = Format::kText;
   std::string profile = "src";
 
   for (int i = 1; i < argc; ++i) {
@@ -82,10 +157,15 @@ int main(int argc, char** argv) {
       if (i + 1 >= argc) return usage();
       must_flag = parse_rule_list(argv[++i]);
       must_flag_mode = true;
+    } else if (arg == "--explain") {
+      if (i + 1 >= argc) return usage();
+      return explain(argv[i + 1]);
     } else if (arg == "--format=json") {
-      json = true;
+      format = Format::kJson;
     } else if (arg == "--format=text") {
-      json = false;
+      format = Format::kText;
+    } else if (arg == "--format=sarif") {
+      format = Format::kSarif;
     } else if (arg.rfind("--profile=", 0) == 0) {
       profile = arg.substr(10);
       if (profile != "src" && profile != "tools") return usage();
@@ -116,7 +196,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (json) {
+  if (format == Format::kJson) {
     std::printf("{\n  \"findings\": [");
     for (std::size_t i = 0; i < findings.size(); ++i) {
       const sparta::analyze::Finding& f = findings[i];
@@ -127,6 +207,8 @@ int main(int argc, char** argv) {
     }
     std::printf("%s],\n  \"count\": %zu\n}\n", findings.empty() ? "" : "\n  ",
                 findings.size());
+  } else if (format == Format::kSarif) {
+    print_sarif(findings);
   } else {
     for (const sparta::analyze::Finding& f : findings) {
       std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
