@@ -405,6 +405,69 @@ void validate_decomposed(const DecomposedArrays& a, Level effort) {
 }
 
 // ---------------------------------------------------------------------------
+// SymCsr (strict lower triangle + dense diagonal)
+// ---------------------------------------------------------------------------
+
+void validate_sym(const SymArrays& a, Level effort) {
+  if (effort == Level::kOff) return;
+  if (a.nrows < 0) fail_v("symcsr.dims", std::to_string(a.nrows) + " rows");
+  check_rowptr(a.rowptr, a.nrows, "symcsr");
+  if (static_cast<std::size_t>(a.rowptr.back()) != a.colind.size() ||
+      a.colind.size() != a.values_size) {
+    fail_v("symcsr.nnz.consistency",
+           "rowptr.back() = " + std::to_string(a.rowptr.back()) + ", colind " +
+               std::to_string(a.colind.size()) + " entries, values " +
+               std::to_string(a.values_size) + " entries");
+  }
+  if (a.diag.size() != static_cast<std::size_t>(a.nrows) ||
+      a.diag_present.size() != static_cast<std::size_t>(a.nrows)) {
+    fail_v("symcsr.diag.size", "diag has " + std::to_string(a.diag.size()) +
+                                   " entries, presence " +
+                                   std::to_string(a.diag_present.size()) + ", want nrows = " +
+                                   std::to_string(a.nrows));
+  }
+  // Mirror-nnz conservation: the stored lower triangle mirrors once, the
+  // stored diagonal entries once, and together they must account for every
+  // source nonzero (the O(rows) presence scan is cheap enough for kCheap).
+  offset_t diag_stored = 0;
+  for (std::size_t i = 0; i < a.diag_present.size(); ++i) {
+    if (a.diag_present[i] > 1) {
+      fail_v("symcsr.diag.flag", "row " + std::to_string(i) + " has presence flag " +
+                                     std::to_string(a.diag_present[i]));
+    }
+    diag_stored += a.diag_present[i];
+  }
+  if (2 * a.rowptr.back() + diag_stored != a.source_nnz) {
+    fail_v("symcsr.nnz.conservation",
+           "2 * " + std::to_string(a.rowptr.back()) + " lower + " +
+               std::to_string(diag_stored) + " diagonal entries, source has " +
+               std::to_string(a.source_nnz));
+  }
+  if (effort < Level::kFull) return;
+  for (index_t r = 0; r < a.nrows; ++r) {
+    // Absent diagonal entries must read as an exact additive zero.
+    if (a.diag_present[static_cast<std::size_t>(r)] == 0 &&
+        a.diag[static_cast<std::size_t>(r)] != 0.0) {
+      fail_v("symcsr.diag.zero",
+             "row " + std::to_string(r) + " has no stored diagonal but nonzero fill");
+    }
+    const auto b = static_cast<std::size_t>(a.rowptr[static_cast<std::size_t>(r)]);
+    const auto e = static_cast<std::size_t>(a.rowptr[static_cast<std::size_t>(r) + 1]);
+    for (std::size_t j = b; j < e; ++j) {
+      // Triangle purity: every stored index is strictly below the diagonal.
+      if (a.colind[j] < 0 || a.colind[j] >= r) {
+        fail_v("symcsr.triangle.purity", "row " + std::to_string(r) + " stores column " +
+                                             std::to_string(a.colind[j]));
+      }
+      if (j > b && a.colind[j] <= a.colind[j - 1]) {
+        fail_v("symcsr.colind.sorted",
+               "row " + std::to_string(r) + " columns not strictly increasing");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Row partitions
 // ---------------------------------------------------------------------------
 
@@ -532,6 +595,29 @@ void validate(const DecomposedCsrMatrix& m, const CsrMatrix& source, Level effor
                "short row " + std::to_string(r) + " differs from the source row");
       }
     }
+  }
+}
+
+void validate(const SymCsrMatrix& m, Level effort) {
+  validate_sym({m.nrows(), m.nnz(), m.rowptr(), m.colind(), m.values().size(), m.diag(),
+                m.diag_present()},
+               effort);
+}
+
+void validate(const SymCsrMatrix& m, const CsrMatrix& source, Level effort) {
+  if (effort == Level::kOff) return;
+  validate(m, effort);
+  if (m.nrows() != source.nrows() || source.nrows() != source.ncols()) {
+    fail_v("symcsr.source.dims", "symmetric storage is " + std::to_string(m.nrows()) +
+                                     " rows, source " + std::to_string(source.nrows()) +
+                                     " x " + std::to_string(source.ncols()));
+  }
+  // validate_sym already proved 2 * lower + diagonals == m.nnz(); tying
+  // m.nnz() to the source closes the mirror-nnz conservation argument.
+  if (m.nnz() != source.nnz()) {
+    fail_v("symcsr.nnz.source", "storage claims " + std::to_string(m.nnz()) +
+                                    " source nonzeros, source has " +
+                                    std::to_string(source.nnz()));
   }
 }
 

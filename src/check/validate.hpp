@@ -35,6 +35,7 @@
 #include "sparse/delta_csr.hpp"
 #include "sparse/partition.hpp"
 #include "sparse/sell.hpp"
+#include "sparse/sym_csr.hpp"
 
 namespace sparta::check {
 
@@ -98,6 +99,18 @@ struct BcsrArrays {
   std::span<const value_t> values;
 };
 
+struct SymArrays {
+  index_t nrows = 0;
+  /// Nonzeros of the source matrix the storage claims to represent
+  /// (mirror-nnz conservation: 2 * lower + stored diagonals must equal it).
+  offset_t source_nnz = 0;
+  std::span<const offset_t> rowptr;
+  std::span<const index_t> colind;
+  std::size_t values_size = 0;
+  std::span<const value_t> diag;
+  std::span<const std::uint8_t> diag_present;
+};
+
 struct DecomposedArrays {
   /// The short part is a full CsrMatrix and validates through its own
   /// arrays view; here it contributes its row-emptiness contract.
@@ -118,6 +131,7 @@ void validate_delta(const DeltaArrays& a, Level effort = Level::kFull);
 void validate_sell(const SellArrays& a, Level effort = Level::kFull);
 void validate_bcsr(const BcsrArrays& a, Level effort = Level::kFull);
 void validate_decomposed(const DecomposedArrays& a, Level effort = Level::kFull);
+void validate_sym(const SymArrays& a, Level effort = Level::kFull);
 /// Ordered exact cover of [0, nrows).
 void validate_partition(std::span<const RowRange> parts, index_t nrows,
                         Level effort = Level::kFull);
@@ -135,6 +149,10 @@ void validate(const DecomposedCsrMatrix& m, Level effort = Level::kFull);
 /// decomposed (the split must partition the nonzeros exactly).
 void validate(const DecomposedCsrMatrix& m, const CsrMatrix& source,
               Level effort = Level::kFull);
+void validate(const SymCsrMatrix& m, Level effort = Level::kFull);
+/// Additionally proves mirror-nnz conservation and shape agreement against
+/// the symmetric matrix that was compressed.
+void validate(const SymCsrMatrix& m, const CsrMatrix& source, Level effort = Level::kFull);
 void validate(std::span<const RowRange> parts, index_t nrows, Level effort = Level::kFull);
 
 // View-level members of the same overload set, so SPARTA_CHECK_STRUCTURE
@@ -153,6 +171,9 @@ inline void validate(const BcsrArrays& a, Level effort = Level::kFull) {
 }
 inline void validate(const DecomposedArrays& a, Level effort = Level::kFull) {
   validate_decomposed(a, effort);
+}
+inline void validate(const SymArrays& a, Level effort = Level::kFull) {
+  validate_sym(a, effort);
 }
 
 }  // namespace sparta::check

@@ -31,7 +31,20 @@ void validate(const OptimizationPlan& plan, Level effort) {
   }
   // The composed config must be exactly what the optimization list implies —
   // a mismatch means the plan would run a different kernel than it reports.
-  if (config_for(plan.optimizations) != plan.config) {
+  // The symmetric-storage bit is the one field the optimization pool does
+  // not own (the planner sets it orthogonally for symmetric matrices), so
+  // it is carried over before the comparison — but never next to the
+  // rewrites it is exclusive with.
+  kernels::KernelConfig expected = config_for(plan.optimizations);
+  expected.symmetric = plan.config.symmetric;
+  if (plan.config.symmetric &&
+      (plan.config.delta || plan.config.decomposed ||
+       plan.config.schedule == kernels::Schedule::kDynamicChunks)) {
+    fail_v("plan.config.symmetric.exclusive",
+           "symmetric storage combined with delta/decomposed/dynamic in '" +
+               plan.config.describe() + "'");
+  }
+  if (expected != plan.config) {
     fail_v("plan.config.consistency",
            "config '" + plan.config.describe() + "' does not match optimizations '" +
                to_string(plan.optimizations) + "'");

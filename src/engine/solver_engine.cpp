@@ -124,10 +124,14 @@ solvers::SolveResult SolverEngine::cg(std::span<const value_t> b,
   }
   Timer iter_timer;  // shared; reset/read inside barrier-ordered singles
   const kernels::PreparedSpmv& spmv = *prepared_;
+  // Symmetric storage splits each SpMV into a scatter and a barrier-ordered
+  // reduce over the same partition ownership (kernels/spmv_sym.hpp); CG is
+  // the SPD flagship, so the dispatch lives here and not in bicgstab.
+  const bool sym = spmv.symmetric_applied();
 
 #pragma omp parallel default(none) num_threads(threads_)                                   \
     shared(parts, nparts, jacobi, tol, max_it, inv_diag, b, x, r, p, ap, z, slots, st,     \
-           track, iter_timer, spmv_seconds, fused_passes, result, spmv)
+           track, iter_timer, spmv_seconds, fused_passes, result, spmv, sym)
   {
     const int nt = omp_get_num_threads();
     const int tid = omp_get_thread_num();
@@ -158,7 +162,13 @@ solvers::SolveResult SolverEngine::cg(std::span<const value_t> b,
     }
 
     // r = b - A x; z = M^-1 r; p = z; partial rz, rr.
-    for_owned([&](int pi, RowRange) { spmv.run_local(pi, x, ap); });
+    if (sym) {
+      for_owned([&](int pi, RowRange) { spmv.run_local_scatter(pi, x); });
+#pragma omp barrier
+      for_owned([&](int pi, RowRange) { spmv.run_local_reduce(pi, ap); });
+    } else {
+      for_owned([&](int pi, RowRange) { spmv.run_local(pi, x, ap); });
+    }
     double rz_p = 0.0, rr_p = 0.0;
     for_owned([&](int, RowRange rng) {
       for (index_t i = rng.begin; i < rng.end; ++i) {
@@ -189,10 +199,19 @@ solvers::SolveResult SolverEngine::cg(std::span<const value_t> b,
       }
       if (st.stop) break;
 
-      // Fused ap = A p with the dependent reduction p·ap.
+      // Fused ap = A p with the dependent reduction p·ap. The symmetric
+      // path keeps the fusion: the dot folds into the reduce phase. The
+      // barrier after the slot writes below also orders this reduce's
+      // scratch reads against the next iteration's scatter.
       if (tid == 0) pass.reset();
       double pap_p = 0.0;
-      for_owned([&](int pi, RowRange) { pap_p += spmv.run_local_dot(pi, p, ap, p); });
+      if (sym) {
+        for_owned([&](int pi, RowRange) { spmv.run_local_scatter(pi, p); });
+#pragma omp barrier
+        for_owned([&](int pi, RowRange) { pap_p += spmv.run_local_reduce_dot(pi, ap, p); });
+      } else {
+        for_owned([&](int pi, RowRange) { pap_p += spmv.run_local_dot(pi, p, ap, p); });
+      }
       slots[static_cast<std::size_t>(tid)].a = pap_p;
 #pragma omp barrier
       if (tid == 0) {
@@ -260,6 +279,7 @@ solvers::SolveResult SolverEngine::cg(std::span<const value_t> b,
   result.seconds = total.seconds();
   auto& reg = obs::Registry::global();
   reg.counter("engine.cg.solves").add();
+  if (sym) reg.counter("engine.cg.symmetric_solves").add();
   reg.counter("engine.cg.iterations").add(st.iters);
   reg.counter("engine.fused_spmv_dot.passes").add(fused_passes);
   if (track) {

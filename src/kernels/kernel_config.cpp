@@ -5,6 +5,7 @@ namespace sparta::kernels {
 std::string KernelConfig::describe() const {
   std::string s = "csr";
   if (delta) s += "+delta";
+  if (symmetric) s += "+sym";
   if (vectorized) s += "+vec";
   if (unrolled) s += "+unroll";
   if (prefetch) s += "+pf";

@@ -38,6 +38,7 @@ struct KernelConfig {
   bool prefetch = false;     // software prefetch of x (ML optimization)
   bool delta = false;        // delta-compressed colind (MB optimization)
   bool decomposed = false;   // long-row decomposition (IMB optimization)
+  bool symmetric = false;    // lower-triangle+diagonal storage (MB, SPD inputs)
   Schedule schedule = Schedule::kStaticNnzBalanced;
   XAccess x_access = XAccess::kIndirect;
 

@@ -12,6 +12,7 @@
 #include "common/numa.hpp"
 #include "common/timer.hpp"
 #include "kernels/spmv_kernels.hpp"
+#include "kernels/spmv_sym.hpp"
 
 namespace sparta::kernels {
 
@@ -22,6 +23,7 @@ struct Prepared {
   const CsrMatrix* source = nullptr;
   std::optional<DeltaCsrMatrix> delta;
   std::optional<DecomposedCsrMatrix> decomposed;
+  std::optional<SymCsrMatrix> sym;
   std::vector<RowRange> parts;         // one-shot partitions (config-dependent)
   std::vector<RowRange> region_parts;  // balanced-nnz thread ownership, always built
 
@@ -36,6 +38,14 @@ struct Prepared {
   NumaArray<index_t> ft_first_col;
   NumaArray<std::uint8_t> ft_deltas8;
   NumaArray<std::uint16_t> ft_deltas16;
+
+  // Symmetric-storage execution state (valid iff sym): the scatter/reduce
+  // schedule is keyed to region_parts (thread ownership must match the
+  // solver engine's), and the scratch windows are sized/first-touched at
+  // prepare time so the hot path never allocates.
+  SymView sym_view;
+  SymSchedule sym_sched;
+  NumaArray<value_t> sym_scratch;
 
   /// One row-range block runner per specialized chunk width — slot i handles
   /// width 1 << i (1, 2, 4, 8). This is the k-specialized impl table the
@@ -129,6 +139,44 @@ void run_dynamic_blocked(const Prepared& p, ConstDenseBlockView x, DenseBlockVie
 #pragma omp parallel for default(none) shared(p, x, y, alpha, beta, n) schedule(dynamic, 64)
   for (index_t i = 0; i < n; ++i) {
     run_rows_blocked(p, RowRange{i, i + 1}, x, y, alpha, beta);
+  }
+}
+
+/// One-shot symmetric-storage driver: the two-phase scatter/reduce of
+/// kernels/spmv_sym.hpp inside one parallel region, one chunk of the
+/// operand width at a time. Chunks are clamped to the schedule's scratch
+/// column capacity, so any runtime width executes against the scratch
+/// sized at prepare time.
+void run_sym_blocked(Prepared& p, ConstDenseBlockView x, DenseBlockView y, value_t alpha,
+                     value_t beta, int threads) {
+  const SymView& view = p.sym_view;
+  const SymSchedule& sched = p.sym_sched;
+  const auto nparts = sched.parts.size();
+  value_t* const scratch = p.sym_scratch.data();
+  const index_t cap = sched.cap;
+  const index_t width = x.width;
+#pragma omp parallel default(none) \
+    shared(view, sched, x, y, alpha, beta, nparts, scratch, cap, width) num_threads(threads)
+  {
+    const auto tid = static_cast<std::size_t>(omp_get_thread_num());
+    const auto stride = static_cast<std::size_t>(omp_get_num_threads());
+    index_t c = 0;
+    while (c < width) {
+      const index_t rem = width - c;
+      index_t w = rem >= 8 ? 8 : rem >= 4 ? 4 : rem >= 2 ? 2 : 1;
+      if (w > cap) w = cap;
+      for (std::size_t pi = tid; pi < nparts; pi += stride) {
+        sym_scatter_any(view, sched, scratch, pi, x.columns(c, w));
+      }
+#pragma omp barrier
+      for (std::size_t pi = tid; pi < nparts; pi += stride) {
+        sym_reduce_any(sched, scratch, pi, y.columns(c, w), alpha, beta);
+      }
+      c += w;
+      // Order this chunk's reduce reads against the next chunk's scatter,
+      // which re-zeroes the same scratch columns.
+#pragma omp barrier
+    }
   }
 }
 
@@ -261,6 +309,46 @@ PreparedSpmv::PreparedSpmv(const CsrMatrix& a, const SpmvOptions& opts) : config
     }
   }
 
+  // Symmetric storage is exclusive with the other format rewrites (the
+  // tuner never combines them) and needs the stable thread ownership of a
+  // static schedule for its scatter/reduce windows. A matrix that turns out
+  // not to be exactly symmetric falls back to the general kernels, like an
+  // incompressible delta config.
+  const bool want_sym = cfg.symmetric && !use_delta && !cfg.decomposed &&
+                        cfg.schedule != Schedule::kDynamicChunks;
+  if (want_sym) {
+    try {
+      prepared->sym = SymCsrMatrix::build(a, threads);
+      symmetric_applied_ = true;
+    } catch (const std::invalid_argument&) {
+      symmetric_applied_ = false;
+    }
+  }
+  if (symmetric_applied_) {
+    prepared->sym_view = make_view(*prepared->sym);
+    // Scratch column capacity: the largest specialized chunk (1/2/4/8) the
+    // hinted operand width decomposes into; wider runs clamp their chunks.
+    index_t cap = 1;
+    while (cap < 8 && cap * 2 <= prepared->hint_width) cap *= 2;
+    prepared->sym_sched = plan_sym_schedule(prepared->sym_view, prepared->region_parts, cap);
+    prepared->sym_scratch = NumaArray<value_t>(prepared->sym_sched.scratch_elems);
+    // First-touch the scratch windows from their owning threads (the same
+    // part -> thread mapping the scatter uses), zeroing all cap columns.
+    const SymSchedule& sched = prepared->sym_sched;
+    value_t* const scratch = prepared->sym_scratch.data();
+    const std::size_t nparts = sched.parts.size();
+#pragma omp parallel default(none) shared(sched, scratch, nparts) num_threads(threads)
+    {
+      const auto tid = static_cast<std::size_t>(omp_get_thread_num());
+      const auto stride = static_cast<std::size_t>(omp_get_num_threads());
+      for (std::size_t pi = tid; pi < nparts; pi += stride) {
+        const auto rows = static_cast<std::size_t>(sched.parts[pi].end - sched.base[pi]);
+        std::fill(scratch + sched.offset[pi],
+                  scratch + sched.offset[pi] + rows * static_cast<std::size_t>(sched.cap), 0.0);
+      }
+    }
+  }
+
   const CsrMatrix* part_source = &a;
   if (cfg.decomposed) {
     prepared->decomposed = DecomposedCsrMatrix::decompose(a, /*threshold=*/0, threads);
@@ -342,7 +430,13 @@ PreparedSpmv::PreparedSpmv(const CsrMatrix& a, const SpmvOptions& opts) : config
   // registry (the tuner never combines MB with IMB formats; see
   // tuner/optimizations.cpp). Partitioned configs — plain or delta — share
   // the blocked partition driver; the impl table already carries the format.
-  if (cfg.decomposed && !use_delta) {
+  if (symmetric_applied_) {
+    const int nthreads = threads;
+    impl_ = [prepared, nthreads](ConstDenseBlockView x, DenseBlockView y, value_t alpha,
+                                 value_t beta) {
+      run_sym_blocked(*prepared, x, y, alpha, beta, nthreads);
+    };
+  } else if (cfg.decomposed && !use_delta) {
     auto runner = pick<DecompRunner>(cfg.vectorized, cfg.unrolled, cfg.prefetch);
     impl_ = [prepared, runner](ConstDenseBlockView x, DenseBlockView y, value_t alpha,
                                value_t beta) { runner(*prepared, x, y, alpha, beta); };
@@ -379,11 +473,18 @@ PreparedSpmv::PreparedSpmv(const CsrMatrix& a, const SpmvOptions& opts) : config
   }
   matrix_bytes_ = (dnrows + 1.0) * static_cast<double>(sizeof(offset_t)) + index_bytes +
                   dnnz * static_cast<double>(sizeof(value_t));
+  if (symmetric_applied_) {
+    // Symmetric storage streams the lower triangle + dense diagonal instead
+    // of the full nonzero set — the halved matrix stream the format exists
+    // for (scratch traffic is cache-resident and excluded by the model).
+    matrix_bytes_ = static_cast<double>(prepared_->sym->bytes());
+  }
   vector_bytes_per_column_ =
       static_cast<double>(a.ncols() + a.nrows()) * static_cast<double>(sizeof(value_t));
 
   auto& reg = obs::Registry::global();
   reg.counter("kernels.prepare.calls").add();
+  if (symmetric_applied_) reg.counter("kernels.prepare.symmetric").add();
   reg.histogram("kernels.prepare.micros").record(prep_seconds_ * 1e6);
   run_calls_ = reg.counter("kernels.run.calls");
   run_bytes_ = reg.counter("kernels.run.bytes");
@@ -432,6 +533,33 @@ double PreparedSpmv::run_local_dot(int part, std::span<const value_t> x, std::sp
   return prepared_->local_dot(*prepared_,
                               prepared_->region_parts[static_cast<std::size_t>(part)], x, y, w,
                               alpha, beta);
+}
+
+namespace {
+[[noreturn]] void fail_not_symmetric() {
+  throw std::logic_error{"PreparedSpmv: symmetric storage not applied"};
+}
+}  // namespace
+
+void PreparedSpmv::run_local_scatter(int part, std::span<const value_t> x) const {
+  if (!symmetric_applied_) fail_not_symmetric();
+  sym_scatter_any(prepared_->sym_view, prepared_->sym_sched, prepared_->sym_scratch.data(),
+                  static_cast<std::size_t>(part), ConstDenseBlockView::from_vector(x));
+}
+
+void PreparedSpmv::run_local_reduce(int part, std::span<value_t> y, value_t alpha,
+                                    value_t beta) const {
+  if (!symmetric_applied_) fail_not_symmetric();
+  sym_reduce_any(prepared_->sym_sched, prepared_->sym_scratch.data(),
+                 static_cast<std::size_t>(part), DenseBlockView::from_vector(y), alpha, beta);
+}
+
+double PreparedSpmv::run_local_reduce_dot(int part, std::span<value_t> y,
+                                          std::span<const value_t> w, value_t alpha,
+                                          value_t beta) const {
+  if (!symmetric_applied_) fail_not_symmetric();
+  return sym_reduce_dot(prepared_->sym_sched, prepared_->sym_scratch.data(),
+                        static_cast<std::size_t>(part), y, w, alpha, beta);
 }
 
 }  // namespace sparta::kernels

@@ -105,12 +105,38 @@ class PreparedSpmv {
                                      std::span<value_t> y, std::span<const value_t> w,
                                      value_t alpha = 1.0, value_t beta = 0.0) const;
 
+  // Region-reentrant symmetric-storage surface (valid iff
+  // symmetric_applied()). One SpMV splits into two phases keyed to
+  // region_parts(): every partition scatters into its private scratch
+  // window, then — after a caller-supplied barrier — every partition
+  // reduces its owned rows (kernels/spmv_sym.hpp documents the
+  // conflict-freedom argument). The caller must also place a barrier
+  // between a reduce and the *next* scatter, which re-zeroes the windows.
+  // All three throw std::logic_error when symmetric storage is not applied.
+
+  /// Phase 1 of a symmetric y = A x: scatter partition `part`'s products.
+  void run_local_scatter(int part, std::span<const value_t> x) const;
+
+  /// Phase 2: reduce partition `part`'s rows of y = alpha A x + beta y.
+  void run_local_reduce(int part, std::span<value_t> y, value_t alpha = 1.0,
+                        value_t beta = 0.0) const;
+
+  /// Phase 2 fused with the dependent reduction (see run_local_dot).
+  [[nodiscard]] double run_local_reduce_dot(int part, std::span<value_t> y,
+                                            std::span<const value_t> w, value_t alpha = 1.0,
+                                            value_t beta = 0.0) const;
+
   /// Wall-clock seconds the preprocessing took.
   [[nodiscard]] double prep_seconds() const { return prep_seconds_; }
   [[nodiscard]] const KernelConfig& config() const { return config_; }
   /// The resolved thread/partition count (never 0).
   [[nodiscard]] int threads() const { return threads_; }
   [[nodiscard]] bool delta_applied() const { return delta_applied_; }
+  /// Whether the kernel actually runs on symmetric (lower-triangle +
+  /// diagonal) storage. False when the config never asked for it or when
+  /// the matrix turned out not to be exactly symmetric (the build falls
+  /// back to the general kernels, like an incompressible delta config).
+  [[nodiscard]] bool symmetric_applied() const { return symmetric_applied_; }
   [[nodiscard]] bool first_touch_applied() const { return first_touch_applied_; }
   /// The operand-width hint preparation planned for (>= 1).
   [[nodiscard]] int block_width() const { return block_width_; }
@@ -129,6 +155,7 @@ class PreparedSpmv {
   int block_width_ = 1;
   double prep_seconds_ = 0.0;
   bool delta_applied_ = false;
+  bool symmetric_applied_ = false;
   bool first_touch_applied_ = false;
   double matrix_bytes_ = 0.0;
   double vector_bytes_per_column_ = 0.0;

@@ -1,0 +1,154 @@
+#include "kernels/spmv_sym.hpp"
+
+#include <omp.h>
+
+#include <stdexcept>
+
+#include "common/types.hpp"
+#include "sparse/build.hpp"
+
+namespace sparta::kernels {
+
+namespace {
+
+/// Largest specialized chunk (8/4/2/1) not exceeding `rem`.
+index_t pow2_chunk(index_t rem) {
+  if (rem >= 8) return 8;
+  if (rem >= 4) return 4;
+  if (rem >= 2) return 2;
+  return 1;
+}
+
+}  // namespace
+
+void sym_scatter_any(const SymView& a, const SymSchedule& sched,
+                     value_t* SPARTA_RESTRICT scratch, std::size_t part,
+                     ConstDenseBlockView x) {
+  switch (x.width) {
+    case 8:
+      sym_scatter_block<8>(a, sched, scratch, part, x);
+      break;
+    case 4:
+      sym_scatter_block<4>(a, sched, scratch, part, x);
+      break;
+    case 2:
+      sym_scatter_block<2>(a, sched, scratch, part, x);
+      break;
+    default:
+      sym_scatter_block<1>(a, sched, scratch, part, x);
+      break;
+  }
+}
+
+void sym_reduce_any(const SymSchedule& sched, const value_t* SPARTA_RESTRICT scratch,
+                    std::size_t part, DenseBlockView y, value_t alpha, value_t beta) {
+  switch (y.width) {
+    case 8:
+      sym_reduce_block<8>(sched, scratch, part, y, alpha, beta);
+      break;
+    case 4:
+      sym_reduce_block<4>(sched, scratch, part, y, alpha, beta);
+      break;
+    case 2:
+      sym_reduce_block<2>(sched, scratch, part, y, alpha, beta);
+      break;
+    default:
+      sym_reduce_block<1>(sched, scratch, part, y, alpha, beta);
+      break;
+  }
+}
+
+SymSchedule plan_sym_schedule(const SymView& a, std::span<const RowRange> parts,
+                              index_t cap) {
+  if (cap < 1) throw std::invalid_argument{"plan_sym_schedule: cap must be >= 1"};
+  SymSchedule sched;
+  sched.parts.assign(parts.begin(), parts.end());
+  sched.cap = cap;
+  sched.base.resize(parts.size());
+  sched.offset.resize(parts.size());
+  std::size_t total = 0;
+  for (std::size_t p = 0; p < parts.size(); ++p) {
+    // Columns are sorted within a row, so the first colind of each non-empty
+    // row is its minimum referenced column.
+    index_t base = parts[p].begin;
+    for (index_t i = parts[p].begin; i < parts[p].end; ++i) {
+      const auto b = a.rowptr[static_cast<std::size_t>(i)];
+      if (b < a.rowptr[static_cast<std::size_t>(i) + 1]) {
+        const index_t first = a.colind[static_cast<std::size_t>(b)];
+        if (first < base) base = first;
+      }
+    }
+    sched.base[p] = base;
+    sched.offset[p] = total;
+    total += static_cast<std::size_t>(parts[p].end - base) * static_cast<std::size_t>(cap);
+  }
+  sched.scratch_elems = total;
+  return sched;
+}
+
+double sym_reduce_dot(const SymSchedule& sched, const value_t* SPARTA_RESTRICT scratch,
+                      std::size_t part, std::span<value_t> y, std::span<const value_t> w,
+                      value_t alpha, value_t beta) {
+  const RowRange r = sched.parts[part];
+  const auto nparts = sched.parts.size();
+  const auto cap = static_cast<std::size_t>(sched.cap);
+  const bool plain = alpha == 1.0 && beta == 0.0;
+  double acc = 0.0;
+  for (index_t i = r.begin; i < r.end; ++i) {
+    value_t tot = 0.0;
+    for (std::size_t q = part; q < nparts; ++q) {
+      const index_t bq = sched.base[q];
+      if (bq > i) continue;
+      tot += scratch[sched.offset[q] + static_cast<std::size_t>(i - bq) * cap];
+    }
+    const auto k = static_cast<std::size_t>(i);
+    const value_t yi = plain ? tot : alpha * tot + beta * y[k];
+    y[k] = yi;
+    acc += w[k] * yi;
+  }
+  return acc;
+}
+
+void spmm_sym(const SymCsrMatrix& a, ConstDenseBlockView x, DenseBlockView y, value_t alpha,
+              value_t beta, int threads) {
+  const int nthreads = build::resolve_threads(threads);
+  const SymView view = make_view(a);
+  const auto parts = partition_equal_rows(a.nrows(), nthreads);
+  const index_t cap = pow2_chunk(x.width);
+  const SymSchedule sched = plan_sym_schedule(view, parts, cap);
+  aligned_vector<value_t> scratch(sched.scratch_elems);
+  value_t* const scratch_p = scratch.data();
+  const auto nparts = sched.parts.size();
+  const index_t width = x.width;
+
+#pragma omp parallel default(none)                                                     \
+    shared(view, sched, scratch_p, x, y, alpha, beta, nthreads, nparts, width) \
+    num_threads(nthreads)
+  {
+    const auto tid = static_cast<std::size_t>(omp_get_thread_num());
+    const auto stride = static_cast<std::size_t>(nthreads);
+    index_t c = 0;
+    while (c < width) {
+      const index_t k = pow2_chunk(width - c);
+      for (std::size_t p = tid; p < nparts; p += stride) {
+        sym_scatter_any(view, sched, scratch_p, p, x.columns(c, k));
+      }
+#pragma omp barrier
+      for (std::size_t p = tid; p < nparts; p += stride) {
+        sym_reduce_any(sched, scratch_p, p, y.columns(c, k), alpha, beta);
+      }
+      c += k;
+      // Order each chunk's reduce reads against the next chunk's scatter,
+      // which re-zeroes the same scratch columns.
+#pragma omp barrier
+    }
+  }
+}
+
+void spmv_sym(const SymCsrMatrix& a, std::span<const value_t> x, std::span<value_t> y,
+              int threads) {
+  spmm_sym(a, ConstDenseBlockView::from_vector(x), DenseBlockView::from_vector(y), 1.0, 0.0,
+           threads);
+}
+
+}  // namespace sparta::kernels

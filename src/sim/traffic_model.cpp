@@ -1,5 +1,7 @@
 #include "sim/traffic_model.hpp"
 
+#include <stdexcept>
+
 namespace sparta::sim {
 
 ThreadTally& ThreadTally::operator+=(const ThreadTally& o) {
@@ -85,6 +87,52 @@ double matrix_traffic_fraction(const CsrMatrix& m) {
   const double spmv = spmm_stream_bytes(m, 1);
   const double vectors = static_cast<double>(m.ncols() + m.nrows()) * sizeof(value_t);
   return spmv > 0.0 ? (spmv - vectors) / spmv : 0.0;
+}
+
+namespace {
+
+/// Matrix bytes the symmetric (lower-triangle + dense-diagonal) kernel
+/// streams for `m`. O(nnz) classification walk; validates squareness and
+/// off-diagonal pairing so the model is never quoted for a matrix the
+/// format would reject.
+double sym_matrix_bytes(const CsrMatrix& m) {
+  if (m.nrows() != m.ncols()) {
+    throw std::invalid_argument{"sym stream model: matrix must be square"};
+  }
+  offset_t lower = 0;
+  offset_t upper = 0;
+  for (index_t i = 0; i < m.nrows(); ++i) {
+    for (const index_t c : m.row_cols(i)) {
+      if (c < i) {
+        ++lower;
+      } else if (c > i) {
+        ++upper;
+      }
+    }
+  }
+  if (lower != upper) {
+    throw std::invalid_argument{"sym stream model: pattern is not symmetric"};
+  }
+  const auto nrows = static_cast<double>(m.nrows());
+  return (nrows + 1.0) * sizeof(offset_t) +
+         static_cast<double>(lower) * (sizeof(index_t) + sizeof(value_t)) +
+         nrows * sizeof(value_t);
+}
+
+}  // namespace
+
+double spmm_sym_stream_bytes(const CsrMatrix& m, int width) {
+  const double per_column =
+      static_cast<double>(m.ncols() + m.nrows()) * sizeof(value_t);
+  return sym_matrix_bytes(m) + static_cast<double>(width) * per_column;
+}
+
+double sym_matrix_stream_ratio(const CsrMatrix& m) {
+  const auto nrows = static_cast<double>(m.nrows());
+  const auto nnz = static_cast<double>(m.nnz());
+  const double general =
+      (nrows + 1.0) * sizeof(offset_t) + nnz * (sizeof(index_t) + sizeof(value_t));
+  return general > 0.0 ? sym_matrix_bytes(m) / general : 1.0;
 }
 
 }  // namespace sparta::sim

@@ -62,10 +62,13 @@ CooMatrix read_coo(std::istream& is) {
 
   // Entry parsing avoids an istringstream per line (strtoll/strtod walk the
   // line buffer directly) and grows nothing: the triplet list is reserved to
-  // the exact declared count and handed to the bulk CooMatrix constructor.
+  // the exact declared count first, and — for symmetric files — regrown once
+  // to the exact mirrored size counted during the parse (diagonal entries
+  // have no mirror, so a blanket 2*nnz reserve would over-allocate).
   std::vector<Triplet> triplets;
-  triplets.reserve(static_cast<std::size_t>(symmetric ? 2 * nnz : nnz));
+  triplets.reserve(static_cast<std::size_t>(nnz));
   long long seen = 0;
+  long long off_diagonal = 0;
   while (seen < nnz && std::getline(is, line)) {
     if (line.empty() || line[0] == '%') continue;
     const char* p = line.c_str();
@@ -82,13 +85,24 @@ CooMatrix read_coo(std::istream& is) {
       if (end == p) fail("missing value: " + line);
     }
     if (r < 1 || r > nrows || c < 1 || c > ncols) fail("entry out of range: " + line);
-    const auto ri = static_cast<index_t>(r - 1);
-    const auto ci = static_cast<index_t>(c - 1);
-    triplets.push_back({ri, ci, v});
-    if (symmetric && ri != ci) triplets.push_back({ci, ri, v});
+    // The format stores only the lower triangle of a symmetric matrix
+    // (Matrix Market spec §4): an upper-triangle entry is malformed, not an
+    // alternative convention, and silently mirroring it would double-count
+    // against files that also carry the paired lower entry.
+    if (symmetric && c > r) fail("upper-triangle entry in symmetric file: " + line);
+    triplets.push_back({static_cast<index_t>(r - 1), static_cast<index_t>(c - 1), v});
+    if (symmetric && r != c) ++off_diagonal;
     ++seen;
   }
   if (seen != nnz) fail("fewer entries than declared");
+  if (off_diagonal > 0) {
+    triplets.reserve(static_cast<std::size_t>(nnz + off_diagonal));
+    const std::size_t stored = triplets.size();
+    for (std::size_t k = 0; k < stored; ++k) {
+      const Triplet t = triplets[k];  // copy: don't hold a reference across push_back
+      if (t.row != t.col) triplets.push_back({t.col, t.row, t.value});
+    }
+  }
   CooMatrix coo = CooMatrix::from_triplets(static_cast<index_t>(nrows),
                                            static_cast<index_t>(ncols), std::move(triplets));
   coo.compress();

@@ -5,6 +5,7 @@
 
 #include "check/contract.hpp"
 #include "check/validate_tuner.hpp"
+#include "sparse/properties.hpp"
 
 namespace sparta {
 
@@ -87,6 +88,7 @@ Autotuner::Evaluation Autotuner::evaluate(const std::string& name, const CsrMatr
   e.name = name;
   e.nrows = m.nrows();
   e.nnz = m.nnz();
+  e.symmetric = m.nrows() == m.ncols() && is_symmetric(m);
   {
     const obs::ScopedPhase phase{e.phases, "bounds"};
     e.bounds = measure_bounds(m, machine_);
@@ -269,6 +271,22 @@ OptimizationPlan Autotuner::plan(const Evaluation& e, const TuneOptions& opts) c
       case TunePolicy::kTrivialCombined:
         p = plan_trivial_impl(e, /*combined=*/true);
         break;
+    }
+    // Symmetric-storage rider: an exactly symmetric matrix runs its plan on
+    // lower-triangle+diagonal storage whenever the selected config is
+    // compatible (never next to the rewrites it is exclusive with, and the
+    // scatter/reduce windows need a static schedule). The reported rate is
+    // left at the simulated general-kernel value — conservative, since the
+    // halved matrix stream only helps — but the storage build is charged to
+    // t_pre like any other conversion (the oracle stays a zero-overhead
+    // hypothetical).
+    if (e.symmetric && !p.config.delta && !p.config.decomposed &&
+        p.config.schedule != sim::Schedule::kDynamicChunks) {
+      p.config.symmetric = true;
+      if (p.strategy != "oracle") {
+        p.t_pre_seconds +=
+            cost_.sym_setup_spmv * e.bounds.t_csr_seconds / cost_.inspector_speedup();
+      }
     }
   }
   auto& reg = obs::Registry::global();

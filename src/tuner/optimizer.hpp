@@ -53,6 +53,10 @@ struct CostModelParams {
   double delta_setup_spmv = 3.0;
   double decompose_setup_spmv = 2.0;
   double autosched_setup_spmv = 0.1;
+  /// Symmetric (lower-triangle+diagonal) storage build: count/scan/fill over
+  /// the nonzeros plus the mirror-verification pass, comparable to the
+  /// decomposition rewrite.
+  double sym_setup_spmv = 2.0;
   /// Extra setup for codegen-only variants (prefetch/unroll/vector).
   double codegen_setup_spmv = 0.5;
   /// Vendor inspector-executor inspection cost, multiples of t_csr.
@@ -154,6 +158,10 @@ class Autotuner {
     std::string name;
     index_t nrows = 0;
     offset_t nnz = 0;
+    /// Exact structural + numerical symmetry (is_symmetric,
+    /// sparse/properties.hpp) — gates the symmetric-storage rider on every
+    /// derived plan.
+    bool symmetric = false;
     PerfBounds bounds;
     FeatureVector features;
     /// Simulated GFLOP/s per kernel configuration (a small config->rate map).

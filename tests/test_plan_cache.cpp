@@ -1,0 +1,87 @@
+// PlanCache keying on the symmetric-storage bit and the block-width hint:
+// symmetric and general preparations of the *same* matrix share a
+// fingerprint but must never share a prepared entry, and the LRU eviction
+// honors capacity across differently-keyed entries.
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "kernels/kernel_registry.hpp"
+#include "sparse/properties.hpp"
+#include "tuner/plan_cache.hpp"
+
+namespace sparta {
+namespace {
+
+CsrMatrix spd_matrix() { return gen::stencil5(24, 20); }
+
+TEST(PlanCache, SymmetricAndGeneralConfigsMissEachOther) {
+  const CsrMatrix m = spd_matrix();
+  ASSERT_TRUE(is_symmetric(m));
+  // Same matrix, same fingerprint — only the config's symmetric bit differs.
+  ASSERT_EQ(tuner::fingerprint(m), tuner::fingerprint(m));
+
+  tuner::PlanCache cache{8};
+  sim::KernelConfig sym_cfg;
+  sym_cfg.symmetric = true;
+  const auto general = cache.prepare(m, kernels::SpmvOptions{.threads = 2});
+  const auto symmetric =
+      cache.prepare(m, kernels::SpmvOptions{.config = sym_cfg, .threads = 2});
+  EXPECT_NE(general.get(), symmetric.get());
+  EXPECT_FALSE(general->symmetric_applied());
+  EXPECT_TRUE(symmetric->symmetric_applied());
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+
+  // Each repeated request hits its own entry.
+  const auto general_again = cache.prepare(m, kernels::SpmvOptions{.threads = 2});
+  const auto symmetric_again =
+      cache.prepare(m, kernels::SpmvOptions{.config = sym_cfg, .threads = 2});
+  EXPECT_EQ(general.get(), general_again.get());
+  EXPECT_EQ(symmetric.get(), symmetric_again.get());
+  EXPECT_EQ(cache.stats().hits, 2u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(PlanCache, SymmetricEntriesKeyOnBlockWidthAndEvictLru) {
+  const CsrMatrix m = spd_matrix();
+  sim::KernelConfig sym_cfg;
+  sym_cfg.symmetric = true;
+
+  tuner::PlanCache cache{2};
+  const auto w1 = cache.prepare(
+      m, kernels::SpmvOptions{.config = sym_cfg, .threads = 2, .block_width = 1});
+  const auto w4 = cache.prepare(
+      m, kernels::SpmvOptions{.config = sym_cfg, .threads = 2, .block_width = 4});
+  EXPECT_NE(w1.get(), w4.get());
+  EXPECT_EQ(cache.size(), 2u);
+
+  // A third width evicts the least recently used entry (width 1): the next
+  // width-1 request misses and rebuilds, while width 8 still hits.
+  const auto w8 = cache.prepare(
+      m, kernels::SpmvOptions{.config = sym_cfg, .threads = 2, .block_width = 8});
+  EXPECT_EQ(cache.size(), 2u);
+  const auto before = cache.stats();
+  const auto w8_again = cache.prepare(
+      m, kernels::SpmvOptions{.config = sym_cfg, .threads = 2, .block_width = 8});
+  EXPECT_EQ(w8.get(), w8_again.get());
+  EXPECT_EQ(cache.stats().hits, before.hits + 1);
+  const auto w1_again = cache.prepare(
+      m, kernels::SpmvOptions{.config = sym_cfg, .threads = 2, .block_width = 1});
+  EXPECT_NE(w1.get(), w1_again.get());
+  EXPECT_EQ(cache.stats().misses, before.misses + 1);
+}
+
+TEST(PlanCache, ClearDropsEntriesKeepsStats) {
+  const CsrMatrix m = spd_matrix();
+  tuner::PlanCache cache{4};
+  (void)cache.prepare(m, kernels::SpmvOptions{.threads = 2});
+  (void)cache.prepare(m, kernels::SpmvOptions{.threads = 2});
+  EXPECT_EQ(cache.stats().hits, 1u);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+}  // namespace
+}  // namespace sparta
